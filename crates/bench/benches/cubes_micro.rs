@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: the cube/cover algebra and the
+//! Espresso-style minimiser (the paper's `EspTim` inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_cubes::{minimize, Cover, Cube};
+
+/// A pseudo-random but deterministic on/off partition over `width`
+/// variables (xorshift; no external RNG needed at bench time).
+fn partition(width: usize, minterms: usize, seed: u64) -> (Cover, Cover) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut on = Cover::empty(width);
+    let mut off = Cover::empty(width);
+    let mut used = std::collections::HashSet::new();
+    while used.len() < minterms {
+        let bits: Vec<bool> = (0..width).map(|_| next() & 1 == 1).collect();
+        let key: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        if used.insert(key) {
+            let cube = Cube::minterm(bits);
+            if used.len() % 2 == 0 {
+                on.push(cube);
+            } else {
+                off.push(cube);
+            }
+        }
+    }
+    (on, off)
+}
+
+fn bench_cubes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cubes");
+    let (on, off) = partition(12, 160, 0x5137);
+    group.bench_function("minimize-12var-160pt", |b| {
+        b.iter(|| minimize(&on, &off));
+    });
+    group.bench_function("intersects-12var", |b| {
+        b.iter(|| on.intersects(&off));
+    });
+    group.bench_function("covers_cover-12var", |b| {
+        let min = minimize(&on, &off);
+        b.iter(|| min.covers_cover(&on));
+    });
+    let wide = Cube::from_str_cube(&"1-".repeat(32));
+    let wide2 = Cube::from_str_cube(&"-1".repeat(32));
+    group.bench_function("cube-intersect-64var", |b| {
+        b.iter(|| wide.intersect(&wide2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cubes);
+criterion_main!(benches);

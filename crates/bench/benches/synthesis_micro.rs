@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: the full synthesis flows (unfolding
+//! approximate / unfolding exact / SG baseline) on representative inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_stategraph::{synthesize_from_sg, SgSynthesisOptions};
+use si_stg::generators::muller_pipeline;
+use si_stg::suite::{paper_fig1, vme_read_csc};
+use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    let inputs = [paper_fig1(), vme_read_csc(), muller_pipeline(4)];
+    for stg in &inputs {
+        group.bench_with_input(
+            BenchmarkId::new("unfolding-approx", stg.name()),
+            stg,
+            |b, stg| {
+                let options = SynthesisOptions::default();
+                b.iter(|| synthesize_from_unfolding(stg, &options).expect("ok"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unfolding-exact", stg.name()),
+            stg,
+            |b, stg| {
+                let options = SynthesisOptions {
+                    mode: CoverMode::Exact,
+                    ..SynthesisOptions::default()
+                };
+                b.iter(|| synthesize_from_unfolding(stg, &options).expect("ok"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sg-baseline", stg.name()),
+            stg,
+            |b, stg| {
+                let options = SgSynthesisOptions::default();
+                b.iter(|| synthesize_from_sg(stg, &options).expect("ok"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

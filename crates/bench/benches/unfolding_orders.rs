@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks: STG-unfolding segment construction under the
+//! two adequate orders (Ablation A's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_stg::generators::{counterflow_pipeline, muller_pipeline};
+use si_unfolding::{AdequateOrder, StgUnfolding, UnfoldingOptions};
+
+fn bench_unfolding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfolding");
+    for stages in [4usize, 8, 12] {
+        let stg = muller_pipeline(stages);
+        for (name, order) in [
+            ("mcmillan", AdequateOrder::McMillan),
+            ("erv", AdequateOrder::ErvLex),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, stages),
+                &stg,
+                |b, stg| {
+                    let options = UnfoldingOptions {
+                        order,
+                        ..UnfoldingOptions::default()
+                    };
+                    b.iter(|| StgUnfolding::build(stg, &options).expect("builds"));
+                },
+            );
+        }
+    }
+    let cf = counterflow_pipeline(6);
+    group.bench_function("counterflow-6", |b| {
+        b.iter(|| StgUnfolding::build(&cf, &UnfoldingOptions::default()).expect("builds"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfolding);
+criterion_main!(benches);

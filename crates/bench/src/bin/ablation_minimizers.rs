@@ -1,0 +1,62 @@
+//! Ablation D: the two-level minimiser behind `EspTim` — the Espresso-style
+//! heuristic used by the unfolding flow versus exact Quine–McCluskey
+//! minimisation (the component the paper holds responsible for the second
+//! exponent of SG-based tools). Reports literal counts and time for both on
+//! every suite benchmark's exact on/off-sets.
+//!
+//! Run with: `cargo run -p si-bench --release --bin ablation_minimizers`
+
+use std::time::Instant;
+
+use si_bench::secs;
+use si_cubes::{minimize, minimize_exact, QmBudget};
+use si_stategraph::{on_off_sets, StateGraph};
+use si_stg::suite::synthesisable;
+
+fn main() {
+    println!(
+        "{:<24} {:>5} | {:>10} {:>7} | {:>10} {:>7}",
+        "Benchmark", "Sigs", "EsprTim", "EsprLit", "QmTim", "QmLit"
+    );
+    println!("{}", "-".repeat(76));
+    for stg in synthesisable() {
+        let sg = match StateGraph::build(&stg, 500_000) {
+            Ok(sg) => sg,
+            Err(_) => continue,
+        };
+        let mut espresso_lits = 0usize;
+        let mut qm_lits = 0usize;
+        let mut espresso_time = 0.0f64;
+        let mut qm_time = 0.0f64;
+        let mut qm_gave_up = false;
+        for signal in stg.implementable_signals() {
+            let sets = on_off_sets(&stg, &sg, signal);
+            let start = Instant::now();
+            let h = minimize(&sets.on, &sets.off);
+            espresso_time += start.elapsed().as_secs_f64();
+            espresso_lits += h.literal_count();
+            let start = Instant::now();
+            match minimize_exact(&sets.on, &sets.off, &QmBudget::default()) {
+                Some(e) => qm_lits += e.literal_count(),
+                None => qm_gave_up = true,
+            }
+            qm_time += start.elapsed().as_secs_f64();
+        }
+        println!(
+            "{:<24} {:>5} | {:>10} {:>7} | {:>10} {:>7}",
+            stg.name(),
+            stg.signal_count(),
+            secs(std::time::Duration::from_secs_f64(espresso_time)),
+            espresso_lits,
+            secs(std::time::Duration::from_secs_f64(qm_time)),
+            if qm_gave_up {
+                ">budget".to_owned()
+            } else {
+                qm_lits.to_string()
+            },
+        );
+    }
+    println!("\n(Espresso-style result is heuristic-minimal; QM is exact — equal literal");
+    println!(" counts validate the heuristic, and the time ratio shows why SG tools that");
+    println!(" insist on exact minimisation pay the paper's second exponent.)");
+}

@@ -1,0 +1,117 @@
+//! Regenerates the paper's **Figure 6**: synthesis time against signal
+//! count on scalable Muller pipelines, where SG-based tools grow
+//! (doubly-)exponentially and the unfolding-based flow stays polynomial,
+//! plus the counterflow-pipeline data point (34 signals; the circled dot in
+//! the paper's plot).
+//!
+//! Run with: `cargo run -p si-bench --release --bin fig6 [max_stages]`
+
+use std::time::{Duration, Instant};
+
+use si_bench::{secs, secs_opt};
+use si_stategraph::{synthesize_from_sg, SgSynthesisOptions};
+use si_stg::generators::{counterflow_pipeline, muller_pipeline};
+use si_synthesis::{synthesize_from_unfolding, SynthesisOptions};
+
+/// SG baselines give up beyond this many explicit states, standing in for
+/// "ran out of memory" in the paper.
+const SG_BUDGET: usize = 2_000_000;
+/// Once one baseline run exceeds this, larger instances are skipped,
+/// standing in for "taking prohibitively long" in the paper.
+const SG_GIVE_UP: Duration = Duration::from_secs(60);
+
+fn main() {
+    let max_stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    println!("Muller pipeline series (time in seconds):");
+    println!(
+        "{:>7} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "stages", "signals", "PUNT-unf", "PUNT-total", "SG-baseline", "SG-states"
+    );
+    let mut baseline_alive = true;
+    let mut stages = 2;
+    while stages <= max_stages {
+        let spec = muller_pipeline(stages);
+
+        let result = synthesize_from_unfolding(&spec, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("pipeline {stages} failed: {e}"));
+
+        let (sg_time, sg_states) = if baseline_alive {
+            let r = run_baseline(&spec);
+            if r.0.map(|t| t > SG_GIVE_UP).unwrap_or(true) {
+                baseline_alive = false;
+            }
+            r
+        } else {
+            (None, None)
+        };
+        println!(
+            "{:>7} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            stages,
+            spec.signal_count(),
+            secs(result.timing.unfold),
+            secs(result.timing.total()),
+            secs_opt(sg_time),
+            sg_states
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "gave-up".into()),
+        );
+        stages += 2;
+    }
+
+    // The counterflow pipeline: the paper's 34-signal circled dot.
+    println!("\nCounterflow pipeline (34 signals):");
+    let spec = counterflow_pipeline(15);
+    assert_eq!(spec.signal_count(), 34);
+    let start = Instant::now();
+    let result = synthesize_from_unfolding(&spec, &SynthesisOptions::default());
+    let unf_total = start.elapsed();
+    match result {
+        Ok(r) => println!(
+            "  PUNT-style: {} s total ({} events, {} literals)",
+            secs(unf_total),
+            r.events,
+            r.literal_count()
+        ),
+        Err(e) => println!("  PUNT-style failed: {e}"),
+    }
+    if baseline_alive {
+        let (sg_time, sg_states) = run_baseline(&spec);
+        match sg_time {
+            Some(t) => println!(
+                "  SG baseline: {} s ({} states)",
+                secs(t),
+                sg_states.unwrap_or(0)
+            ),
+            None => println!(
+                "  SG baseline: exceeded {SG_BUDGET} states (as the paper reports for SIS)"
+            ),
+        }
+    } else {
+        println!("  SG baseline: skipped (already past the {SG_GIVE_UP:?} give-up point)");
+    }
+}
+
+fn run_baseline(spec: &si_stg::Stg) -> (Option<Duration>, Option<usize>) {
+    let start = Instant::now();
+    let outcome = synthesize_from_sg(
+        spec,
+        &SgSynthesisOptions {
+            state_budget: SG_BUDGET,
+            ..SgSynthesisOptions::default()
+        },
+    );
+    let elapsed = start.elapsed();
+    match outcome {
+        Ok(_) => {
+            let states = si_stategraph::StateGraph::build(spec, SG_BUDGET)
+                .map(|sg| sg.len())
+                .ok();
+            (Some(elapsed), states)
+        }
+        Err(_) => (None, None),
+    }
+}

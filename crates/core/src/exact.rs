@@ -1,0 +1,386 @@
+//! Exact cover derivation (the paper, §4.1): enumerate the cuts
+//! encapsulated in a slice and recover their binary codes.
+//!
+//! This is the mode that "benefits from the unfolding methodology which
+//! restricts the set of states needed to examine for each signal" but "may
+//! suffer from exponential explosion of states" — which is why the
+//! approximate mode (module [`crate::approx`]) exists. It is also the sound
+//! fallback the refinement loop escalates to.
+
+use std::collections::HashSet;
+
+use si_cubes::{Cover, Cube};
+use si_petri::{BitSet, Marking};
+use si_stg::{BinaryCode, Stg};
+use si_unfolding::{ConditionId, EventId, StgUnfolding};
+
+use crate::covers::code_to_cube;
+use crate::error::SynthesisError;
+use crate::slice::Slice;
+
+/// Enumerates the binary codes of every state represented by the slice —
+/// the cuts reachable from the min-cut without firing an exit, excluding
+/// cuts at which an opposite change of the slice signal is enabled (those
+/// belong to the opposite set: the excited change flips the implied value).
+///
+/// The opposite-change check is done against the *original STG* rather than
+/// the segment's exit events: a slice truncated at a cutoff reaches a
+/// marking whose successor instances are not represented in the segment,
+/// yet the opposite change may well be enabled there (e.g. the final cut of
+/// a cutoff that closes the cycle re-enables the signal's first change).
+///
+/// `budget` bounds the number of cuts visited.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::SliceBudgetExceeded`] when the slice holds more
+/// than `budget` cuts.
+pub fn slice_codes(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slice: &Slice,
+    budget: usize,
+) -> Result<Vec<BinaryCode>, SynthesisError> {
+    // STG transitions whose firing would leave the slice's stable value:
+    // the opposite changes of the slice signal.
+    let opposite: Vec<si_petri::TransitionId> = stg
+        .transitions_of(slice.signal)
+        .into_iter()
+        .filter(|&t| {
+            stg.label(t)
+                .map(|l| l.polarity.target_value() != slice.value)
+                .unwrap_or(false)
+        })
+        .collect();
+    // Starting state: min-cut with the slice signal still at its pre-entry
+    // value (for a real entry) or the initial code (for ⊥).
+    let start_cut: BitSet = slice.min_cut(unf).iter().map(|b| b.index()).collect();
+    let start_code = if slice.entry.is_root() {
+        unf.initial_code().clone()
+    } else {
+        let mut code = unf.code(slice.entry).clone();
+        code.set(slice.signal, !slice.value);
+        code
+    };
+
+    let entry_preset: Vec<ConditionId> = if slice.entry.is_root() {
+        Vec::new()
+    } else {
+        unf.preset(slice.entry).to_vec()
+    };
+
+    // States are deduplicated by *marking*, not by condition set: a cut
+    // containing frozen (post-cutoff) condition instances represents the
+    // same STG state as the marking-equal cut built from the original
+    // instances, and distinguishing them multiplies the search space.
+    // Cut exploration defers cutoff firings until all cutoff-free cuts are
+    // processed, so the richer (extendable) representative of each marking
+    // is explored first.
+    let start_marking: Marking = start_cut
+        .iter()
+        .map(|b| unf.place(ConditionId(b as u32)))
+        .collect();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    seen.insert(start_marking.clone());
+    let mut queue: Vec<(BitSet, BinaryCode, Marking)> =
+        vec![(start_cut, start_code, start_marking)];
+    let mut deferred: Vec<(BitSet, BinaryCode, Marking)> = Vec::new();
+    let mut codes: Vec<BinaryCode> = Vec::new();
+    let mut code_set: HashSet<String> = HashSet::new();
+
+    while let Some((cut, code, marking)) = queue.pop().or_else(|| deferred.pop()) {
+        if seen.len() > budget {
+            return Err(SynthesisError::SliceBudgetExceeded { budget });
+        }
+        // Events enabled at this cut: consumers of cut conditions whose full
+        // preset is inside the cut.
+        let mut enabled: Vec<EventId> = Vec::new();
+        for b in cut.iter() {
+            for &e in unf.consumers(ConditionId(b as u32)) {
+                if !enabled.contains(&e)
+                    && unf.preset(e).iter().all(|c| cut.contains(c.index()))
+                {
+                    enabled.push(e);
+                }
+            }
+        }
+        // A state belongs to the slice's set only if no opposite change of
+        // the signal is enabled in the original STG at this marking.
+        let opposite_enabled = opposite
+            .iter()
+            .any(|&t| stg.net().is_enabled(t, &marking));
+        if !opposite_enabled && code_set.insert(code.to_string()) {
+            codes.push(code.clone());
+        }
+        // Whether the entry is still pending (its preset intact).
+        let entry_pending = !slice.entry.is_root()
+            && entry_preset.iter().all(|b| cut.contains(b.index()));
+        for &f in &enabled {
+            if slice.is_exit(f) {
+                continue;
+            }
+            // While the entry is pending, refuse events that would disable
+            // it (steal a preset condition) — those states leave the slice.
+            if entry_pending && f != slice.entry {
+                let conflicts = unf
+                    .preset(f)
+                    .iter()
+                    .any(|b| entry_preset.contains(b));
+                if conflicts {
+                    continue;
+                }
+            }
+            // Only the entry itself or slice members advance the slice.
+            if f != slice.entry && !slice.is_member(f) {
+                continue;
+            }
+            let mut next_cut = cut.clone();
+            for &b in unf.preset(f) {
+                next_cut.remove(b.index());
+            }
+            for &b in unf.postset(f) {
+                next_cut.insert(b.index());
+            }
+            let next_marking: Marking = next_cut
+                .iter()
+                .map(|b| unf.place(ConditionId(b as u32)))
+                .collect();
+            if seen.insert(next_marking.clone()) {
+                let mut next_code = code.clone();
+                if let Some(label) = unf.label(f) {
+                    next_code.toggle(label.signal);
+                }
+                if unf.is_cutoff(f) {
+                    deferred.push((next_cut, next_code, next_marking));
+                } else {
+                    queue.push((next_cut, next_code, next_marking));
+                }
+            }
+        }
+    }
+    Ok(codes)
+}
+
+/// Enumerates only the excitation-region codes of a slice: the cuts at
+/// which the entry is enabled but has not fired. Used by the memory-element
+/// architectures (set/reset excitation functions).
+///
+/// Returns an empty list for a `⊥` entry (no excitation — the signal is
+/// stable from the start).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::SliceBudgetExceeded`] when the region holds
+/// more than `budget` cuts.
+pub fn excitation_codes(
+    unf: &StgUnfolding,
+    slice: &Slice,
+    budget: usize,
+) -> Result<Vec<BinaryCode>, SynthesisError> {
+    if slice.entry.is_root() {
+        return Ok(Vec::new());
+    }
+    let start_cut: BitSet = slice.min_cut(unf).iter().map(|b| b.index()).collect();
+    let mut start_code = unf.code(slice.entry).clone();
+    start_code.set(slice.signal, !slice.value);
+    let entry_preset: Vec<ConditionId> = unf.preset(slice.entry).to_vec();
+
+    let start_marking: Marking = start_cut
+        .iter()
+        .map(|b| unf.place(ConditionId(b as u32)))
+        .collect();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    seen.insert(start_marking);
+    let mut queue: Vec<(BitSet, BinaryCode)> = vec![(start_cut, start_code)];
+    let mut codes = Vec::new();
+    let mut code_set: HashSet<String> = HashSet::new();
+
+    while let Some((cut, code)) = queue.pop() {
+        if seen.len() > budget {
+            return Err(SynthesisError::SliceBudgetExceeded { budget });
+        }
+        if code_set.insert(code.to_string()) {
+            codes.push(code.clone());
+        }
+        // Fire only members concurrent to the entry (keeping it excited).
+        for b in cut.iter() {
+            for &f in unf.consumers(ConditionId(b as u32)) {
+                if f == slice.entry || !slice.is_member(f) {
+                    continue;
+                }
+                if !unf.events_co(slice.entry, f) {
+                    continue;
+                }
+                if !unf.preset(f).iter().all(|c| cut.contains(c.index())) {
+                    continue;
+                }
+                if unf.preset(f).iter().any(|c| entry_preset.contains(c)) {
+                    continue;
+                }
+                let mut next_cut = cut.clone();
+                for &c in unf.preset(f) {
+                    next_cut.remove(c.index());
+                }
+                for &c in unf.postset(f) {
+                    next_cut.insert(c.index());
+                }
+                let next_marking: Marking = next_cut
+                    .iter()
+                    .map(|b| unf.place(ConditionId(b as u32)))
+                    .collect();
+                if seen.insert(next_marking) {
+                    let mut next_code = code.clone();
+                    if let Some(label) = unf.label(f) {
+                        next_code.toggle(label.signal);
+                    }
+                    queue.push((next_cut, next_code));
+                }
+            }
+        }
+    }
+    Ok(codes)
+}
+
+/// Checks whether `cover` becomes TRUE anywhere inside the given slices —
+/// the paper's §6 "weaker correctness condition": if an approximated on-set
+/// cover never becomes TRUE within the slices of the off-set cover (and
+/// vice versa), the covers' intersection lies in the DC-set and no further
+/// refinement is needed.
+///
+/// Enumerates slice states (bounded by `budget` per slice) and stops at the
+/// first covered state.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError::SliceBudgetExceeded`] — the caller should
+/// treat that as "unknown" and fall back to the strong condition.
+pub fn cover_true_within_slices(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slices: &[Slice],
+    cover: &Cover,
+    budget: usize,
+) -> Result<bool, SynthesisError> {
+    for slice in slices {
+        for code in slice_codes(stg, unf, slice, budget)? {
+            let bits: Vec<bool> = code.iter().map(|(_, v)| v).collect();
+            if cover.covers_bits(&bits) {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// The exact cover of one side (on- or off-set) of a signal: the union of
+/// the minterms of every slice's codes.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError::SliceBudgetExceeded`].
+pub fn exact_side_cover(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slices: &[Slice],
+    budget: usize,
+) -> Result<Cover, SynthesisError> {
+    let mut cubes: Vec<Cube> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for slice in slices {
+        for code in slice_codes(stg, unf, slice, budget)? {
+            if seen.insert(code.to_string()) {
+                cubes.push(code_to_cube(&code));
+            }
+        }
+    }
+    Ok(cubes.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::side_slices;
+    use si_stg::suite::paper_fig1;
+    use si_stg::Stg;
+    use si_unfolding::UnfoldingOptions;
+
+    fn build(stg: &Stg) -> StgUnfolding {
+        StgUnfolding::build(stg, &UnfoldingOptions::default()).expect("builds")
+    }
+
+    #[test]
+    fn fig1_on_codes_match_paper() {
+        // The paper: On₁(b) = {100,101,110,111}, On₂(b) = {001,011}.
+        let stg = paper_fig1();
+        let unf = build(&stg);
+        let sb = stg.signal_by_name("b").expect("b");
+        let slices = side_slices(&unf, sb, true);
+        let mut all: Vec<String> = Vec::new();
+        for s in &slices {
+            all.extend(
+                slice_codes(&stg, &unf, s, 10_000)
+                    .expect("small slice")
+                    .iter()
+                    .map(ToString::to_string),
+            );
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all, vec!["001", "011", "100", "101", "110", "111"]);
+    }
+
+    #[test]
+    fn fig1_off_codes_match_paper() {
+        // The paper: C_Off = {010, 000}.
+        let stg = paper_fig1();
+        let unf = build(&stg);
+        let sb = stg.signal_by_name("b").expect("b");
+        let slices = side_slices(&unf, sb, false);
+        let cover = exact_side_cover(&stg, &unf, &slices, 10_000).expect("small");
+        let mut codes: Vec<String> = cover.cubes().iter().map(ToString::to_string).collect();
+        codes.sort();
+        assert_eq!(codes, vec!["000", "010"]);
+    }
+
+    #[test]
+    fn fig1_on_off_disjoint() {
+        let stg = paper_fig1();
+        let unf = build(&stg);
+        let sb = stg.signal_by_name("b").expect("b");
+        let on = exact_side_cover(&stg, &unf, &side_slices(&unf, sb, true), 10_000).expect("on");
+        let off = exact_side_cover(&stg, &unf, &side_slices(&unf, sb, false), 10_000).expect("off");
+        assert!(!on.intersects(&off));
+    }
+
+    #[test]
+    fn fig1_excitation_codes_of_b() {
+        let stg = paper_fig1();
+        let unf = build(&stg);
+        let sb = stg.signal_by_name("b").expect("b");
+        let slices = side_slices(&unf, sb, true);
+        let mut er: Vec<String> = Vec::new();
+        for s in &slices {
+            er.extend(
+                excitation_codes(&unf, s, 1000)
+                    .expect("small")
+                    .iter()
+                    .map(ToString::to_string),
+            );
+        }
+        er.sort();
+        // +b is excited at 001 (p4), and at 100/101 (p2 marked, +c''
+        // optionally fired).
+        assert_eq!(er, vec!["001", "100", "101"]);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let stg = si_stg::generators::independent_cycles(14);
+        let unf = build(&stg);
+        let s0 = stg.signal_by_name("a0").expect("a0");
+        let slices = side_slices(&unf, s0, false);
+        // The ⊥ slice spans all 2^13 combinations of the other cycles.
+        let err = exact_side_cover(&stg, &unf, &slices, 10).unwrap_err();
+        assert!(matches!(err, SynthesisError::SliceBudgetExceeded { .. }));
+    }
+}

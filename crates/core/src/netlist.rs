@@ -1,0 +1,257 @@
+//! Netlist export: render a synthesised implementation as an `.eqn`-style
+//! equation file or as structural Verilog (one continuous assignment per
+//! atomic complex gate, with the sequential feedback the architecture
+//! allows folded into the expression).
+
+use std::fmt::Write as _;
+
+use si_cubes::{Cover, Literal};
+use si_stg::{SignalKind, Stg};
+
+use crate::arch::ExcitationImplementation;
+use crate::synth::UnfoldingSynthesis;
+
+/// Renders the implementation as an `.eqn`-style equation list (the format
+/// SIS consumes), one `name = sum-of-products;` line per gate.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_synthesis::{synthesize_from_unfolding, to_eqn, SynthesisOptions};
+///
+/// # fn main() -> Result<(), si_synthesis::SynthesisError> {
+/// let stg = paper_fig1();
+/// let netlist = synthesize_from_unfolding(&stg, &SynthesisOptions::default())?;
+/// let eqn = to_eqn(&stg, &netlist);
+/// assert!(eqn.contains("b = a + c;"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_eqn(stg: &Stg, synthesis: &UnfoldingSynthesis) -> String {
+    let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — atomic complex gate per signal", stg.name());
+    let inputs: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Input)
+        .map(|s| stg.signal_name(s))
+        .collect();
+    let _ = writeln!(out, "INORDER = {};", inputs.join(" "));
+    let outputs: Vec<&str> = synthesis
+        .gates
+        .iter()
+        .map(|g| stg.signal_name(g.signal))
+        .collect();
+    let _ = writeln!(out, "OUTORDER = {};", outputs.join(" "));
+    for gate in &synthesis.gates {
+        let _ = writeln!(
+            out,
+            "{} = {};",
+            stg.signal_name(gate.signal),
+            gate.gate.to_expression_string(&names)
+        );
+    }
+    out
+}
+
+/// Renders a cover as a Verilog boolean expression over the given names.
+fn verilog_expr(cover: &Cover, names: &[&str]) -> String {
+    if cover.is_empty() {
+        return "1'b0".to_owned();
+    }
+    cover
+        .cubes()
+        .iter()
+        .map(|cube| {
+            if cube.is_full() {
+                return "1'b1".to_owned();
+            }
+            let product: Vec<String> = cube
+                .literals()
+                .map(|(v, lit)| match lit {
+                    Literal::One => names[v].to_owned(),
+                    Literal::Zero => format!("~{}", names[v]),
+                    Literal::DontCare => unreachable!(),
+                })
+                .collect();
+            if product.len() == 1 {
+                product.into_iter().next().expect("non-empty")
+            } else {
+                format!("({})", product.join(" & "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Renders the implementation as a structural Verilog module: inputs are
+/// the STG's input signals, outputs the implemented signals, each driven by
+/// one continuous assignment (the atomic complex gate, feedback included).
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_synthesis::{synthesize_from_unfolding, to_verilog, SynthesisOptions};
+///
+/// # fn main() -> Result<(), si_synthesis::SynthesisError> {
+/// let stg = paper_fig1();
+/// let netlist = synthesize_from_unfolding(&stg, &SynthesisOptions::default())?;
+/// let v = to_verilog(&stg, &netlist);
+/// assert!(v.contains("module paper_fig1"));
+/// assert!(v.contains("assign b = a | c;"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_verilog(stg: &Stg, synthesis: &UnfoldingSynthesis) -> String {
+    let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+    let module = stg.name().replace(['-', '.'], "_");
+    let inputs: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Input)
+        .map(|s| stg.signal_name(s))
+        .collect();
+    let outputs: Vec<&str> = synthesis
+        .gates
+        .iter()
+        .map(|g| stg.signal_name(g.signal))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "// generated from STG `{}`", stg.name());
+    let _ = writeln!(
+        out,
+        "module {module} ({});",
+        inputs
+            .iter()
+            .chain(outputs.iter())
+            .copied()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for i in &inputs {
+        let _ = writeln!(out, "  input  {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+    for gate in &synthesis.gates {
+        let _ = writeln!(
+            out,
+            "  assign {} = {};",
+            stg.signal_name(gate.signal),
+            verilog_expr(&gate.gate, &names)
+        );
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Renders a Set/Reset (memory-element) implementation as structural
+/// Verilog, instantiating one behavioural latch per signal.
+pub fn excitation_to_verilog(stg: &Stg, impls: &[ExcitationImplementation]) -> String {
+    let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+    let module = format!("{}_latched", stg.name().replace(['-', '.'], "_"));
+    let inputs: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Input)
+        .map(|s| stg.signal_name(s))
+        .collect();
+    let outputs: Vec<&str> = impls
+        .iter()
+        .map(|i| stg.signal_name(i.signal))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "module {module} ({});",
+        inputs
+            .iter()
+            .chain(outputs.iter())
+            .copied()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for i in &inputs {
+        let _ = writeln!(out, "  input  {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output reg {o};");
+    }
+    for imp in impls {
+        let name = stg.signal_name(imp.signal);
+        let set = verilog_expr(&imp.set, &names);
+        let reset = verilog_expr(&imp.reset, &names);
+        let _ = writeln!(out, "  wire set_{name} = {set};");
+        let _ = writeln!(out, "  wire reset_{name} = {reset};");
+        let _ = writeln!(
+            out,
+            "  always @* begin if (set_{name}) {name} = 1'b1; \
+             else if (reset_{name}) {name} = 1'b0; end"
+        );
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{synthesize_excitation_functions, MemoryElement};
+    use crate::synth::{synthesize_from_unfolding, SynthesisOptions};
+    use si_stg::suite::{paper_fig1, vme_read_csc};
+    use si_unfolding::UnfoldingOptions;
+
+    #[test]
+    fn eqn_lists_all_gates() {
+        let stg = vme_read_csc();
+        let netlist =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let eqn = to_eqn(&stg, &netlist);
+        assert!(eqn.contains("INORDER = dsr ldtack;"));
+        assert!(eqn.contains("lds = "));
+        assert!(eqn.contains("csc0 = "));
+        assert_eq!(eqn.matches(" = ").count(), 2 + netlist.gates.len());
+    }
+
+    #[test]
+    fn verilog_shape() {
+        let stg = paper_fig1();
+        let netlist =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let v = to_verilog(&stg, &netlist);
+        assert!(v.contains("module paper_fig1 (a, c, b);"));
+        assert!(v.contains("input  a;"));
+        assert!(v.contains("output b;"));
+        assert!(v.contains("assign b = a | c;"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn verilog_handles_complement_and_products() {
+        let stg = vme_read_csc();
+        let netlist =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let v = to_verilog(&stg, &netlist);
+        // csc0 = dsr ldtack' + dsr csc0 becomes (dsr & ~ldtack) | (dsr & csc0).
+        assert!(v.contains("(dsr & ~ldtack)"), "got:\n{v}");
+        assert!(v.contains("(dsr & csc0)"), "got:\n{v}");
+    }
+
+    #[test]
+    fn latched_verilog_shape() {
+        let stg = paper_fig1();
+        let impls = synthesize_excitation_functions(
+            &stg,
+            MemoryElement::MullerC,
+            &UnfoldingOptions::default(),
+            100_000,
+        )
+        .expect("ok");
+        let v = excitation_to_verilog(&stg, &impls);
+        assert!(v.contains("module paper_fig1_latched"));
+        assert!(v.contains("wire set_b ="));
+        assert!(v.contains("wire reset_b ="));
+        assert!(v.contains("output reg b;"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Cover refinement (the paper, §4.3 and Figure 5, bottom half): while the
+//! on- and off-set cover approximations intersect, restore marking
+//! information by intersecting offending atoms with restricted MR covers of
+//! a refining set, escalating to exact per-slice enumeration when the
+//! cube-level refinement stops making progress.
+
+use si_cubes::Cover;
+use si_stg::Stg;
+use si_unfolding::{ConditionId, StgUnfolding};
+
+use crate::approx::{AtomKind, CoverAtom};
+use crate::covers::{code_to_cube, joint_cube};
+use crate::error::SynthesisError;
+use crate::exact::slice_codes;
+use crate::slice::Slice;
+
+/// Outcome of the refinement loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementReport {
+    /// Number of cube-level refinement steps applied.
+    pub steps: usize,
+    /// Number of slices that had to be re-enumerated exactly.
+    pub exact_fallbacks: usize,
+    /// `true` if the final covers are disjoint (otherwise the STG has a CSC
+    /// conflict).
+    pub disjoint: bool,
+}
+
+/// Runs the refinement loop over the two sides until their covers are
+/// disjoint, refinement stalls into exact fallback, or `max_steps` is
+/// reached. Atom covers are modified in place.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError::SliceBudgetExceeded`] from exact fallbacks.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_until_disjoint(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    on_slices: &[Slice],
+    off_slices: &[Slice],
+    on_atoms: &mut Vec<CoverAtom>,
+    off_atoms: &mut Vec<CoverAtom>,
+    max_steps: usize,
+    slice_budget: usize,
+) -> Result<RefinementReport, SynthesisError> {
+    let mut report = RefinementReport {
+        steps: 0,
+        exact_fallbacks: 0,
+        disjoint: false,
+    };
+    loop {
+        let Some((on_idx, off_idx)) = offending_pair(on_atoms, off_atoms) else {
+            report.disjoint = true;
+            return Ok(report);
+        };
+        if report.steps >= max_steps {
+            // Escalate everything that still conflicts.
+            let progressed = escalate(
+                stg, unf, on_slices, on_atoms, on_idx, slice_budget, &mut report,
+            )? | escalate(
+                stg, unf, off_slices, off_atoms, off_idx, slice_budget, &mut report,
+            )?;
+            if !progressed {
+                return Ok(report);
+            }
+            continue;
+        }
+        report.steps += 1;
+        let mut progressed = false;
+        progressed |= refine_atom(unf, on_slices, &mut on_atoms[on_idx]);
+        progressed |= refine_atom(unf, off_slices, &mut off_atoms[off_idx]);
+        if !progressed {
+            let escalated = escalate(
+                stg, unf, on_slices, on_atoms, on_idx, slice_budget, &mut report,
+            )? | escalate(
+                stg, unf, off_slices, off_atoms, off_idx, slice_budget, &mut report,
+            )?;
+            if !escalated {
+                // Both offending atoms are already exact: genuine CSC
+                // conflict.
+                return Ok(report);
+            }
+        }
+    }
+}
+
+/// Finds the first pair of atoms whose covers intersect.
+fn offending_pair(on: &[CoverAtom], off: &[CoverAtom]) -> Option<(usize, usize)> {
+    for (i, a) in on.iter().enumerate() {
+        for (j, b) in off.iter().enumerate() {
+            if a.cover.intersects(&b.cover) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Checks whether every reachable cut has the same size (the net is
+/// token-preserving): if so, returns that size. Cube-level refinement is
+/// only sound when the refining set is guaranteed to intersect every cut
+/// marking the anchors — which holds when cuts always carry more tokens
+/// than the anchor set.
+fn cut_size_invariant(unf: &StgUnfolding) -> Option<usize> {
+    let tokens = unf.postset(si_unfolding::EventId::ROOT).len();
+    for e in unf.events().skip(1) {
+        if unf.preset(e).len() != unf.postset(e).len() {
+            return None;
+        }
+    }
+    Some(tokens)
+}
+
+/// One cube-level refinement step on `atom`: intersect its cover with the
+/// union of joint cubes over the refining set (all slice conditions
+/// concurrent with the atom's anchor). Returns `true` if the cover shrank.
+fn refine_atom(unf: &StgUnfolding, slices: &[Slice], atom: &mut CoverAtom) -> bool {
+    if atom.exhausted {
+        return false;
+    }
+    let slice = &slices[atom.slice];
+    let anchors: Vec<ConditionId> = match atom.kind {
+        AtomKind::MarkedRegion(p) => vec![p],
+        // The ER anchor is the entry's preset: states in the ER mark all of
+        // it, so refine with conditions concurrent to every preset member.
+        AtomKind::ExcitationRegion => {
+            if slice.entry.is_root() {
+                atom.exhausted = true;
+                return false;
+            }
+            unf.preset(slice.entry).to_vec()
+        }
+    };
+    // Soundness guard (see DESIGN.md): the refining set must be guaranteed
+    // to intersect every cut marking the anchors, which we can only prove
+    // when the net is token-preserving with more tokens than anchors.
+    // Otherwise skip straight to the exact fallback.
+    match cut_size_invariant(unf) {
+        Some(tokens) if tokens > anchors.len() => {}
+        _ => {
+            atom.exhausted = true;
+            return false;
+        }
+    }
+    // Refining set: slice conditions concurrent with every anchor.
+    let refining: Vec<ConditionId> = slice
+        .conditions
+        .iter()
+        .map(|i| ConditionId(i as u32))
+        .filter(|&p_k| {
+            !anchors.contains(&p_k)
+                && anchors.iter().all(|&a| unf.conditions_co(a, p_k))
+        })
+        .collect();
+    if refining.is_empty() {
+        atom.exhausted = true;
+        return false;
+    }
+    let mut restriction = Cover::empty(unf.signal_count());
+    for &p_k in &refining {
+        let cube = joint_cube(unf, anchors[0], p_k);
+        restriction = restriction.union(&[cube].into_iter().collect());
+    }
+    let refined = atom.cover.intersect(&restriction);
+    if refined == atom.cover {
+        atom.exhausted = true;
+        false
+    } else {
+        atom.cover = refined;
+        true
+    }
+}
+
+/// Exact fallback: replace every atom of the offending atom's slice with the
+/// slice's exact code enumeration. Returns `true` if anything changed.
+#[allow(clippy::too_many_arguments)]
+fn escalate(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slices: &[Slice],
+    atoms: &mut Vec<CoverAtom>,
+    offending: usize,
+    slice_budget: usize,
+    report: &mut RefinementReport,
+) -> Result<bool, SynthesisError> {
+    let slice_idx = atoms[offending].slice;
+    if atoms.iter().any(|a| a.slice == slice_idx && a.exact) {
+        return Ok(false);
+    }
+    let codes = slice_codes(stg, unf, &slices[slice_idx], slice_budget)?;
+    let exact: Cover = codes.iter().map(code_to_cube).collect();
+    atoms.retain(|a| a.slice != slice_idx);
+    atoms.push(CoverAtom {
+        slice: slice_idx,
+        kind: AtomKind::ExcitationRegion,
+        cover: exact,
+        exhausted: true,
+        exact: true,
+    });
+    report.exact_fallbacks += 1;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approximate_side, side_cover};
+    use crate::slice::side_slices;
+    use si_stg::suite::{paper_fig1, paper_fig4ab, vme_read_no_csc};
+    use si_stg::Stg;
+    use si_unfolding::{StgUnfolding, UnfoldingOptions};
+
+    fn build(stg: &Stg) -> StgUnfolding {
+        StgUnfolding::build(stg, &UnfoldingOptions::default()).expect("builds")
+    }
+
+    fn refined_sides(
+        stg: &Stg,
+        name: &str,
+    ) -> (StgUnfolding, Cover, Cover, RefinementReport) {
+        let unf = build(stg);
+        let sig = stg.signal_by_name(name).expect("signal");
+        let on_slices = side_slices(&unf, sig, true);
+        let off_slices = side_slices(&unf, sig, false);
+        let mut on = approximate_side(stg, &unf, &on_slices);
+        let mut off = approximate_side(stg, &unf, &off_slices);
+        let report = refine_until_disjoint(
+            stg,
+            &unf,
+            &on_slices,
+            &off_slices,
+            &mut on,
+            &mut off,
+            100,
+            100_000,
+        )
+        .expect("no budget issue");
+        let w = unf.signal_count();
+        let on_cover = side_cover(&on, w);
+        let off_cover = side_cover(&off, w);
+        (unf, on_cover, off_cover, report)
+    }
+
+    #[test]
+    fn fig1_b_refines_to_disjoint_covers() {
+        let stg = paper_fig1();
+        let (_, on, off, report) = refined_sides(&stg, "b");
+        assert!(report.disjoint, "report: {report:?}");
+        assert!(!on.intersects(&off));
+        // The exact sets stay covered.
+        for s in ["100", "101", "110", "111", "001", "011"] {
+            let bits: Vec<bool> = s.chars().map(|c| c == '1').collect();
+            assert!(on.covers_bits(&bits), "on-set lost {s}");
+        }
+        for s in ["000", "010"] {
+            let bits: Vec<bool> = s.chars().map(|c| c == '1').collect();
+            assert!(off.covers_bits(&bits), "off-set lost {s}");
+        }
+    }
+
+    #[test]
+    fn fig4_a_covers_disjoint() {
+        let stg = paper_fig4ab();
+        let (_, on, off, report) = refined_sides(&stg, "a");
+        assert!(report.disjoint);
+        assert!(!on.intersects(&off));
+    }
+
+    #[test]
+    fn vme_csc_conflict_survives_refinement() {
+        // The classic VME controller has a genuine CSC conflict: refinement
+        // must terminate with intersecting covers, not loop forever.
+        let stg = vme_read_no_csc();
+        let unf = build(&stg);
+        let lds = stg.signal_by_name("lds").expect("lds");
+        let on_slices = side_slices(&unf, lds, true);
+        let off_slices = side_slices(&unf, lds, false);
+        let mut on = approximate_side(&stg, &unf, &on_slices);
+        let mut off = approximate_side(&stg, &unf, &off_slices);
+        let report = refine_until_disjoint(
+            &stg, &unf, &on_slices, &off_slices, &mut on, &mut off, 100, 100_000,
+        )
+        .expect("no budget issue");
+        assert!(!report.disjoint);
+    }
+}

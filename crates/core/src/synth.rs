@@ -1,0 +1,504 @@
+//! Top-level synthesis from the STG-unfolding segment: the flow of the
+//! paper's Figure 5, producing an atomic-complex-gate-per-signal
+//! implementation with the timing breakdown reported in Table 1.
+
+use std::time::{Duration, Instant};
+
+use si_cubes::{minimize, Cover};
+use si_stg::{SignalId, Stg};
+use si_unfolding::{check_segment_persistency, StgUnfolding, UnfoldingOptions};
+
+use crate::approx::{approximate_side, side_cover};
+use crate::error::SynthesisError;
+use crate::exact::{cover_true_within_slices, exact_side_cover};
+use crate::refine::{refine_until_disjoint, RefinementReport};
+use crate::slice::side_slices;
+
+/// How the on-/off-set covers are derived from the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoverMode {
+    /// Enumerate all cuts inside each slice (the paper's exact approach —
+    /// may explode under concurrency).
+    Exact,
+    /// Concurrency-relation approximation with iterative refinement (the
+    /// paper's main contribution).
+    #[default]
+    Approximate,
+}
+
+/// Which cover-correctness condition gates the refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrectnessCondition {
+    /// The paper's main condition: the on- and off-set cover approximations
+    /// must not intersect at all (simple, but partitions the DC-set and may
+    /// cost literals — the paper's §5 remark).
+    #[default]
+    Strong,
+    /// The paper's §6 enhancement: an intersection is tolerated as long as
+    /// neither cover becomes TRUE within the slices of the opposite cover —
+    /// then the intersection provably lies in the DC-set and the minimiser
+    /// keeps the full optimisation freedom.
+    Weak,
+}
+
+/// Options for unfolding-based synthesis.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Options for segment construction.
+    pub unfolding: UnfoldingOptions,
+    /// Cover derivation mode.
+    pub mode: CoverMode,
+    /// Maximum cube-level refinement steps per signal before escalating.
+    pub max_refinement_steps: usize,
+    /// Budget (in cuts) for exact slice enumeration.
+    pub slice_budget: usize,
+    /// Check semi-modularity on the segment before synthesising.
+    pub check_persistency: bool,
+    /// Cover-correctness condition (strong intersection-freedom by default).
+    pub correctness: CorrectnessCondition,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            unfolding: UnfoldingOptions::default(),
+            mode: CoverMode::Approximate,
+            max_refinement_steps: 200,
+            slice_budget: 2_000_000,
+            check_persistency: true,
+            correctness: CorrectnessCondition::Strong,
+        }
+    }
+}
+
+/// The synthesised gate for one signal, with its pre-minimisation covers.
+#[derive(Debug, Clone)]
+pub struct SignalGate {
+    /// The implemented signal.
+    pub signal: SignalId,
+    /// Final (refined or exact) on-set cover.
+    pub on_cover: Cover,
+    /// Final (refined or exact) off-set cover.
+    pub off_cover: Cover,
+    /// The minimised SOP implementing the gate (covers the on-set, disjoint
+    /// from the off-set).
+    pub gate: Cover,
+    /// Refinement statistics (`None` in exact mode).
+    pub refinement: Option<RefinementReport>,
+}
+
+impl SignalGate {
+    /// Literal count of the gate — the paper's quality metric.
+    pub fn literal_count(&self) -> usize {
+        self.gate.literal_count()
+    }
+
+    /// Renders the gate equation, e.g. `b = a + c`.
+    pub fn equation(&self, stg: &Stg) -> String {
+        let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+        format!(
+            "{} = {}",
+            stg.signal_name(self.signal),
+            self.gate.to_expression_string(&names)
+        )
+    }
+}
+
+/// Wall-clock breakdown matching Table 1's columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingBreakdown {
+    /// `UnfTim`: constructing the STG-unfolding segment.
+    pub unfold: Duration,
+    /// `SynTim`: deriving the on-/off-set covers.
+    pub derive: Duration,
+    /// `EspTim`: two-level minimisation.
+    pub minimize: Duration,
+}
+
+impl TimingBreakdown {
+    /// `TotTim`: the sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.unfold + self.derive + self.minimize
+    }
+}
+
+/// The result of unfolding-based synthesis.
+#[derive(Debug, Clone)]
+pub struct UnfoldingSynthesis {
+    /// One gate per implementable signal, in signal order.
+    pub gates: Vec<SignalGate>,
+    /// Timing breakdown (UnfTim / SynTim / EspTim).
+    pub timing: TimingBreakdown,
+    /// Number of events in the segment (including `⊥`).
+    pub events: usize,
+    /// Number of conditions in the segment.
+    pub conditions: usize,
+}
+
+impl UnfoldingSynthesis {
+    /// Total literal count over all gates (Table 1's `LitCnt`).
+    pub fn literal_count(&self) -> usize {
+        self.gates.iter().map(SignalGate::literal_count).sum()
+    }
+}
+
+/// Synthesises every implementable signal of `stg` from its unfolding
+/// segment (the paper's "PUNT ACG" flow).
+///
+/// # Errors
+///
+/// * [`SynthesisError::Unfold`] if the segment cannot be built;
+/// * [`SynthesisError::NotPersistent`] if semi-modularity fails;
+/// * [`SynthesisError::CscViolation`] if some signal's covers intersect
+///   even after exact derivation;
+/// * [`SynthesisError::ConstantSignal`] for implementable signals without
+///   transitions;
+/// * [`SynthesisError::SliceBudgetExceeded`] if exact enumeration blows the
+///   slice budget.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_synthesis::{synthesize_from_unfolding, SynthesisOptions};
+///
+/// # fn main() -> Result<(), si_synthesis::SynthesisError> {
+/// let stg = paper_fig1();
+/// let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())?;
+/// assert_eq!(result.gates[0].equation(&stg), "b = a + c");
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_from_unfolding(
+    stg: &Stg,
+    options: &SynthesisOptions,
+) -> Result<UnfoldingSynthesis, SynthesisError> {
+    let start = Instant::now();
+    let unf = StgUnfolding::build(stg, &options.unfolding)?;
+    let unfold = start.elapsed();
+
+    if options.check_persistency {
+        let violations = check_segment_persistency(stg, &unf);
+        if let Some(v) = violations.first() {
+            return Err(SynthesisError::NotPersistent {
+                signal: stg.signal_name(v.disabled_label.signal).to_owned(),
+            });
+        }
+    }
+
+    let derive_start = Instant::now();
+    let mut per_signal = Vec::new();
+    for signal in stg.implementable_signals() {
+        if stg.transitions_of(signal).is_empty() {
+            return Err(SynthesisError::ConstantSignal {
+                signal: stg.signal_name(signal).to_owned(),
+            });
+        }
+        per_signal.push(derive_covers(stg, &unf, signal, options)?);
+    }
+    let derive = derive_start.elapsed();
+
+    let min_start = Instant::now();
+    let gates = per_signal
+        .into_iter()
+        .map(|(signal, on_cover, off_cover, refinement)| {
+            let gate = minimize(&on_cover, &off_cover);
+            SignalGate {
+                signal,
+                on_cover,
+                off_cover,
+                gate,
+                refinement,
+            }
+        })
+        .collect();
+    let minimize_time = min_start.elapsed();
+
+    Ok(UnfoldingSynthesis {
+        gates,
+        timing: TimingBreakdown {
+            unfold,
+            derive,
+            minimize: minimize_time,
+        },
+        events: unf.event_count(),
+        conditions: unf.condition_count(),
+    })
+}
+
+type DerivedCovers = (SignalId, Cover, Cover, Option<RefinementReport>);
+
+/// Derives the final, checked on-/off-set covers for one signal.
+fn derive_covers(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    signal: SignalId,
+    options: &SynthesisOptions,
+) -> Result<DerivedCovers, SynthesisError> {
+    let on_slices = side_slices(unf, signal, true);
+    let off_slices = side_slices(unf, signal, false);
+    match options.mode {
+        CoverMode::Exact => {
+            let on = exact_side_cover(stg, unf, &on_slices, options.slice_budget)?;
+            let off = exact_side_cover(stg, unf, &off_slices, options.slice_budget)?;
+            if on.intersects(&off) {
+                return Err(csc_error(stg, signal, &on, &off));
+            }
+            Ok((signal, on, off, None))
+        }
+        CoverMode::Approximate => {
+            let mut on_atoms = approximate_side(stg, unf, &on_slices);
+            let mut off_atoms = approximate_side(stg, unf, &off_slices);
+            // §6 weak condition, first chance: if the raw approximations
+            // intersect only inside the DC-set, skip refinement entirely
+            // and keep the DC freedom for the minimiser.
+            if options.correctness == CorrectnessCondition::Weak {
+                let on = side_cover(&on_atoms, unf.signal_count());
+                let off = side_cover(&off_atoms, unf.signal_count());
+                if let Some(covers) =
+                    accept_weak(stg, unf, signal, &on_slices, &off_slices, on, off, options)?
+                {
+                    return Ok(covers);
+                }
+            }
+            let report = refine_until_disjoint(
+                stg,
+                unf,
+                &on_slices,
+                &off_slices,
+                &mut on_atoms,
+                &mut off_atoms,
+                options.max_refinement_steps,
+                options.slice_budget,
+            )?;
+            let on = side_cover(&on_atoms, unf.signal_count());
+            let off = side_cover(&off_atoms, unf.signal_count());
+            if !report.disjoint {
+                return Err(csc_error(stg, signal, &on, &off));
+            }
+            Ok((signal, on, off, Some(report)))
+        }
+    }
+}
+
+/// Tries to accept intersecting covers under the weak correctness
+/// condition: succeeds when the intersection is provably unreachable in
+/// both sides' slices (so it lies in the DC-set); the intersection is then
+/// carved out of the on-side so the minimiser sees a consistent partition.
+#[allow(clippy::too_many_arguments)]
+fn accept_weak(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    signal: SignalId,
+    on_slices: &[crate::slice::Slice],
+    off_slices: &[crate::slice::Slice],
+    on: Cover,
+    off: Cover,
+    options: &SynthesisOptions,
+) -> Result<Option<DerivedCovers>, SynthesisError> {
+    let x = on.intersect(&off);
+    if x.is_empty() {
+        return Ok(Some((signal, on, off, None)));
+    }
+    let within_off =
+        cover_true_within_slices(stg, unf, off_slices, &on, options.slice_budget);
+    let within_on =
+        cover_true_within_slices(stg, unf, on_slices, &off, options.slice_budget);
+    match (within_off, within_on) {
+        (Ok(false), Ok(false)) => {
+            // Intersection ⊆ DC-set: Definition 2.1 holds after carving it
+            // out of one side.
+            let on = on.subtract(&x);
+            Ok(Some((signal, on, off, None)))
+        }
+        // Reachable conflict or budget exhaustion: fall back to the strong
+        // path (refinement).
+        _ => Ok(None),
+    }
+}
+
+fn csc_error(stg: &Stg, signal: SignalId, on: &Cover, off: &Cover) -> SynthesisError {
+    let witness = on
+        .intersect(off)
+        .cubes()
+        .first()
+        .map(ToString::to_string)
+        .unwrap_or_default();
+    SynthesisError::CscViolation {
+        signal: stg.signal_name(signal).to_owned(),
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_stg::generators::{muller_pipeline, sequencer};
+    use si_stg::suite::{
+        request_mux, concurrent_fork_join, paper_fig1, paper_fig4ab, toggle,
+        vme_read_csc, vme_read_no_csc,
+    };
+
+    fn exact_options() -> SynthesisOptions {
+        SynthesisOptions {
+            mode: CoverMode::Exact,
+            ..SynthesisOptions::default()
+        }
+    }
+
+    #[test]
+    fn fig1_exact_matches_paper() {
+        let stg = paper_fig1();
+        let result = synthesize_from_unfolding(&stg, &exact_options()).expect("ok");
+        assert_eq!(result.gates.len(), 1);
+        assert_eq!(result.gates[0].equation(&stg), "b = a + c");
+        assert_eq!(result.literal_count(), 2);
+    }
+
+    #[test]
+    fn fig1_approximate_matches_exact() {
+        let stg = paper_fig1();
+        let exact = synthesize_from_unfolding(&stg, &exact_options()).expect("ok");
+        let approx =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        assert_eq!(
+            approx.gates[0].equation(&stg),
+            exact.gates[0].equation(&stg)
+        );
+    }
+
+    #[test]
+    fn vme_csc_violation_detected_in_both_modes() {
+        let stg = vme_read_no_csc();
+        for options in [exact_options(), SynthesisOptions::default()] {
+            let err = synthesize_from_unfolding(&stg, &options).unwrap_err();
+            assert!(
+                matches!(err, SynthesisError::CscViolation { .. }),
+                "got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn suite_entries_synthesise_in_both_modes() {
+        for stg in [
+            paper_fig1(),
+            paper_fig4ab(),
+            vme_read_csc(),
+            request_mux(),
+            concurrent_fork_join(),
+            toggle(),
+            muller_pipeline(3),
+            sequencer(6),
+        ] {
+            for options in [exact_options(), SynthesisOptions::default()] {
+                let result = synthesize_from_unfolding(&stg, &options)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", stg.name()));
+                assert!(!result.gates.is_empty(), "{}", stg.name());
+                for gate in &result.gates {
+                    // The defining correctness property of Definition 2.1.
+                    assert!(
+                        gate.gate.covers_cover(&gate.on_cover),
+                        "{}: gate does not cover the on-set",
+                        stg.name()
+                    );
+                    assert!(
+                        !gate.gate.intersects(&gate.off_cover),
+                        "{}: gate intersects the off-set",
+                        stg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_never_beats_exact_on_coverage_but_matches_function() {
+        // On a CSC-clean STG both modes must implement the same function on
+        // reachable codes (checked indirectly: both covers contain the exact
+        // on-set and avoid the exact off-set).
+        let stg = muller_pipeline(2);
+        let exact = synthesize_from_unfolding(&stg, &exact_options()).expect("ok");
+        let approx =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        for (e, a) in exact.gates.iter().zip(&approx.gates) {
+            assert_eq!(e.signal, a.signal);
+            assert!(a.gate.covers_cover(&e.on_cover));
+            assert!(!a.gate.intersects(&e.off_cover));
+        }
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let stg = muller_pipeline(3);
+        let result =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        assert!(result.timing.total() >= result.timing.unfold);
+        assert!(result.events > 0);
+        assert!(result.conditions > 0);
+    }
+
+    #[test]
+    fn weak_correctness_condition_is_sound_and_never_worse() {
+        use si_stg::suite::synthesisable;
+        for stg in synthesisable() {
+            let strong =
+                synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("strong ok");
+            let weak = synthesize_from_unfolding(
+                &stg,
+                &SynthesisOptions {
+                    correctness: CorrectnessCondition::Weak,
+                    ..SynthesisOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: weak failed: {e}", stg.name()));
+            assert!(
+                weak.literal_count() <= strong.literal_count(),
+                "{}: weak condition made things worse ({} vs {})",
+                stg.name(),
+                weak.literal_count(),
+                strong.literal_count()
+            );
+            crate::verify::verify_against_sg(&stg, &weak, 5_000_000)
+                .unwrap_or_else(|e| panic!("{}: weak-mode netlist wrong: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn weak_condition_still_detects_genuine_csc_conflicts() {
+        let stg = vme_read_no_csc();
+        let err = synthesize_from_unfolding(
+            &stg,
+            &SynthesisOptions {
+                correctness: CorrectnessCondition::Weak,
+                ..SynthesisOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthesisError::CscViolation { .. }));
+    }
+
+    #[test]
+    fn persistency_violation_reported() {
+        use si_stg::{SignalKind, StgBuilder};
+        let mut b = StgBuilder::new();
+        let x = b.signal("x", SignalKind::Output);
+        let y = b.signal("y", SignalKind::Output);
+        let px = b.place("choice");
+        let x_p = b.rise(x);
+        let y_p = b.rise(y);
+        let x_m = b.fall(x);
+        let y_m = b.fall(y);
+        b.arc_pt(px, x_p);
+        b.arc_pt(px, y_p);
+        b.arc_tt(x_p, x_m);
+        b.arc_tt(y_p, y_m);
+        b.arc_tp(x_m, px);
+        b.arc_tp(y_m, px);
+        b.mark(px);
+        b.initial_all_zero();
+        let stg = b.build().expect("builds");
+        let err = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).unwrap_err();
+        assert!(matches!(err, SynthesisError::NotPersistent { .. }));
+    }
+}

@@ -1,0 +1,182 @@
+//! Independent verification of a synthesised implementation against the
+//! explicit state graph: the gate function of every signal must equal the
+//! signal's implied (next-state) value in every reachable state.
+//!
+//! This is the oracle the integration tests and the benchmark harness use
+//! to confirm that the unfolding-based flow produces the same Boolean
+//! behaviour as SG-based synthesis without ever building the SG itself.
+
+use std::error::Error;
+use std::fmt;
+
+use si_stategraph::{SgError, StateGraph};
+use si_stg::{Polarity, Stg};
+
+use crate::synth::UnfoldingSynthesis;
+
+/// A verification failure: a reachable state where a gate's output differs
+/// from the specified implied value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The state graph could not be built (unsafe, inconsistent, budget).
+    StateGraph(SgError),
+    /// A gate disagrees with the specification.
+    Mismatch {
+        /// The signal whose gate misbehaves.
+        signal: String,
+        /// The binary code of the offending state.
+        code: String,
+        /// The specified implied value.
+        expected: bool,
+        /// The gate's output.
+        got: bool,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::StateGraph(e) => write!(f, "verification oracle failed: {e}"),
+            VerifyError::Mismatch {
+                signal,
+                code,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate for `{signal}` outputs {} at reachable code {code}, specification \
+                 implies {}",
+                u8::from(*got),
+                u8::from(*expected)
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::StateGraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgError> for VerifyError {
+    fn from(e: SgError) -> Self {
+        VerifyError::StateGraph(e)
+    }
+}
+
+/// Verifies `synthesis` against the explicit state graph of `stg` (built
+/// with at most `state_budget` states).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError::Mismatch`] found, or
+/// [`VerifyError::StateGraph`] if the oracle cannot be built.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_synthesis::{synthesize_from_unfolding, verify_against_sg, SynthesisOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stg = paper_fig1();
+/// let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())?;
+/// verify_against_sg(&stg, &result, 10_000)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_against_sg(
+    stg: &Stg,
+    synthesis: &UnfoldingSynthesis,
+    state_budget: usize,
+) -> Result<(), VerifyError> {
+    let sg = StateGraph::build(stg, state_budget)?;
+    for s in 0..sg.len() {
+        let code = sg.code(s);
+        let bits: Vec<bool> = code.iter().map(|(_, v)| v).collect();
+        let excited = sg.excited(stg, s);
+        for gate in &synthesis.gates {
+            let rising = excited
+                .iter()
+                .any(|e| e.signal == gate.signal && e.polarity == Polarity::Rise);
+            let falling = excited
+                .iter()
+                .any(|e| e.signal == gate.signal && e.polarity == Polarity::Fall);
+            let expected = if rising {
+                true
+            } else if falling {
+                false
+            } else {
+                code.get(gate.signal)
+            };
+            let got = gate.gate.covers_bits(&bits);
+            if got != expected {
+                return Err(VerifyError::Mismatch {
+                    signal: stg.signal_name(gate.signal).to_owned(),
+                    code: code.to_string(),
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
+    use si_stg::generators::{counterflow_pipeline, muller_pipeline, sequencer};
+    use si_stg::suite::synthesisable;
+
+    #[test]
+    fn whole_suite_verifies_in_approximate_mode() {
+        for stg in synthesisable() {
+            let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed to synthesise: {e}", stg.name()));
+            verify_against_sg(&stg, &result, 5_000_000)
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn whole_suite_verifies_in_exact_mode() {
+        let options = SynthesisOptions {
+            mode: CoverMode::Exact,
+            ..SynthesisOptions::default()
+        };
+        for stg in synthesisable() {
+            let result = synthesize_from_unfolding(&stg, &options)
+                .unwrap_or_else(|e| panic!("{} failed to synthesise: {e}", stg.name()));
+            verify_against_sg(&stg, &result, 5_000_000)
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn pipelines_verify() {
+        for stg in [muller_pipeline(4), counterflow_pipeline(3), sequencer(8)] {
+            let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", stg.name()));
+            verify_against_sg(&stg, &result, 5_000_000)
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn tampered_gate_is_caught() {
+        use si_cubes::{Cover, Cube};
+        let stg = si_stg::suite::paper_fig1();
+        let mut result =
+            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        // Replace the gate for b with constant 1.
+        result.gates[0].gate = [Cube::full(3)].into_iter().collect::<Cover>();
+        let err = verify_against_sg(&stg, &result, 10_000).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch { .. }));
+    }
+}

@@ -1,0 +1,433 @@
+//! Covers: sums of product terms, with the algebra synthesis needs.
+
+use std::fmt;
+
+use crate::cube::{Cube, Literal};
+
+/// A sum-of-products cover over a fixed variable width.
+///
+/// # Examples
+///
+/// ```
+/// use si_cubes::{Cover, Cube};
+///
+/// // a + c over variables (a, b, c)
+/// let cover: Cover = [Cube::from_str_cube("1--"), Cube::from_str_cube("--1")]
+///     .into_iter()
+///     .collect();
+/// assert!(cover.covers_bits(&[true, false, false]));
+/// assert!(cover.covers_bits(&[false, false, true]));
+/// assert!(!cover.covers_bits(&[false, true, false]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+    width: usize,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `width` variables.
+    pub fn empty(width: usize) -> Self {
+        Cover {
+            cubes: Vec::new(),
+            width,
+        }
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns `true` if the cover is the constant 0.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the cover width (unless the
+    /// cover is still empty and its width was 0).
+    pub fn push(&mut self, cube: Cube) {
+        if self.width == 0 && self.cubes.is_empty() {
+            self.width = cube.width();
+        }
+        assert_eq!(cube.width(), self.width, "cube width mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Total number of literals across all cubes — the paper's `LitCnt`
+    /// quality metric.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Returns `true` if some cube covers the assignment.
+    pub fn covers_bits(&self, bits: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.covers_bits(bits))
+    }
+
+    /// Returns `true` if the two covers share at least one point.
+    pub fn intersects(&self, other: &Cover) -> bool {
+        self.cubes
+            .iter()
+            .any(|a| other.cubes.iter().any(|b| a.intersect(b).is_some()))
+    }
+
+    /// The pairwise intersection cover (`self · other`), with contained
+    /// cubes pruned.
+    pub fn intersect(&self, other: &Cover) -> Cover {
+        let mut out = Cover::empty(self.width);
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    out.cubes.push(c);
+                }
+            }
+        }
+        out.remove_contained();
+        out
+    }
+
+    /// The union of two covers, with contained cubes pruned.
+    pub fn union(&self, other: &Cover) -> Cover {
+        let mut out = self.clone();
+        if out.width == 0 {
+            out.width = other.width;
+        }
+        out.cubes.extend(other.cubes.iter().cloned());
+        out.remove_contained();
+        out
+    }
+
+    /// Removes every cube contained in another cube of the cover
+    /// (single-cube containment).
+    pub fn remove_contained(&mut self) {
+        let mut keep: Vec<bool> = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for (j, keep_j) in keep.iter_mut().enumerate() {
+                if i == j || !*keep_j {
+                    continue;
+                }
+                if self.cubes[i].contains(&self.cubes[j])
+                    && (!self.cubes[j].contains(&self.cubes[i]) || i < j)
+                {
+                    *keep_j = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Returns `true` if the cover evaluates to 1 for *every* assignment —
+    /// the classic recursive tautology check with unate reduction.
+    pub fn is_tautology(&self) -> bool {
+        if self.cubes.iter().any(Cube::is_full) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        tautology_rec(&self.cubes, self.width)
+    }
+
+    /// Returns `true` if the cover covers every point of `cube`
+    /// (`cube ⊆ self`), via cofactoring and tautology.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        let cofactored: Vec<Cube> = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(cube))
+            .collect();
+        if cofactored.iter().any(Cube::is_full) {
+            return true;
+        }
+        if cofactored.is_empty() {
+            return false;
+        }
+        tautology_rec(&cofactored, self.width)
+    }
+
+    /// Returns `true` if the cover covers every point of `other`.
+    pub fn covers_cover(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// The set difference `self # cube`: every point of `self` not covered
+    /// by `cube`, with contained cubes pruned.
+    pub fn subtract_cube(&self, cube: &Cube) -> Cover {
+        let mut out = Cover::empty(self.width);
+        for c in &self.cubes {
+            out.cubes.extend(c.sharp(cube));
+        }
+        out.remove_contained();
+        out
+    }
+
+    /// The set difference `self # other` over a whole cover.
+    pub fn subtract(&self, other: &Cover) -> Cover {
+        let mut out = self.clone();
+        for cube in &other.cubes {
+            out = out.subtract_cube(cube);
+        }
+        out
+    }
+
+    /// Renders the cover as a sum of products with the given variable names
+    /// (e.g. `a + c d'`). The empty cover renders as `0`.
+    pub fn to_expression_string(&self, names: &[impl AsRef<str>]) -> String {
+        if self.cubes.is_empty() {
+            return "0".to_owned();
+        }
+        self.cubes
+            .iter()
+            .map(|c| c.to_product_string(names))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let mut cover = Cover::empty(0);
+        for cube in iter {
+            cover.push(cube);
+        }
+        cover
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for cube in iter {
+            self.push(cube);
+        }
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({self})")
+    }
+}
+
+/// Recursive tautology with unate reduction: choose the most binate
+/// variable, Shannon-expand, recurse.
+fn tautology_rec(cubes: &[Cube], width: usize) -> bool {
+    if cubes.iter().any(Cube::is_full) {
+        return true;
+    }
+    if cubes.is_empty() {
+        return false;
+    }
+    // Find the most binate variable (appears in both polarities most often);
+    // if the cover is unate it is a tautology iff some cube is full, which
+    // was already checked.
+    let mut best_var = None;
+    let mut best_score = 0usize;
+    for v in 0..width {
+        let mut zeros = 0usize;
+        let mut ones = 0usize;
+        for c in cubes {
+            match c.get(v) {
+                Literal::Zero => zeros += 1,
+                Literal::One => ones += 1,
+                Literal::DontCare => {}
+            }
+        }
+        if zeros > 0 && ones > 0 {
+            let score = zeros + ones;
+            if score > best_score {
+                best_score = score;
+                best_var = Some(v);
+            }
+        }
+    }
+    let Some(v) = best_var else {
+        // Unate cover without a full cube: never a tautology.
+        return false;
+    };
+    for value in [Literal::Zero, Literal::One] {
+        let mut sel = Cube::full(width);
+        sel.set(v, value);
+        let cof: Vec<Cube> = cubes.iter().filter_map(|c| c.cofactor(&sel)).collect();
+        if !tautology_rec(&cof, width) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(cubes: &[&str]) -> Cover {
+        cubes.iter().map(|s| Cube::from_str_cube(s)).collect()
+    }
+
+    #[test]
+    fn covers_bits_any_cube() {
+        let f = cover(&["1--", "--1"]);
+        assert!(f.covers_bits(&[true, false, false]));
+        assert!(f.covers_bits(&[false, false, true]));
+        assert!(!f.covers_bits(&[false, true, false]));
+    }
+
+    #[test]
+    fn intersection_and_emptiness() {
+        let on = cover(&["1--", "--1"]);
+        let off = cover(&["00-"]);
+        // 00- ∩ 1-- empty; 00- ∩ --1 = 001 non-empty.
+        assert!(on.intersects(&off));
+        let x = on.intersect(&off);
+        assert_eq!(x.len(), 1);
+        assert_eq!(x.cubes()[0].to_string(), "001");
+        let disjoint = cover(&["000"]);
+        assert!(!disjoint.intersects(&cover(&["11-"])));
+    }
+
+    #[test]
+    fn containment_removal() {
+        let mut f = cover(&["1--", "11-", "1--"]);
+        f.remove_contained();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn tautology_basic() {
+        assert!(cover(&["---"]).is_tautology());
+        assert!(cover(&["1--", "0--"]).is_tautology());
+        assert!(!cover(&["1--", "01-"]).is_tautology());
+        assert!(cover(&["1--", "01-", "001", "000"]).is_tautology());
+        assert!(!Cover::empty(2).is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_via_tautology() {
+        let f = cover(&["11-", "10-"]);
+        // f = a: covers cube a, not cube b.
+        assert!(f.covers_cube(&Cube::from_str_cube("1--")));
+        assert!(!f.covers_cube(&Cube::from_str_cube("-1-")));
+        assert!(f.covers_cube(&Cube::from_str_cube("110")));
+    }
+
+    #[test]
+    fn covers_cover_both_directions() {
+        let f = cover(&["11-", "10-"]);
+        let g = cover(&["1--"]);
+        assert!(g.covers_cover(&f));
+        assert!(f.covers_cover(&g));
+        let h = cover(&["1-1"]);
+        assert!(f.covers_cover(&h));
+        assert!(!h.covers_cover(&f));
+    }
+
+    #[test]
+    fn union_prunes() {
+        let f = cover(&["11-"]);
+        let g = cover(&["1--"]);
+        let u = f.union(&g);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn expression_rendering() {
+        let names = ["a", "b", "c"];
+        assert_eq!(
+            cover(&["1--", "-01"]).to_expression_string(&names),
+            "a + b' c"
+        );
+        assert_eq!(Cover::empty(3).to_expression_string(&names), "0");
+    }
+
+    #[test]
+    fn literal_count_totals() {
+        assert_eq!(cover(&["1-0", "--1"]).literal_count(), 3);
+        assert_eq!(Cover::empty(4).literal_count(), 0);
+    }
+
+    #[test]
+    fn sharp_agrees_with_pointwise_difference() {
+        let a = Cube::from_str_cube("-11-");
+        let b = Cube::from_str_cube("0-1-");
+        let diff: Cover = a.sharp(&b).into_iter().collect();
+        for x in 0..16u8 {
+            let bits = [(x & 8) != 0, (x & 4) != 0, (x & 2) != 0, (x & 1) != 0];
+            assert_eq!(
+                diff.covers_bits(&bits),
+                a.covers_bits(&bits) && !b.covers_bits(&bits),
+                "at {bits:?}"
+            );
+        }
+        // Disjoint cubes: sharp is the identity.
+        let c = Cube::from_str_cube("1---");
+        let d = Cube::from_str_cube("0---");
+        assert_eq!(c.sharp(&d), vec![c.clone()]);
+        // Contained: sharp is empty.
+        assert!(Cube::from_str_cube("11--").sharp(&Cube::from_str_cube("1---")).is_empty());
+    }
+
+    #[test]
+    fn cover_subtract_pointwise() {
+        let f = cover(&["1--", "-1-"]);
+        let g = cover(&["11-", "--0"]);
+        let diff = f.subtract(&g);
+        for x in 0..8u8 {
+            let bits = [(x & 4) != 0, (x & 2) != 0, (x & 1) != 0];
+            assert_eq!(
+                diff.covers_bits(&bits),
+                f.covers_bits(&bits) && !g.covers_bits(&bits),
+                "at {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_equivalence_on_three_vars() {
+        // covers_cube must agree with brute-force evaluation.
+        let f = cover(&["1--", "-11", "00-"]);
+        for x in 0..8u8 {
+            let bits = [(x & 4) != 0, (x & 2) != 0, (x & 1) != 0];
+            let m = Cube::minterm(bits);
+            assert_eq!(f.covers_cube(&m), f.covers_bits(&bits));
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Ternary cubes: product terms over a fixed set of Boolean variables.
+
+use std::fmt;
+
+/// The state of one variable inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// The variable must be 0 (complemented literal).
+    Zero,
+    /// The variable must be 1 (positive literal).
+    One,
+    /// The variable does not appear in the product term.
+    DontCare,
+}
+
+/// A product term over `width` Boolean variables, each of which is
+/// constrained to 0, to 1, or unconstrained (`-`).
+///
+/// The textual form lists one character per variable: `1-0` is the cube
+/// `x₀ x̄₂`.
+///
+/// # Examples
+///
+/// ```
+/// use si_cubes::{Cube, Literal};
+///
+/// let mut cube = Cube::full(3); // covers everything
+/// cube.set(0, Literal::One);
+/// cube.set(2, Literal::Zero);
+/// assert_eq!(cube.to_string(), "1-0");
+/// assert_eq!(cube.literal_count(), 2);
+/// assert!(cube.covers_bits(&[true, true, false]));
+/// assert!(!cube.covers_bits(&[false, true, false]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Bit set ⇒ the variable is constrained (a literal is present).
+    mask: Vec<u64>,
+    /// Required value where the mask bit is set; kept zero elsewhere.
+    val: Vec<u64>,
+    width: usize,
+}
+
+impl Cube {
+    /// The universal cube over `width` variables (all don't-care).
+    pub fn full(width: usize) -> Self {
+        let blocks = width.div_ceil(64);
+        Cube {
+            mask: vec![0; blocks],
+            val: vec![0; blocks],
+            width,
+        }
+    }
+
+    /// The minterm cube matching exactly the given values.
+    pub fn minterm<I: IntoIterator<Item = bool>>(values: I) -> Self {
+        let mut vals = Vec::new();
+        for v in values {
+            vals.push(v);
+        }
+        let mut cube = Cube::full(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            cube.set(i, if v { Literal::One } else { Literal::Zero });
+        }
+        cube
+    }
+
+    /// Parses a cube from a `{0,1,-}` string, e.g. `"1-0"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `0`, `1`, `-`.
+    pub fn from_str_cube(s: &str) -> Self {
+        let mut cube = Cube::full(s.chars().count());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => cube.set(i, Literal::Zero),
+                '1' => cube.set(i, Literal::One),
+                '-' => {}
+                other => panic!("invalid cube character {other:?}"),
+            }
+        }
+        cube
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The literal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var ≥ width`.
+    pub fn get(&self, var: usize) -> Literal {
+        assert!(var < self.width, "variable {var} out of range");
+        let (b, m) = (var / 64, 1u64 << (var % 64));
+        if self.mask[b] & m == 0 {
+            Literal::DontCare
+        } else if self.val[b] & m != 0 {
+            Literal::One
+        } else {
+            Literal::Zero
+        }
+    }
+
+    /// Sets the literal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var ≥ width`.
+    pub fn set(&mut self, var: usize, literal: Literal) {
+        assert!(var < self.width, "variable {var} out of range");
+        let (b, m) = (var / 64, 1u64 << (var % 64));
+        match literal {
+            Literal::DontCare => {
+                self.mask[b] &= !m;
+                self.val[b] &= !m;
+            }
+            Literal::Zero => {
+                self.mask[b] |= m;
+                self.val[b] &= !m;
+            }
+            Literal::One => {
+                self.mask[b] |= m;
+                self.val[b] |= m;
+            }
+        }
+    }
+
+    /// Number of literals (constrained variables) in the product term —
+    /// the paper's synthesis quality metric.
+    pub fn literal_count(&self) -> usize {
+        self.mask.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the cube covers the given complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != width`.
+    pub fn covers_bits(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.width, "assignment width mismatch");
+        bits.iter().enumerate().all(|(i, &v)| {
+            let (b, m) = (i / 64, 1u64 << (i % 64));
+            self.mask[b] & m == 0 || (self.val[b] & m != 0) == v
+        })
+    }
+
+    /// Cube intersection; `None` when the cubes conflict on some variable
+    /// (empty intersection).
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.width, other.width);
+        let mut out = self.clone();
+        for b in 0..self.mask.len() {
+            let both = self.mask[b] & other.mask[b];
+            if (self.val[b] ^ other.val[b]) & both != 0 {
+                return None;
+            }
+            out.mask[b] |= other.mask[b];
+            out.val[b] |= other.val[b];
+        }
+        Some(out)
+    }
+
+    /// Returns `true` if `self` covers every point of `other` (`other ⊆
+    /// self`): every literal of `self` is present in `other` with the same
+    /// value.
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        for b in 0..self.mask.len() {
+            // self constrains a variable other leaves free → not containing
+            if self.mask[b] & !other.mask[b] != 0 {
+                return false;
+            }
+            if (self.val[b] ^ other.val[b]) & self.mask[b] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The smallest cube containing both operands.
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.width, other.width);
+        let mut out = Cube::full(self.width);
+        for b in 0..self.mask.len() {
+            let agree = self.mask[b] & other.mask[b] & !(self.val[b] ^ other.val[b]);
+            out.mask[b] = agree;
+            out.val[b] = self.val[b] & agree;
+        }
+        out
+    }
+
+    /// Number of variables on which the cubes require opposite values.
+    pub fn conflict_count(&self, other: &Cube) -> usize {
+        debug_assert_eq!(self.width, other.width);
+        (0..self.mask.len())
+            .map(|b| {
+                ((self.mask[b] & other.mask[b]) & (self.val[b] ^ other.val[b])).count_ones()
+                    as usize
+            })
+            .sum()
+    }
+
+    /// Cofactors `self` with respect to `other` (the Shannon cofactor used
+    /// by tautology checking): returns `None` if the cubes conflict,
+    /// otherwise `self` with all variables constrained by `other` freed.
+    pub fn cofactor(&self, other: &Cube) -> Option<Cube> {
+        if self.conflict_count(other) > 0 {
+            return None;
+        }
+        let mut out = self.clone();
+        for b in 0..self.mask.len() {
+            out.mask[b] &= !other.mask[b];
+            out.val[b] &= !other.mask[b];
+        }
+        Some(out)
+    }
+
+    /// Returns `true` if every variable is don't-care (the cube covers the
+    /// whole space).
+    pub fn is_full(&self) -> bool {
+        self.mask.iter().all(|&b| b == 0)
+    }
+
+    /// The sharp operation `self # other`: the set difference as a list of
+    /// disjoint cubes. Empty when `other` contains `self`; `[self]` when
+    /// the cubes are disjoint.
+    pub fn sharp(&self, other: &Cube) -> Vec<Cube> {
+        debug_assert_eq!(self.width, other.width);
+        if self.conflict_count(other) > 0 {
+            return vec![self.clone()];
+        }
+        // For each variable constrained by `other` but free in `self`, emit
+        // `self` with that variable flipped, fixing the previously processed
+        // variables to `other`'s values so the pieces stay disjoint.
+        let mut pieces = Vec::new();
+        let mut prefix = self.clone();
+        for (v, lit) in other.literals() {
+            if self.get(v) != Literal::DontCare {
+                continue; // agreeing literal (conflicts were handled above)
+            }
+            let flipped = match lit {
+                Literal::Zero => Literal::One,
+                Literal::One => Literal::Zero,
+                Literal::DontCare => unreachable!(),
+            };
+            let mut piece = prefix.clone();
+            piece.set(v, flipped);
+            pieces.push(piece);
+            prefix.set(v, lit);
+        }
+        pieces
+    }
+
+    /// Iterates over the constrained variables with their literals.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, Literal)> + '_ {
+        (0..self.width).filter_map(|i| match self.get(i) {
+            Literal::DontCare => None,
+            lit => Some((i, lit)),
+        })
+    }
+
+    /// Renders the cube as a product term using the given variable names,
+    /// with `'` marking complemented literals (e.g. `a d' g'`). The full
+    /// cube renders as `1`.
+    pub fn to_product_string(&self, names: &[impl AsRef<str>]) -> String {
+        if self.is_full() {
+            return "1".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (i, lit) in self.literals() {
+            let name = names[i].as_ref();
+            match lit {
+                Literal::One => parts.push(name.to_owned()),
+                Literal::Zero => parts.push(format!("{name}'")),
+                Literal::DontCare => unreachable!(),
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.width {
+            f.write_str(match self.get(i) {
+                Literal::Zero => "0",
+                Literal::One => "1",
+                Literal::DontCare => "-",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["1-0", "---", "0101", "1"] {
+            assert_eq!(Cube::from_str_cube(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn minterm_covers_only_itself() {
+        let c = Cube::minterm([true, false, true]);
+        assert!(c.covers_bits(&[true, false, true]));
+        assert!(!c.covers_bits(&[true, true, true]));
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Cube::from_str_cube("1--");
+        let b = Cube::from_str_cube("-0-");
+        assert_eq!(a.intersect(&b).map(|c| c.to_string()).as_deref(), Some("10-"));
+        let c = Cube::from_str_cube("0--");
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::from_str_cube("1--");
+        let small = Cube::from_str_cube("1-0");
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+        assert!(Cube::full(3).contains(&small));
+    }
+
+    #[test]
+    fn supercube() {
+        let a = Cube::from_str_cube("110");
+        let b = Cube::from_str_cube("100");
+        assert_eq!(a.supercube(&b).to_string(), "1-0");
+        let c = Cube::from_str_cube("011");
+        assert_eq!(a.supercube(&c).to_string(), "-1-");
+    }
+
+    #[test]
+    fn conflicts_and_cofactor() {
+        let a = Cube::from_str_cube("1-0");
+        let b = Cube::from_str_cube("0-0");
+        assert_eq!(a.conflict_count(&b), 1);
+        assert!(a.cofactor(&b).is_none());
+        let c = Cube::from_str_cube("1--");
+        assert_eq!(a.cofactor(&c).map(|x| x.to_string()).as_deref(), Some("--0"));
+    }
+
+    #[test]
+    fn product_string() {
+        let names = ["a", "b", "c"];
+        assert_eq!(Cube::from_str_cube("1-0").to_product_string(&names), "a c'");
+        assert_eq!(Cube::full(3).to_product_string(&names), "1");
+    }
+
+    #[test]
+    fn wide_cubes_cross_block_boundary() {
+        let mut c = Cube::full(130);
+        c.set(0, Literal::One);
+        c.set(64, Literal::Zero);
+        c.set(129, Literal::One);
+        assert_eq!(c.get(64), Literal::Zero);
+        assert_eq!(c.get(129), Literal::One);
+        assert_eq!(c.get(65), Literal::DontCare);
+        assert_eq!(c.literal_count(), 3);
+        let mut bits = vec![false; 130];
+        bits[0] = true;
+        bits[129] = true;
+        assert!(c.covers_bits(&bits));
+        bits[64] = true;
+        assert!(!c.covers_bits(&bits));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Cube::full(2).get(2);
+    }
+}

@@ -1,0 +1,301 @@
+//! A self-contained Espresso-style two-level minimiser.
+//!
+//! The paper runs Espresso over the covers derived from the unfolding
+//! segment, using the DC-set for optimisation. This module implements the
+//! classic EXPAND → IRREDUNDANT → REDUCE iteration driven by an explicit
+//! on-set cover and an explicit off-set cover; everything not covered by
+//! either is don't-care and may be absorbed freely.
+//!
+//! Exact minimality is not claimed (neither does Espresso claim it); the
+//! result is a *prime and irredundant* cover whose cost (cube count, then
+//! literal count) does not exceed the input's.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+
+/// Minimises `on` against `off`: returns a cover that covers every point of
+/// `on`, covers no point of `off`, and is locally minimal under the
+/// expand/irredundant/reduce moves.
+///
+/// Points covered by neither input are treated as don't-cares.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `on` and `off` intersect — the caller must
+/// provide a consistent partition, which is exactly the paper's cover
+/// correctness condition.
+///
+/// # Examples
+///
+/// ```
+/// use si_cubes::{minimize, Cover, Cube};
+///
+/// // on = {11-, 10-} (= a), off = {0--}
+/// let on: Cover = [Cube::from_str_cube("11-"), Cube::from_str_cube("10-")]
+///     .into_iter()
+///     .collect();
+/// let off: Cover = [Cube::from_str_cube("0--")].into_iter().collect();
+/// let min = minimize(&on, &off);
+/// assert_eq!(min.len(), 1);
+/// assert_eq!(min.cubes()[0].to_string(), "1--");
+/// ```
+pub fn minimize(on: &Cover, off: &Cover) -> Cover {
+    debug_assert!(
+        !on.intersects(off),
+        "on-set and off-set covers must be disjoint"
+    );
+    if on.is_empty() {
+        return on.clone();
+    }
+    let mut f = on.clone();
+    f.remove_contained();
+
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+    for _ in 0..8 {
+        expand(&mut f, off);
+        irredundant(&mut f, on);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        reduce(&mut f, on);
+    }
+    canonical_order(&mut best);
+    best
+}
+
+/// Sorts cubes so that terms constraining earlier variables come first —
+/// `a + c` rather than `c + a` — making reports deterministic.
+fn canonical_order(f: &mut Cover) {
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    cubes.sort_by_key(|c| {
+        c.to_string()
+            .chars()
+            .map(|ch| if ch == '-' { '~' } else { ch })
+            .collect::<String>()
+    });
+    *f = cubes.into_iter().collect();
+}
+
+/// Cover cost: cube count first, then literal count (the paper reports
+/// literal counts; fewer cubes almost always means fewer literals too).
+fn cost(f: &Cover) -> (usize, usize) {
+    (f.len(), f.literal_count())
+}
+
+/// EXPAND: raise literals of every cube as long as the cube stays disjoint
+/// from the off-set, then drop cubes contained in the expanded one.
+fn expand(f: &mut Cover, off: &Cover) {
+    let width = f.width();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Expand big cubes first so they absorb the small ones.
+    cubes.sort_by_key(|c| c.literal_count());
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for mut cube in cubes {
+        for v in 0..width {
+            if cube.get(v) == Literal::DontCare {
+                continue;
+            }
+            let saved = cube.get(v);
+            cube.set(v, Literal::DontCare);
+            if off.cubes().iter().any(|o| o.intersect(&cube).is_some()) {
+                cube.set(v, saved);
+            }
+        }
+        if !result.iter().any(|r| r.contains(&cube)) {
+            result.retain(|r| !cube.contains(r));
+            result.push(cube);
+        }
+    }
+    *f = result.into_iter().collect();
+}
+
+/// IRREDUNDANT: greedily remove cubes whose points are already covered by
+/// the rest of the cover (validated against the original on-set).
+fn irredundant(f: &mut Cover, on: &Cover) {
+    // Try to remove large-literal cubes first (they are the most specific).
+    let mut order: Vec<usize> = (0..f.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(f.cubes()[i].literal_count()));
+    let mut removed = vec![false; f.len()];
+    for &i in &order {
+        removed[i] = true;
+        let candidate: Cover = f
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !removed[*j])
+            .map(|(_, c)| c.clone())
+            .collect();
+        let still_covered = on
+            .cubes()
+            .iter()
+            .filter(|o| o.intersect(&f.cubes()[i]).is_some())
+            .all(|o| !candidate.is_empty() && candidate.covers_cube(o));
+        if !still_covered {
+            removed[i] = false;
+        }
+    }
+    *f = f
+        .cubes()
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !removed[*j])
+        .map(|(_, c)| c.clone())
+        .collect();
+}
+
+/// REDUCE: shrink each cube as far as the on-set coverage allows, so the
+/// next EXPAND can move it in a better direction.
+fn reduce(f: &mut Cover, on: &Cover) {
+    let width = f.width();
+    for i in 0..f.len() {
+        let mut cube = f.cubes()[i].clone();
+        for v in 0..width {
+            if cube.get(v) != Literal::DontCare {
+                continue;
+            }
+            for lit in [Literal::One, Literal::Zero] {
+                let mut candidate_cube = cube.clone();
+                candidate_cube.set(v, lit);
+                let candidate: Cover = f
+                    .cubes()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c)| if j == i { candidate_cube.clone() } else { c.clone() })
+                    .collect();
+                let ok = on
+                    .cubes()
+                    .iter()
+                    .filter(|o| o.intersect(&f.cubes()[i]).is_some())
+                    .all(|o| candidate.covers_cube(o));
+                if ok {
+                    cube = candidate_cube;
+                    break;
+                }
+            }
+        }
+        // Rebuild `f` with the reduced cube in place.
+        let cubes: Vec<Cube> = f
+            .cubes()
+            .iter()
+            .enumerate()
+            .map(|(j, c)| if j == i { cube.clone() } else { c.clone() })
+            .collect();
+        *f = cubes.into_iter().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(cubes: &[&str]) -> Cover {
+        cubes.iter().map(|s| Cube::from_str_cube(s)).collect()
+    }
+
+    /// Checks the minimisation contract: covers all of `on`, none of `off`.
+    fn check_contract(on: &Cover, off: &Cover) -> Cover {
+        let min = minimize(on, off);
+        assert!(min.covers_cover(on), "on-set lost: {min} vs {on}");
+        assert!(!min.intersects(off), "off-set hit: {min} vs {off}");
+        assert!(cost(&min) <= cost(on), "cost increased");
+        min
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        let on = cover(&["110", "100"]);
+        let off = cover(&["0--", "1-1"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].to_string(), "1-0");
+    }
+
+    #[test]
+    fn exploits_dont_cares() {
+        // on = {11}, off = {00}; 01 and 10 are DC → single-literal answer.
+        let on = cover(&["11"]);
+        let off = cover(&["00"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.literal_count(), 1);
+    }
+
+    #[test]
+    fn paper_fig1_on_set_minimises_to_a_plus_c() {
+        // On(b) = {100,101,110,111,001,011}, Off(b) = {010,000}; the paper's
+        // result is a + c.
+        let on = cover(&["100", "101", "110", "111", "001", "011"]);
+        let off = cover(&["010", "000"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 2);
+        assert_eq!(min.literal_count(), 2);
+        let names = ["a", "b", "c"];
+        let expr = min.to_expression_string(&names);
+        assert!(expr == "a + c" || expr == "c + a", "got {expr}");
+    }
+
+    #[test]
+    fn already_minimal_is_stable() {
+        let on = cover(&["1--"]);
+        let off = cover(&["0--"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let on = Cover::empty(3);
+        let off = cover(&["---"]);
+        assert!(minimize(&on, &off).is_empty());
+    }
+
+    #[test]
+    fn redundant_cube_removed() {
+        // Third cube is inside the union of the first two.
+        let on = cover(&["1-", "-1", "11"]);
+        let off = cover(&["00"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 2);
+    }
+
+    #[test]
+    fn xor_cannot_be_reduced_below_two_cubes() {
+        let on = cover(&["10", "01"]);
+        let off = cover(&["11", "00"]);
+        let min = check_contract(&on, &off);
+        assert_eq!(min.len(), 2);
+        assert_eq!(min.literal_count(), 4);
+    }
+
+    #[test]
+    fn five_variable_random_shape() {
+        // A structured function: majority-ish over 5 vars with DC holes.
+        let on = cover(&["11---", "1-1--", "-11--"]);
+        let off = cover(&["00-0-", "0-00-"]);
+        check_contract(&on, &off);
+    }
+
+    #[test]
+    fn exhaustive_semantics_after_minimise() {
+        // Brute-force check on 4 variables: minimised cover equals the
+        // original on every completely specified point that is not DC.
+        let on = cover(&["1100", "1101", "111-", "0011"]);
+        let off = cover(&["0000", "01--", "1000", "1001"]);
+        let min = minimize(&on, &off);
+        for x in 0..16u8 {
+            let bits = [(x & 8) != 0, (x & 4) != 0, (x & 2) != 0, (x & 1) != 0];
+            if on.covers_bits(&bits) {
+                assert!(min.covers_bits(&bits), "lost on-point {bits:?}");
+            }
+            if off.covers_bits(&bits) {
+                assert!(!min.covers_bits(&bits), "gained off-point {bits:?}");
+            }
+        }
+    }
+}

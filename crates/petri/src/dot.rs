@@ -1,0 +1,85 @@
+//! Graphviz DOT export for nets, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::net::PetriNet;
+
+/// Renders `net` in Graphviz DOT syntax. Places are circles (marked places
+/// are filled), transitions are boxes.
+///
+/// # Examples
+///
+/// ```
+/// use si_petri::{PetriNet, to_dot};
+///
+/// let mut net = PetriNet::new();
+/// let p = net.add_place("p0");
+/// let t = net.add_transition("t0");
+/// net.add_arc_pt(p, t);
+/// net.mark_initially(p);
+/// let dot = to_dot(&net, "example");
+/// assert!(dot.contains("digraph example"));
+/// assert!(dot.contains("p0"));
+/// ```
+pub fn to_dot(net: &PetriNet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for p in net.places() {
+        let fill = if net.initial_marking().contains(p) {
+            ", style=filled, fillcolor=gray80"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  P{} [label=\"{}\", shape=circle{}];",
+            p.0,
+            net.place_name(p),
+            fill
+        );
+    }
+    for t in net.transitions() {
+        let _ = writeln!(
+            out,
+            "  T{} [label=\"{}\", shape=box];",
+            t.0,
+            net.transition_name(t)
+        );
+    }
+    for t in net.transitions() {
+        for &p in net.preset(t) {
+            let _ = writeln!(out, "  P{} -> T{};", p.0, t.0);
+        }
+        for &p in net.postset(t) {
+            let _ = writeln!(out, "  T{} -> P{};", t.0, p.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_arcs() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("in");
+        let p1 = net.add_place("out");
+        let t = net.add_transition("go");
+        net.add_arc_pt(p0, t);
+        net.add_arc_tp(t, p1);
+        net.mark_initially(p0);
+        let dot = to_dot(&net, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("label=\"in\""));
+        assert!(dot.contains("label=\"go\""));
+        assert!(dot.contains("P0 -> T0;"));
+        assert!(dot.contains("T0 -> P1;"));
+        // Initial place is highlighted.
+        assert!(dot.contains("fillcolor=gray80"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

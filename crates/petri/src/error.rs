@@ -1,0 +1,94 @@
+//! Error types for net construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::net::{PlaceId, TransitionId};
+
+/// Errors raised by Petri net operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A transition was fired while not enabled.
+    NotEnabled {
+        /// The offending transition.
+        transition: TransitionId,
+        /// Its name, for diagnostics.
+        name: String,
+    },
+    /// Firing a transition would put a second token on a place, so the net is
+    /// not 1-safe.
+    Unsafe {
+        /// The place that would receive a second token.
+        place: PlaceId,
+        /// Its name, for diagnostics.
+        name: String,
+        /// The transition whose firing exposed the violation.
+        transition: TransitionId,
+    },
+    /// A transition has no input places and would be enabled forever.
+    EmptyPreset {
+        /// The offending transition.
+        transition: TransitionId,
+        /// Its name, for diagnostics.
+        name: String,
+    },
+    /// The net has transitions but no initially marked place.
+    EmptyInitialMarking,
+    /// Reachability exploration exceeded the configured state budget.
+    StateBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NotEnabled { name, .. } => {
+                write!(f, "transition `{name}` is not enabled")
+            }
+            NetError::Unsafe {
+                name, transition, ..
+            } => write!(
+                f,
+                "net is not 1-safe: firing {transition} puts a second token on place `{name}`"
+            ),
+            NetError::EmptyPreset { name, .. } => {
+                write!(f, "transition `{name}` has an empty preset")
+            }
+            NetError::EmptyInitialMarking => {
+                write!(f, "initial marking is empty")
+            }
+            NetError::StateBudgetExceeded { budget } => {
+                write!(f, "reachability exploration exceeded {budget} states")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::NotEnabled {
+            transition: TransitionId(3),
+            name: "a+".into(),
+        };
+        assert_eq!(e.to_string(), "transition `a+` is not enabled");
+        let e = NetError::Unsafe {
+            place: PlaceId(1),
+            name: "p1".into(),
+            transition: TransitionId(0),
+        };
+        assert!(e.to_string().contains("not 1-safe"));
+        assert!(NetError::EmptyInitialMarking.to_string().contains("empty"));
+        assert!(NetError::StateBudgetExceeded { budget: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -1,0 +1,401 @@
+//! The marked Petri net structure `N = ⟨P, T, F, m₀⟩`.
+//!
+//! Nets are built incrementally with [`PetriNet::add_place`],
+//! [`PetriNet::add_transition`] and [`PetriNet::add_arc`]; the initial marking
+//! is set with [`PetriNet::mark_initially`]. All algorithms in this workspace
+//! assume (and check) **1-safe** nets — every place holds at most one token in
+//! every reachable marking — which is the class Signal Transition Graphs
+//! occupy.
+
+use std::fmt;
+
+use crate::error::NetError;
+use crate::marking::Marking;
+
+/// Index of a place in a [`PetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub u32);
+
+/// Index of a transition in a [`PetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub u32);
+
+impl PlaceId {
+    /// The id as a `usize`, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TransitionId {
+    /// The id as a `usize`, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct PlaceData {
+    name: String,
+    pre: Vec<TransitionId>,
+    post: Vec<TransitionId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TransitionData {
+    name: String,
+    pre: Vec<PlaceId>,
+    post: Vec<PlaceId>,
+}
+
+/// A marked place/transition net with unit arc weights.
+///
+/// # Examples
+///
+/// Build the two-place cycle `p0 → t0 → p1 → t1 → p0` and fire around it:
+///
+/// ```
+/// use si_petri::PetriNet;
+///
+/// # fn main() -> Result<(), si_petri::NetError> {
+/// let mut net = PetriNet::new();
+/// let p0 = net.add_place("p0");
+/// let p1 = net.add_place("p1");
+/// let t0 = net.add_transition("t0");
+/// let t1 = net.add_transition("t1");
+/// net.add_arc_pt(p0, t0);
+/// net.add_arc_tp(t0, p1);
+/// net.add_arc_pt(p1, t1);
+/// net.add_arc_tp(t1, p0);
+/// net.mark_initially(p0);
+///
+/// let m0 = net.initial_marking().clone();
+/// assert!(net.is_enabled(t0, &m0));
+/// let m1 = net.fire(t0, &m0)?;
+/// assert!(net.is_enabled(t1, &m1));
+/// assert_eq!(net.fire(t1, &m1)?, m0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PetriNet {
+    places: Vec<PlaceData>,
+    transitions: Vec<TransitionData>,
+    initial: Marking,
+}
+
+impl PetriNet {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a place named `name` and returns its id.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(PlaceData {
+            name: name.into(),
+            ..PlaceData::default()
+        });
+        id
+    }
+
+    /// Adds a transition named `name` and returns its id.
+    pub fn add_transition(&mut self, name: impl Into<String>) -> TransitionId {
+        let id = TransitionId(self.transitions.len() as u32);
+        self.transitions.push(TransitionData {
+            name: name.into(),
+            ..TransitionData::default()
+        });
+        id
+    }
+
+    /// Adds a place→transition arc (the place joins the transition's preset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_arc_pt(&mut self, place: PlaceId, transition: TransitionId) {
+        assert!(place.index() < self.places.len(), "place id out of range");
+        assert!(
+            transition.index() < self.transitions.len(),
+            "transition id out of range"
+        );
+        self.places[place.index()].post.push(transition);
+        self.transitions[transition.index()].pre.push(place);
+    }
+
+    /// Adds a transition→place arc (the place joins the transition's postset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_arc_tp(&mut self, transition: TransitionId, place: PlaceId) {
+        assert!(place.index() < self.places.len(), "place id out of range");
+        assert!(
+            transition.index() < self.transitions.len(),
+            "transition id out of range"
+        );
+        self.transitions[transition.index()].post.push(place);
+        self.places[place.index()].pre.push(transition);
+    }
+
+    /// Puts a token on `place` in the initial marking `m₀`.
+    pub fn mark_initially(&mut self, place: PlaceId) {
+        self.initial.insert(place);
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterates over all place ids.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len() as u32).map(PlaceId)
+    }
+
+    /// Iterates over all transition ids.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len() as u32).map(TransitionId)
+    }
+
+    /// The name of `place`.
+    pub fn place_name(&self, place: PlaceId) -> &str {
+        &self.places[place.index()].name
+    }
+
+    /// The name of `transition`.
+    pub fn transition_name(&self, transition: TransitionId) -> &str {
+        &self.transitions[transition.index()].name
+    }
+
+    /// The preset `•t`: places with an arc into `transition`.
+    pub fn preset(&self, transition: TransitionId) -> &[PlaceId] {
+        &self.transitions[transition.index()].pre
+    }
+
+    /// The postset `t•`: places with an arc out of `transition`.
+    pub fn postset(&self, transition: TransitionId) -> &[PlaceId] {
+        &self.transitions[transition.index()].post
+    }
+
+    /// The preset `•p`: transitions with an arc into `place`.
+    pub fn place_preset(&self, place: PlaceId) -> &[TransitionId] {
+        &self.places[place.index()].pre
+    }
+
+    /// The postset `p•`: transitions with an arc out of `place`.
+    pub fn place_postset(&self, place: PlaceId) -> &[TransitionId] {
+        &self.places[place.index()].post
+    }
+
+    /// The initial marking `m₀`.
+    pub fn initial_marking(&self) -> &Marking {
+        &self.initial
+    }
+
+    /// Returns `true` if `transition` is enabled at `marking` (all preset
+    /// places marked).
+    pub fn is_enabled(&self, transition: TransitionId, marking: &Marking) -> bool {
+        self.preset(transition).iter().all(|&p| marking.contains(p))
+    }
+
+    /// All transitions enabled at `marking`, in id order.
+    pub fn enabled_transitions(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| self.is_enabled(t, marking))
+            .collect()
+    }
+
+    /// Fires `transition` at `marking` and returns the successor marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotEnabled`] if the transition is not enabled, and
+    /// [`NetError::Unsafe`] if firing would place a second token on a place
+    /// (the net is not 1-safe).
+    pub fn fire(&self, transition: TransitionId, marking: &Marking) -> Result<Marking, NetError> {
+        if !self.is_enabled(transition, marking) {
+            return Err(NetError::NotEnabled {
+                transition,
+                name: self.transition_name(transition).to_owned(),
+            });
+        }
+        let mut next = marking.clone();
+        for &p in self.preset(transition) {
+            next.remove(p);
+        }
+        for &p in self.postset(transition) {
+            if !next.insert(p) {
+                return Err(NetError::Unsafe {
+                    place: p,
+                    name: self.place_name(p).to_owned(),
+                    transition,
+                });
+            }
+        }
+        Ok(next)
+    }
+
+    /// Structural sanity checks: every transition has a non-empty preset (a
+    /// transition with an empty preset is always enabled, which makes the
+    /// behaviour unbounded), and the initial marking is non-empty whenever the
+    /// net has transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`NetError`].
+    pub fn validate(&self) -> Result<(), NetError> {
+        for t in self.transitions() {
+            if self.preset(t).is_empty() {
+                return Err(NetError::EmptyPreset {
+                    transition: t,
+                    name: self.transition_name(t).to_owned(),
+                });
+            }
+        }
+        if !self.transitions.is_empty() && self.initial.is_empty() {
+            return Err(NetError::EmptyInitialMarking);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle() -> (PetriNet, PlaceId, PlaceId, TransitionId, TransitionId) {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_tp(t0, p1);
+        net.add_arc_pt(p1, t1);
+        net.add_arc_tp(t1, p0);
+        net.mark_initially(p0);
+        (net, p0, p1, t0, t1)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (net, p0, p1, t0, t1) = cycle();
+        assert_eq!(net.place_count(), 2);
+        assert_eq!(net.transition_count(), 2);
+        assert_eq!(net.preset(t0), &[p0]);
+        assert_eq!(net.postset(t0), &[p1]);
+        assert_eq!(net.place_preset(p0), &[t1]);
+        assert_eq!(net.place_postset(p0), &[t0]);
+        assert_eq!(net.place_name(p1), "p1");
+        assert_eq!(net.transition_name(t1), "t1");
+    }
+
+    #[test]
+    fn fire_moves_token() {
+        let (net, p0, p1, t0, _) = cycle();
+        let m0 = net.initial_marking().clone();
+        let m1 = net.fire(t0, &m0).expect("enabled");
+        assert!(!m1.contains(p0));
+        assert!(m1.contains(p1));
+    }
+
+    #[test]
+    fn fire_disabled_is_error() {
+        let (net, _, _, _, t1) = cycle();
+        let m0 = net.initial_marking().clone();
+        assert!(matches!(
+            net.fire(t1, &m0),
+            Err(NetError::NotEnabled { transition, .. }) if transition == t1
+        ));
+    }
+
+    #[test]
+    fn unsafe_firing_detected() {
+        // t produces into an already marked place.
+        let mut net = PetriNet::new();
+        let a = net.add_place("a");
+        let b = net.add_place("b");
+        let t = net.add_transition("t");
+        net.add_arc_pt(a, t);
+        net.add_arc_tp(t, b);
+        net.mark_initially(a);
+        net.mark_initially(b);
+        let m0 = net.initial_marking().clone();
+        assert!(matches!(
+            net.fire(t, &m0),
+            Err(NetError::Unsafe { place, .. }) if place == b
+        ));
+    }
+
+    #[test]
+    fn self_loop_is_safe() {
+        // p is both consumed and produced by t: net stays 1-safe.
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, p);
+        net.mark_initially(p);
+        let m0 = net.initial_marking().clone();
+        let m1 = net.fire(t, &m0).expect("self loop fires");
+        assert_eq!(m1, m0);
+    }
+
+    #[test]
+    fn enabled_transitions_order() {
+        let (net, _, _, t0, _) = cycle();
+        let m0 = net.initial_marking().clone();
+        assert_eq!(net.enabled_transitions(&m0), vec![t0]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_preset() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let t = net.add_transition("t");
+        net.add_arc_tp(t, p);
+        net.mark_initially(p);
+        assert!(matches!(
+            net.validate(),
+            Err(NetError::EmptyPreset { transition, .. }) if transition == t
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_initial_marking() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t);
+        assert!(matches!(
+            net.validate(),
+            Err(NetError::EmptyInitialMarking)
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_good_net() {
+        let (net, ..) = cycle();
+        assert!(net.validate().is_ok());
+    }
+}

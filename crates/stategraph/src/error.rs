@@ -1,0 +1,90 @@
+//! Error types for state-graph construction and SG-based synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use si_petri::NetError;
+
+/// Errors raised while building or analysing a state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgError {
+    /// The underlying net exploration failed (unsafe net or state budget).
+    Net(NetError),
+    /// No consistent binary state assignment exists.
+    Inconsistent {
+        /// The signal whose assignment conflicts.
+        signal: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// Synthesis was asked for a signal with no transitions (constant
+    /// signals need no gate).
+    ConstantSignal {
+        /// The signal's name.
+        signal: String,
+    },
+    /// The STG violates Complete State Coding for a signal; exact synthesis
+    /// is impossible without changing the specification.
+    CscViolation {
+        /// The signal whose on/off sets share a binary code.
+        signal: String,
+        /// One offending shared code, for diagnostics.
+        code: String,
+    },
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::Net(e) => write!(f, "state graph construction failed: {e}"),
+            SgError::Inconsistent { signal, detail } => {
+                write!(f, "inconsistent state assignment on `{signal}`: {detail}")
+            }
+            SgError::ConstantSignal { signal } => {
+                write!(f, "signal `{signal}` never changes; no gate is needed")
+            }
+            SgError::CscViolation { signal, code } => write!(
+                f,
+                "CSC violation on `{signal}`: code {code} appears in both the on-set and the off-set"
+            ),
+        }
+    }
+}
+
+impl Error for SgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for SgError {
+    fn from(e: NetError) -> Self {
+        SgError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SgError::Inconsistent {
+            signal: "a".into(),
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("`a`"));
+        let e = SgError::CscViolation {
+            signal: "b".into(),
+            code: "101".into(),
+        };
+        assert!(e.to_string().contains("101"));
+        assert!(SgError::ConstantSignal { signal: "x".into() }
+            .to_string()
+            .contains("no gate"));
+    }
+}

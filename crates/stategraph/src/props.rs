@@ -1,0 +1,244 @@
+//! Behavioural correctness properties checked on the state graph:
+//! semi-modularity (output persistency) and Complete State Coding (CSC).
+
+use std::collections::HashMap;
+
+use si_stg::{SignalTransition, Stg};
+
+use crate::graph::StateGraph;
+
+/// A semi-modularity (output persistency) violation: an excited non-input
+/// signal change was disabled by another transition firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistencyViolation {
+    /// The state at which the output change was excited.
+    pub state: usize,
+    /// The output change that was disabled.
+    pub disabled: SignalTransition,
+    /// The change whose firing disabled it.
+    pub by: SignalTransition,
+}
+
+/// Checks semi-modularity: for every state `s` and excited non-input change
+/// `±a`, firing any *other* change must leave `±a` excited. Violations mean
+/// the circuit could produce a hazard, so such STGs are rejected for
+/// synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_stategraph::{check_persistency, StateGraph};
+///
+/// # fn main() -> Result<(), si_stategraph::SgError> {
+/// let stg = paper_fig1();
+/// let sg = StateGraph::build(&stg, 10_000)?;
+/// assert!(check_persistency(&stg, &sg).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_persistency(stg: &Stg, sg: &StateGraph) -> Vec<PersistencyViolation> {
+    let mut violations = Vec::new();
+    for s in 0..sg.len() {
+        let excited_here = sg.excited(stg, s);
+        for &(t, s2) in sg.successors(s) {
+            let Some(fired) = stg.label(t) else { continue };
+            let excited_after = sg.excited(stg, s2);
+            for &e in &excited_here {
+                if e == fired {
+                    continue;
+                }
+                if !stg.signal_kind(e.signal).is_implementable() {
+                    continue;
+                }
+                if !excited_after.contains(&e) {
+                    violations.push(PersistencyViolation {
+                        state: s,
+                        disabled: e,
+                        by: fired,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// A Complete State Coding conflict: two states share a binary code but
+/// disagree on which non-input signal changes are excited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscConflict {
+    /// First state of the conflicting pair.
+    pub state_a: usize,
+    /// Second state of the conflicting pair.
+    pub state_b: usize,
+    /// The shared binary code (formatted).
+    pub code: String,
+    /// A non-input signal excited in exactly one of the two states.
+    pub signal: String,
+}
+
+/// Checks the Complete State Coding condition: any two states with equal
+/// binary codes must have the same set of excited non-input signals
+/// (Chu 1987). STGs violating CSC are not implementable as speed-independent
+/// circuits without specification changes.
+pub fn check_csc(stg: &Stg, sg: &StateGraph) -> Vec<CscConflict> {
+    let mut by_code: HashMap<String, Vec<usize>> = HashMap::new();
+    for s in 0..sg.len() {
+        by_code.entry(sg.code(s).to_string()).or_default().push(s);
+    }
+    let excited_outputs = |s: usize| -> Vec<si_stg::SignalId> {
+        let mut v: Vec<_> = sg
+            .excited(stg, s)
+            .into_iter()
+            .filter(|e| stg.signal_kind(e.signal).is_implementable())
+            .map(|e| e.signal)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let mut conflicts = Vec::new();
+    for (code, states) in by_code {
+        if states.len() < 2 {
+            continue;
+        }
+        let reference = excited_outputs(states[0]);
+        for &s in &states[1..] {
+            let here = excited_outputs(s);
+            if here != reference {
+                let diff = reference
+                    .iter()
+                    .chain(&here)
+                    .find(|&&sig| reference.contains(&sig) != here.contains(&sig))
+                    .copied()
+                    .expect("sets differ");
+                conflicts.push(CscConflict {
+                    state_a: states[0],
+                    state_b: s,
+                    code: code.clone(),
+                    signal: stg.signal_name(diff).to_owned(),
+                });
+            }
+        }
+    }
+    conflicts.sort_by_key(|c| (c.state_a, c.state_b));
+    conflicts
+}
+
+/// Checks Unique State Coding: two distinct markings sharing a binary code.
+/// USC is stronger than CSC; its violations are diagnostics, not
+/// implementability failures.
+pub fn check_usc(sg: &StateGraph) -> Vec<(usize, usize)> {
+    let mut by_code: HashMap<String, usize> = HashMap::new();
+    let mut clashes = Vec::new();
+    for s in 0..sg.len() {
+        match by_code.entry(sg.code(s).to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => clashes.push((*e.get(), s)),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(s);
+            }
+        }
+    }
+    clashes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_stg::generators::muller_pipeline;
+    use si_stg::suite::{paper_fig1, vme_read_csc, vme_read_no_csc};
+    use si_stg::{SignalKind, StgBuilder};
+
+    #[test]
+    fn fig1_is_persistent_and_csc_clean() {
+        let stg = paper_fig1();
+        let sg = StateGraph::build(&stg, 1000).expect("builds");
+        assert!(check_persistency(&stg, &sg).is_empty());
+        assert!(check_csc(&stg, &sg).is_empty());
+    }
+
+    #[test]
+    fn muller_pipeline_is_persistent_and_csc_clean() {
+        let stg = muller_pipeline(3);
+        let sg = StateGraph::build(&stg, 100_000).expect("builds");
+        assert!(check_persistency(&stg, &sg).is_empty());
+        assert!(check_csc(&stg, &sg).is_empty());
+    }
+
+    #[test]
+    fn vme_without_csc_signal_has_conflicts() {
+        let stg = vme_read_no_csc();
+        let sg = StateGraph::build(&stg, 10_000).expect("builds");
+        let conflicts = check_csc(&stg, &sg);
+        assert!(!conflicts.is_empty(), "expected the classic VME CSC conflict");
+    }
+
+    #[test]
+    fn vme_with_csc_signal_is_clean() {
+        let stg = vme_read_csc();
+        let sg = StateGraph::build(&stg, 10_000).expect("builds");
+        let conflicts = check_csc(&stg, &sg);
+        assert!(conflicts.is_empty(), "conflicts: {conflicts:?}");
+        assert!(check_persistency(&stg, &sg).is_empty());
+    }
+
+    #[test]
+    fn output_choice_is_non_persistent() {
+        // Two output transitions compete for one token: firing one disables
+        // the other.
+        let mut b = StgBuilder::new();
+        let x = b.signal("x", SignalKind::Output);
+        let y = b.signal("y", SignalKind::Output);
+        let px = b.place("choice");
+        let x_p = b.rise(x);
+        let y_p = b.rise(y);
+        let x_m = b.fall(x);
+        let y_m = b.fall(y);
+        b.arc_pt(px, x_p);
+        b.arc_pt(px, y_p);
+        b.arc_tt(x_p, x_m);
+        b.arc_tt(y_p, y_m);
+        b.arc_tp(x_m, px);
+        b.arc_tp(y_m, px);
+        b.mark(px);
+        b.initial_all_zero();
+        let stg = b.build().expect("builds");
+        let sg = StateGraph::build(&stg, 100).expect("builds");
+        let v = check_persistency(&stg, &sg);
+        assert!(!v.is_empty());
+        assert_eq!(v[0].state, 0);
+    }
+
+    #[test]
+    fn input_choice_is_allowed() {
+        // The same structure with *input* signals is a legal environment
+        // choice.
+        let mut b = StgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let px = b.place("choice");
+        let x_p = b.rise(x);
+        let y_p = b.rise(y);
+        let x_m = b.fall(x);
+        let y_m = b.fall(y);
+        b.arc_pt(px, x_p);
+        b.arc_pt(px, y_p);
+        b.arc_tt(x_p, x_m);
+        b.arc_tt(y_p, y_m);
+        b.arc_tp(x_m, px);
+        b.arc_tp(y_m, px);
+        b.mark(px);
+        b.initial_all_zero();
+        let stg = b.build().expect("builds");
+        let sg = StateGraph::build(&stg, 100).expect("builds");
+        assert!(check_persistency(&stg, &sg).is_empty());
+    }
+
+    #[test]
+    fn usc_flags_shared_codes() {
+        let stg = vme_read_no_csc();
+        let sg = StateGraph::build(&stg, 10_000).expect("builds");
+        assert!(!check_usc(&sg).is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! SG-based exact synthesis — the baseline flow shared by SIS and Petrify
+//! that the paper compares against.
+//!
+//! For every implementable signal the on-set and off-set of reachable states
+//! are enumerated explicitly, turned into minterm covers, and minimised with
+//! the Espresso-style optimiser. Everything here is exponential in the
+//! number of concurrent signals, which is precisely the behaviour Figure 6
+//! demonstrates.
+
+use si_cubes::{minimize, minimize_exact, Cover, Cube, QmBudget};
+use si_stg::{Polarity, SignalId, Stg};
+
+use crate::error::SgError;
+use crate::graph::StateGraph;
+
+/// The exact on-set/off-set partition of the reachable states for one
+/// signal, as minterm covers over the signal vector.
+#[derive(Debug, Clone)]
+pub struct OnOffSets {
+    /// The signal being implemented.
+    pub signal: SignalId,
+    /// Cover of the codes whose implied (next) value of the signal is 1.
+    pub on: Cover,
+    /// Cover of the codes whose implied value is 0.
+    pub off: Cover,
+}
+
+/// Computes the exact on/off-sets for `signal`.
+///
+/// A state belongs to the on-set when the *implied value* of the signal is 1:
+/// either `+a` is excited there, or the signal is stable at 1. Symmetrically
+/// for the off-set. Duplicate codes are deduplicated.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_stategraph::{on_off_sets, StateGraph};
+///
+/// # fn main() -> Result<(), si_stategraph::SgError> {
+/// let stg = paper_fig1();
+/// let sg = StateGraph::build(&stg, 10_000)?;
+/// let b = stg.signal_by_name("b").expect("signal b");
+/// let sets = on_off_sets(&stg, &sg, b);
+/// assert_eq!(sets.on.len(), 6);  // the paper's On(b): 6 distinct codes
+/// assert_eq!(sets.off.len(), 2); // Off(b) = {010, 000}
+/// # Ok(())
+/// # }
+/// ```
+pub fn on_off_sets(stg: &Stg, sg: &StateGraph, signal: SignalId) -> OnOffSets {
+    let mut on_codes = std::collections::HashSet::new();
+    let mut off_codes = std::collections::HashSet::new();
+    for s in 0..sg.len() {
+        let code = sg.code(s);
+        let excited = sg.excited(stg, s);
+        let rising = excited
+            .iter()
+            .any(|e| e.signal == signal && e.polarity == Polarity::Rise);
+        let falling = excited
+            .iter()
+            .any(|e| e.signal == signal && e.polarity == Polarity::Fall);
+        let implied = if rising {
+            true
+        } else if falling {
+            false
+        } else {
+            code.get(signal)
+        };
+        let minterm = Cube::minterm(code.iter().map(|(_, v)| v));
+        if implied {
+            on_codes.insert(minterm.to_string());
+            let _ = &minterm;
+        } else {
+            off_codes.insert(minterm.to_string());
+        }
+    }
+    let on: Cover = on_codes
+        .into_iter()
+        .map(|s| Cube::from_str_cube(&s))
+        .collect();
+    let off: Cover = off_codes
+        .into_iter()
+        .map(|s| Cube::from_str_cube(&s))
+        .collect();
+    OnOffSets { signal, on, off }
+}
+
+/// The synthesised gate for one signal in the atomic-complex-gate-per-signal
+/// architecture.
+#[derive(Debug, Clone)]
+pub struct GateImplementation {
+    /// The implemented signal.
+    pub signal: SignalId,
+    /// Minimised cover of the on-set (the gate's SOP function).
+    pub cover: Cover,
+    /// `true` if the off-set was implemented instead (inverted gate) because
+    /// it was simpler.
+    pub inverted: bool,
+}
+
+impl GateImplementation {
+    /// Total literal count of the gate (the paper's quality metric).
+    pub fn literal_count(&self) -> usize {
+        self.cover.literal_count()
+    }
+
+    /// Renders the gate equation, e.g. `b = a + c`.
+    pub fn equation(&self, stg: &Stg) -> String {
+        let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+        format!(
+            "{}{} = {}",
+            stg.signal_name(self.signal),
+            if self.inverted { "'" } else { "" },
+            self.cover.to_expression_string(&names)
+        )
+    }
+}
+
+/// Options for SG-based synthesis.
+#[derive(Debug, Clone)]
+pub struct SgSynthesisOptions {
+    /// State budget for reachability exploration.
+    pub state_budget: usize,
+    /// Allow implementing the complemented function when the off-set cover
+    /// is cheaper (both SIS and Petrify do this); the paper's examples
+    /// implement the on-set, so the default is `false`.
+    pub allow_inversion: bool,
+    /// Use exact (Quine–McCluskey) two-level minimisation instead of the
+    /// Espresso-style heuristic — the behaviour the paper blames for the
+    /// second exponent of the Figure 6 curves. Falls back to the heuristic
+    /// when the exact search exceeds its budget.
+    pub exact_minimization: bool,
+}
+
+impl Default for SgSynthesisOptions {
+    fn default() -> Self {
+        SgSynthesisOptions {
+            state_budget: 2_000_000,
+            allow_inversion: false,
+            exact_minimization: false,
+        }
+    }
+}
+
+/// The result of synthesising every implementable signal from the SG.
+#[derive(Debug, Clone)]
+pub struct SgSynthesis {
+    /// One gate per implementable signal, in signal order.
+    pub gates: Vec<GateImplementation>,
+}
+
+impl SgSynthesis {
+    /// Total literal count over all gates (Table 1's `LitCnt`).
+    pub fn literal_count(&self) -> usize {
+        self.gates.iter().map(GateImplementation::literal_count).sum()
+    }
+}
+
+/// Synthesises all implementable signals of `stg` from an explicitly built
+/// state graph (the SIS/Petrify-style baseline).
+///
+/// # Errors
+///
+/// * [`SgError::Net`] / [`SgError::Inconsistent`] from SG construction;
+/// * [`SgError::CscViolation`] if some signal's on- and off-sets share a
+///   code (exact covers intersect);
+/// * [`SgError::ConstantSignal`] if an implementable signal never changes.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_stategraph::{synthesize_from_sg, SgSynthesisOptions};
+///
+/// # fn main() -> Result<(), si_stategraph::SgError> {
+/// let stg = paper_fig1();
+/// let result = synthesize_from_sg(&stg, &SgSynthesisOptions::default())?;
+/// assert_eq!(result.gates.len(), 1); // only `b` is an output
+/// assert_eq!(result.gates[0].equation(&stg), "b = a + c");
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_from_sg(
+    stg: &Stg,
+    options: &SgSynthesisOptions,
+) -> Result<SgSynthesis, SgError> {
+    let sg = StateGraph::build(stg, options.state_budget)?;
+    synthesize_from_built_sg(stg, &sg, options)
+}
+
+/// Like [`synthesize_from_sg`] but reuses an already built state graph
+/// (exposing the intermediate result per C-INTERMEDIATE).
+pub fn synthesize_from_built_sg(
+    stg: &Stg,
+    sg: &StateGraph,
+    options: &SgSynthesisOptions,
+) -> Result<SgSynthesis, SgError> {
+    let mut gates = Vec::new();
+    for signal in stg.implementable_signals() {
+        if stg.transitions_of(signal).is_empty() {
+            return Err(SgError::ConstantSignal {
+                signal: stg.signal_name(signal).to_owned(),
+            });
+        }
+        let sets = on_off_sets(stg, sg, signal);
+        if sets.on.intersects(&sets.off) {
+            let witness = sets
+                .on
+                .intersect(&sets.off)
+                .cubes()
+                .first()
+                .map(ToString::to_string)
+                .unwrap_or_default();
+            return Err(SgError::CscViolation {
+                signal: stg.signal_name(signal).to_owned(),
+                code: witness,
+            });
+        }
+        let run_minimize = |on: &Cover, off: &Cover| {
+            if options.exact_minimization {
+                minimize_exact(on, off, &QmBudget::default())
+                    .unwrap_or_else(|| minimize(on, off))
+            } else {
+                minimize(on, off)
+            }
+        };
+        let on_impl = run_minimize(&sets.on, &sets.off);
+        let (cover, inverted) = if options.allow_inversion {
+            let off_impl = run_minimize(&sets.off, &sets.on);
+            if off_impl.literal_count() < on_impl.literal_count() {
+                (off_impl, true)
+            } else {
+                (on_impl, false)
+            }
+        } else {
+            (on_impl, false)
+        };
+        gates.push(GateImplementation {
+            signal,
+            cover,
+            inverted,
+        });
+    }
+    Ok(SgSynthesis { gates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_stg::generators::{muller_pipeline, sequencer};
+    use si_stg::suite::{paper_fig1, vme_read_csc, vme_read_no_csc};
+
+    #[test]
+    fn fig1_baseline_matches_paper() {
+        let stg = paper_fig1();
+        let result = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("ok");
+        assert_eq!(result.gates.len(), 1);
+        assert_eq!(result.gates[0].equation(&stg), "b = a + c");
+        assert_eq!(result.literal_count(), 2);
+    }
+
+    #[test]
+    fn fig1_off_set_matches_paper() {
+        let stg = paper_fig1();
+        let sg = StateGraph::build(&stg, 1000).expect("builds");
+        let b = stg.signal_by_name("b").expect("b");
+        let sets = on_off_sets(&stg, &sg, b);
+        let off = minimize(&sets.off, &sets.on);
+        let names: Vec<&str> = stg.signals().map(|s| stg.signal_name(s)).collect();
+        // The paper: C_Off = a̅c̅.
+        assert_eq!(off.to_expression_string(&names), "a' c'");
+    }
+
+    #[test]
+    fn vme_csc_violation_detected() {
+        let stg = vme_read_no_csc();
+        let err = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).unwrap_err();
+        assert!(matches!(err, SgError::CscViolation { .. }));
+    }
+
+    #[test]
+    fn vme_with_csc_synthesises() {
+        let stg = vme_read_csc();
+        let result = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("ok");
+        // lds, d, dtack, csc0 are implementable.
+        assert_eq!(result.gates.len(), 4);
+        assert!(result.literal_count() > 0);
+        // Every gate's cover must separate on from off on reachable states.
+        let sg = StateGraph::build(&stg, 10_000).expect("builds");
+        for gate in &result.gates {
+            let sets = on_off_sets(&stg, &sg, gate.signal);
+            assert!(gate.cover.covers_cover(&sets.on));
+            assert!(!gate.cover.intersects(&sets.off));
+        }
+    }
+
+    #[test]
+    fn muller_pipeline_c_element_equations() {
+        let stg = muller_pipeline(2);
+        let result = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("ok");
+        assert_eq!(result.gates.len(), 2);
+        // Each stage is a C-element: next(ci) = majority-ish function of
+        // neighbours and itself; at minimum 3 literals under SOP.
+        for gate in &result.gates {
+            assert!(gate.literal_count() >= 3, "{}", gate.equation(&stg));
+        }
+    }
+
+    #[test]
+    fn inversion_option_never_worse() {
+        let stg = sequencer(4);
+        let plain = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("ok");
+        let inverted = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                allow_inversion: true,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
+        assert!(inverted.literal_count() <= plain.literal_count());
+    }
+}

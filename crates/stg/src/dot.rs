@@ -1,0 +1,96 @@
+//! Graphviz DOT export for STGs, with signal-change labels on transitions.
+
+use std::fmt::Write as _;
+
+use crate::model::Stg;
+use crate::signal::SignalKind;
+
+/// Renders `stg` in Graphviz DOT syntax. Transitions show their signal
+/// labels (`a+`, `b-`); input-signal transitions are drawn with dashed
+/// borders. Implicit places (one producer, one consumer, auto-generated
+/// name) are drawn as small unlabelled dots.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::{generators::muller_pipeline, stg_to_dot};
+///
+/// let dot = stg_to_dot(&muller_pipeline(1));
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("c1+"));
+/// ```
+pub fn stg_to_dot(stg: &Stg) -> String {
+    let net = stg.net();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph stg {{");
+    let _ = writeln!(out, "  label=\"{}\";", stg.name());
+    for t in net.transitions() {
+        let style = match stg.label(t).map(|l| stg.signal_kind(l.signal)) {
+            Some(SignalKind::Input) => ", style=dashed",
+            Some(_) => "",
+            None => ", style=dotted",
+        };
+        let _ = writeln!(
+            out,
+            "  T{} [label=\"{}\", shape=box{}];",
+            t.0,
+            stg.transition_label_string(t),
+            style
+        );
+    }
+    for p in net.places() {
+        let implicit =
+            net.place_preset(p).len() == 1 && net.place_postset(p).len() == 1;
+        let marked = net.initial_marking().contains(p);
+        if implicit {
+            let fill = if marked { "black" } else { "white" };
+            let _ = writeln!(
+                out,
+                "  P{} [label=\"\", shape=circle, width=0.15, style=filled, fillcolor={}];",
+                p.0, fill
+            );
+        } else {
+            let fill = if marked {
+                ", style=filled, fillcolor=gray80"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  P{} [label=\"{}\", shape=circle{}];",
+                p.0,
+                net.place_name(p),
+                fill
+            );
+        }
+    }
+    for t in net.transitions() {
+        for &p in net.preset(t) {
+            let _ = writeln!(out, "  P{} -> T{};", p.0, t.0);
+        }
+        for &p in net.postset(t) {
+            let _ = writeln!(out, "  T{} -> P{};", t.0, p.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sequencer;
+
+    #[test]
+    fn dot_contains_labels_and_styles() {
+        let stg = sequencer(2);
+        let dot = stg_to_dot(&stg);
+        assert!(dot.contains("s0+"));
+        assert!(dot.contains("s1-"));
+        // s0 is an input, so its transitions are dashed.
+        assert!(dot.contains("style=dashed"));
+        // The single marked implicit place is a filled dot.
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for STG construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use si_petri::NetError;
+
+/// Errors raised while building or parsing an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// The underlying Petri net is malformed.
+    Net(NetError),
+    /// An initial binary code has the wrong width.
+    CodeWidthMismatch {
+        /// Expected width (= signal count).
+        expected: usize,
+        /// Width that was provided.
+        found: usize,
+    },
+    /// Initial values were declared for some but not all signals.
+    PartialInitialValues {
+        /// Number of signals with declared values.
+        declared: usize,
+        /// Total number of signals.
+        signals: usize,
+    },
+    /// A `.g` file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A transition name referenced a signal that was never declared.
+    UnknownSignal {
+        /// The undeclared name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Net(e) => write!(f, "invalid net: {e}"),
+            StgError::CodeWidthMismatch { expected, found } => write!(
+                f,
+                "initial code has {found} bits but the STG has {expected} signals"
+            ),
+            StgError::PartialInitialValues { declared, signals } => write!(
+                f,
+                "initial values declared for {declared} of {signals} signals"
+            ),
+            StgError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            StgError::UnknownSignal { name } => {
+                write!(f, "signal `{name}` was not declared")
+            }
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for StgError {
+    fn from(e: NetError) -> Self {
+        StgError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StgError::CodeWidthMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("2 bits"));
+        let e = StgError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 4: bad token");
+        let e = StgError::UnknownSignal { name: "x".into() };
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn net_error_wraps_with_source() {
+        use std::error::Error as _;
+        let e = StgError::from(NetError::EmptyInitialMarking);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("invalid net"));
+    }
+}

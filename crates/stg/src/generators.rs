@@ -1,0 +1,343 @@
+//! Parameterised STG generators for the scalable experiments (Figure 6) and
+//! stress tests.
+//!
+//! * [`muller_pipeline`] — the paper's Figure 6 workload: an `n`-stage Muller
+//!   pipeline whose state graph grows exponentially with `n` while its
+//!   unfolding segment grows linearly.
+//! * [`counterflow_pipeline`] — a synthetic stand-in for the Counterflow
+//!   Pipeline Processor control (Yakovlev, TR-522): two pipelines flowing in
+//!   opposite directions with per-stage alternation. `counterflow_pipeline(15)`
+//!   has the paper's 34 signals.
+//! * [`independent_cycles`] — `k` fully concurrent signal loops: the extreme
+//!   state-explosion case (`2^k` states, linear unfolding).
+//! * [`sequencer`] — a purely sequential ring of `n` signals: the
+//!   no-concurrency base case.
+
+use crate::model::{Stg, StgBuilder};
+use crate::signal::SignalId;
+
+/// Builds an `n`-stage Muller pipeline STG.
+///
+/// Signals: `r` (left request, input), `c1 … cn` (C-element stage outputs),
+/// `a` (right acknowledge, input) — `n + 2` signals in total. Every adjacent
+/// signal pair `(sᵢ, sᵢ₊₁)` is connected by the four-phase cycle
+/// `sᵢ+ → sᵢ₊₁+ → sᵢ− → sᵢ₊₁− → sᵢ+`, which yields the classic C-element
+/// behaviour `cᵢ = C(cᵢ₋₁, ¬cᵢ₊₁)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::generators::muller_pipeline;
+///
+/// let stg = muller_pipeline(3);
+/// assert_eq!(stg.signal_count(), 5);
+/// assert_eq!(stg.net().transition_count(), 10);
+/// ```
+pub fn muller_pipeline(n: usize) -> Stg {
+    assert!(n > 0, "pipeline needs at least one stage");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("muller-pipeline-{n}"));
+    let mut sigs: Vec<SignalId> = Vec::with_capacity(n + 2);
+    sigs.push(b.input("r"));
+    for i in 1..=n {
+        sigs.push(b.output(format!("c{i}")));
+    }
+    sigs.push(b.input("a"));
+
+    let rises: Vec<_> = sigs.iter().map(|&s| b.rise(s)).collect();
+    let falls: Vec<_> = sigs.iter().map(|&s| b.fall(s)).collect();
+
+    for i in 0..sigs.len() - 1 {
+        // sᵢ+ → sᵢ₊₁+ → sᵢ− → sᵢ₊₁− → sᵢ+ (last place marked: pipeline empty)
+        b.arc_tt(rises[i], rises[i + 1]);
+        b.arc_tt(rises[i + 1], falls[i]);
+        b.arc_tt(falls[i], falls[i + 1]);
+        let idle = b.arc_tt(falls[i + 1], rises[i]);
+        b.mark(idle);
+    }
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
+/// Builds a synthetic counterflow-pipeline control STG with `k` stages.
+///
+/// Two Muller pipelines flow in opposite directions: the *down* stream
+/// `x0 → x1 → … → xk → xa` and the *up* stream `y0 → y1 → … → yk → ya`
+/// (indexed so that stage `i` of the up stream is physically stage `k - i`).
+/// At every physical stage the two streams alternate — a down transfer must
+/// complete before the next up transfer and vice versa — which models the
+/// counterflow synchronisation rule without arbitration.
+///
+/// Signal count is `2k + 4`; `counterflow_pipeline(15)` reproduces the
+/// 34-signal configuration referenced in the paper's Figure 6.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn counterflow_pipeline(k: usize) -> Stg {
+    assert!(k > 0, "pipeline needs at least one stage");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("counterflow-pipeline-{k}"));
+
+    let mut down: Vec<SignalId> = Vec::with_capacity(k + 2);
+    down.push(b.input("x0"));
+    for i in 1..=k {
+        down.push(b.output(format!("x{i}")));
+    }
+    down.push(b.input("xa"));
+
+    let mut up: Vec<SignalId> = Vec::with_capacity(k + 2);
+    up.push(b.input("y0"));
+    for i in 1..=k {
+        up.push(b.output(format!("y{i}")));
+    }
+    up.push(b.input("ya"));
+
+    let d_rise: Vec<_> = down.iter().map(|&s| b.rise(s)).collect();
+    let d_fall: Vec<_> = down.iter().map(|&s| b.fall(s)).collect();
+    let u_rise: Vec<_> = up.iter().map(|&s| b.rise(s)).collect();
+    let u_fall: Vec<_> = up.iter().map(|&s| b.fall(s)).collect();
+
+    for i in 0..down.len() - 1 {
+        b.arc_tt(d_rise[i], d_rise[i + 1]);
+        b.arc_tt(d_rise[i + 1], d_fall[i]);
+        b.arc_tt(d_fall[i], d_fall[i + 1]);
+        let idle = b.arc_tt(d_fall[i + 1], d_rise[i]);
+        b.mark(idle);
+    }
+    for i in 0..up.len() - 1 {
+        b.arc_tt(u_rise[i], u_rise[i + 1]);
+        b.arc_tt(u_rise[i + 1], u_fall[i]);
+        b.arc_tt(u_fall[i], u_fall[i + 1]);
+        let idle = b.arc_tt(u_fall[i + 1], u_rise[i]);
+        b.mark(idle);
+    }
+
+    // Per-stage counterflow synchronisation: the down and up transfers
+    // through one physical stage are locked into a full four-phase cycle
+    // `xᵢ+ → yⱼ+ → xᵢ− → yⱼ− → xᵢ+` — the same C-element-style coupling as
+    // the pipeline pairs. Every blocked phase is visible in the signal
+    // codes, which keeps the specification CSC-clean (a bare alternation
+    // token would not be).
+    for i in 1..=k {
+        let j = k + 1 - i; // up-stream index passing the same physical stage
+        b.arc_tt(d_rise[i], u_rise[j]);
+        b.arc_tt(u_rise[j], d_fall[i]);
+        b.arc_tt(d_fall[i], u_fall[j]);
+        let idle = b.arc_tt(u_fall[j], d_rise[i]);
+        b.mark(idle);
+    }
+
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
+/// Builds an `n`-way paralleliser in the style of the classic `par_4`
+/// benchmark: one request fans out to `n` concurrent four-phase handshake
+/// branches (`rᵢ` output / `aᵢ` input) joined by a single acknowledge.
+/// `parallelizer(4)` has the 14 signals of the paper's `par_4.csc` row.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::generators::parallelizer;
+///
+/// assert_eq!(parallelizer(4).signal_count(), 14);
+/// ```
+pub fn parallelizer(n: usize) -> Stg {
+    assert!(n > 0, "need at least one branch");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("parallelizer-{n}"));
+    let req = b.input("req");
+    let ack = b.output("ack");
+    // Per branch: an outgoing request, the branch acknowledge, and a local
+    // done strobe, giving 3 signals per branch + req/ack.
+    let req_p = b.rise(req);
+    let ack_p = b.rise(ack);
+    let req_m = b.fall(req);
+    let ack_m = b.fall(ack);
+    for i in 0..n {
+        let r = b.output(format!("r{i}"));
+        let a = b.input(format!("a{i}"));
+        let d = b.output(format!("d{i}"));
+        let r_p = b.rise(r);
+        let a_p = b.rise(a);
+        let d_p = b.rise(d);
+        let r_m = b.fall(r);
+        let a_m = b.fall(a);
+        let d_m = b.fall(d);
+        // Rising phase before the join; falling phase after the release.
+        b.arc_tt(req_p, r_p);
+        b.arc_tt(r_p, a_p);
+        b.arc_tt(a_p, d_p);
+        b.arc_tt(d_p, ack_p);
+        b.arc_tt(req_m, r_m);
+        b.arc_tt(r_m, a_m);
+        b.arc_tt(a_m, d_m);
+        b.arc_tt(d_m, ack_m);
+    }
+    b.arc_tt(ack_p, req_m);
+    let back = b.arc_tt(ack_m, req_p);
+    b.mark(back);
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
+/// Builds `k` fully independent two-transition signal loops (`aᵢ+ → aᵢ− →
+/// aᵢ+`). All loops are concurrent, so the state graph has `2^k` states while
+/// the unfolding segment stays linear in `k`.
+///
+/// All signals are outputs (each loop is a self-oscillator).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn independent_cycles(k: usize) -> Stg {
+    assert!(k > 0, "need at least one cycle");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("independent-cycles-{k}"));
+    for i in 0..k {
+        let s = b.output(format!("a{i}"));
+        let plus = b.rise(s);
+        let minus = b.fall(s);
+        b.arc_tt(plus, minus);
+        let idle = b.arc_tt(minus, plus);
+        b.mark(idle);
+    }
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
+/// Builds a purely sequential ring over `n` signals: `s0+ → s1+ → … →
+/// s(n−1)+ → s0− → … → s(n−1)− → s0+`. The state graph is linear in `n`
+/// (2n states), as is the unfolding.
+///
+/// Even-indexed signals are inputs, odd-indexed outputs, so the STG has both
+/// kinds.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sequencer(n: usize) -> Stg {
+    assert!(n > 0, "need at least one signal");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("sequencer-{n}"));
+    let sigs: Vec<SignalId> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                b.input(format!("s{i}"))
+            } else {
+                b.output(format!("s{i}"))
+            }
+        })
+        .collect();
+    let rises: Vec<_> = sigs.iter().map(|&s| b.rise(s)).collect();
+    let falls: Vec<_> = sigs.iter().map(|&s| b.fall(s)).collect();
+    let mut order = Vec::new();
+    order.extend(rises);
+    order.extend(falls);
+    for w in order.windows(2) {
+        b.arc_tt(w[0], w[1]);
+    }
+    let back = b.arc_tt(order[order.len() - 1], order[0]);
+    b.mark(back);
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_petri::ReachabilityGraph;
+
+    #[test]
+    fn muller_pipeline_shape() {
+        for n in 1..=4 {
+            let stg = muller_pipeline(n);
+            assert_eq!(stg.signal_count(), n + 2);
+            assert_eq!(stg.net().transition_count(), 2 * (n + 2));
+            assert_eq!(stg.net().place_count(), 4 * (n + 1));
+            assert_eq!(stg.net().initial_marking().len(), n + 1);
+            stg.validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn muller_pipeline_is_safe_and_live() {
+        let stg = muller_pipeline(3);
+        let rg = ReachabilityGraph::explore(stg.net(), 100_000).expect("safe");
+        assert!(rg.deadlocks().is_empty());
+        // Exponential-ish growth: strictly more states than the sequential
+        // lower bound.
+        assert!(rg.len() > 2 * stg.signal_count());
+    }
+
+    #[test]
+    fn muller_pipeline_state_growth_is_exponential() {
+        let s3 = ReachabilityGraph::explore(muller_pipeline(3).net(), 1_000_000)
+            .expect("safe")
+            .len();
+        let s6 = ReachabilityGraph::explore(muller_pipeline(6).net(), 1_000_000)
+            .expect("safe")
+            .len();
+        // Tripling the stages should far more than double the states.
+        assert!(s6 > 4 * s3, "s3={s3} s6={s6}");
+    }
+
+    #[test]
+    fn counterflow_pipeline_shape() {
+        let stg = counterflow_pipeline(15);
+        assert_eq!(stg.signal_count(), 34);
+        stg.validate().expect("valid");
+    }
+
+    #[test]
+    fn counterflow_pipeline_safe_no_deadlock_small() {
+        for k in 1..=3 {
+            let stg = counterflow_pipeline(k);
+            let rg = ReachabilityGraph::explore(stg.net(), 2_000_000).expect("safe");
+            assert!(rg.deadlocks().is_empty(), "deadlock at k={k}");
+        }
+    }
+
+    #[test]
+    fn parallelizer_shape_and_safety() {
+        let stg = parallelizer(4);
+        assert_eq!(stg.signal_count(), 14);
+        stg.validate().expect("valid");
+        let rg = ReachabilityGraph::explore(stg.net(), 1_000_000).expect("safe");
+        assert!(rg.deadlocks().is_empty());
+        // Four independent 3-step branches in each phase.
+        assert!(rg.len() > 100);
+    }
+
+    #[test]
+    fn independent_cycles_state_count() {
+        let stg = independent_cycles(10);
+        let rg = ReachabilityGraph::explore(stg.net(), 10_000).expect("safe");
+        assert_eq!(rg.len(), 1024);
+        assert!(rg.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn sequencer_state_count() {
+        let stg = sequencer(7);
+        let rg = ReachabilityGraph::explore(stg.net(), 10_000).expect("safe");
+        assert_eq!(rg.len(), 14);
+        assert!(rg.deadlocks().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipeline_panics() {
+        muller_pipeline(0);
+    }
+}

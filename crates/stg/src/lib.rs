@@ -1,0 +1,55 @@
+//! # si-stg — Signal Transition Graphs
+//!
+//! The specification language of speed-independent circuit synthesis: a
+//! Signal Transition Graph (STG) `G = ⟨N, A, L⟩` is a 1-safe marked Petri net
+//! `N` whose transitions are labelled with changes (`+a`, `-a`) of a set of
+//! signals `A` (Rosenblum & Yakovlev 1985, Chu 1987).
+//!
+//! This crate provides:
+//!
+//! * the [`Stg`] model and [`StgBuilder`] construction API;
+//! * [`BinaryCode`] state vectors and the consistency rules for applying
+//!   signal changes to them;
+//! * a parser ([`parse_g`]) and writer ([`write_g`]) for the `.g`/astg
+//!   interchange format used by SIS and Petrify;
+//! * parameterised [`generators`] (Muller pipeline, counterflow pipeline, …)
+//!   for the scalability experiments;
+//! * the benchmark [`suite`] over which Table 1 of the paper is regenerated.
+//!
+//! ## Example
+//!
+//! ```
+//! use si_stg::{generators::muller_pipeline, write_g, parse_g};
+//!
+//! # fn main() -> Result<(), si_stg::StgError> {
+//! let pipeline = muller_pipeline(4);
+//! assert_eq!(pipeline.signal_count(), 6);
+//!
+//! // Round-trip through the .g interchange format.
+//! let text = write_g(&pipeline);
+//! let back = parse_g(&text)?;
+//! assert_eq!(back.signal_count(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod dot;
+mod error;
+pub mod generators;
+mod model;
+mod parse;
+mod signal;
+pub mod suite;
+mod writer;
+
+pub use binary::BinaryCode;
+pub use dot::stg_to_dot;
+pub use error::StgError;
+pub use model::{Stg, StgBuilder};
+pub use parse::parse_g;
+pub use signal::{Polarity, SignalId, SignalKind, SignalTransition};
+pub use writer::write_g;

@@ -1,0 +1,160 @@
+//! Signals and signal transitions (`a+`, `a-`).
+
+use std::fmt;
+
+/// Index of a signal within an [`Stg`](crate::Stg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    /// The id as a `usize`, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// How a signal is driven: by the environment, by the circuit visibly, or by
+/// the circuit internally.
+///
+/// Only non-input signals are implemented as gates; inputs constrain the
+/// environment. Semi-modularity (output persistency) applies to [`Output`]
+/// and [`Internal`] signals.
+///
+/// [`Output`]: SignalKind::Output
+/// [`Internal`]: SignalKind::Internal
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment; never synthesised.
+    Input,
+    /// Driven by the circuit and observable at its interface.
+    Output,
+    /// Driven by the circuit but hidden (e.g. CSC resolution signals).
+    Internal,
+}
+
+impl SignalKind {
+    /// Returns `true` for signals the circuit must implement
+    /// ([`Output`](SignalKind::Output) and [`Internal`](SignalKind::Internal)).
+    pub fn is_implementable(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignalKind::Input => "input",
+            SignalKind::Output => "output",
+            SignalKind::Internal => "internal",
+        })
+    }
+}
+
+/// Direction of a signal change: rising (`+`, 0→1) or falling (`-`, 1→0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// `a+`: the signal switches from 0 to 1.
+    Rise,
+    /// `a-`: the signal switches from 1 to 0.
+    Fall,
+}
+
+impl Polarity {
+    /// The opposite direction.
+    pub fn opposite(self) -> Polarity {
+        match self {
+            Polarity::Rise => Polarity::Fall,
+            Polarity::Fall => Polarity::Rise,
+        }
+    }
+
+    /// The value of the signal *after* a change of this polarity.
+    pub fn target_value(self) -> bool {
+        matches!(self, Polarity::Rise)
+    }
+
+    /// The value of the signal *before* a change of this polarity.
+    pub fn source_value(self) -> bool {
+        !self.target_value()
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Polarity::Rise => "+",
+            Polarity::Fall => "-",
+        })
+    }
+}
+
+/// A signal transition label `±a`: a specific change of a specific signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalTransition {
+    /// The signal that changes.
+    pub signal: SignalId,
+    /// The direction of the change.
+    pub polarity: Polarity,
+}
+
+impl SignalTransition {
+    /// A rising transition of `signal`.
+    pub fn rise(signal: SignalId) -> Self {
+        SignalTransition {
+            signal,
+            polarity: Polarity::Rise,
+        }
+    }
+
+    /// A falling transition of `signal`.
+    pub fn fall(signal: SignalId) -> Self {
+        SignalTransition {
+            signal,
+            polarity: Polarity::Fall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_algebra() {
+        assert_eq!(Polarity::Rise.opposite(), Polarity::Fall);
+        assert_eq!(Polarity::Fall.opposite(), Polarity::Rise);
+        assert!(Polarity::Rise.target_value());
+        assert!(!Polarity::Rise.source_value());
+        assert!(!Polarity::Fall.target_value());
+        assert!(Polarity::Fall.source_value());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Polarity::Rise.to_string(), "+");
+        assert_eq!(Polarity::Fall.to_string(), "-");
+        assert_eq!(SignalKind::Input.to_string(), "input");
+        assert_eq!(SignalKind::Internal.to_string(), "internal");
+    }
+
+    #[test]
+    fn implementable_kinds() {
+        assert!(!SignalKind::Input.is_implementable());
+        assert!(SignalKind::Output.is_implementable());
+        assert!(SignalKind::Internal.is_implementable());
+    }
+
+    #[test]
+    fn constructors() {
+        let s = SignalId(3);
+        assert_eq!(SignalTransition::rise(s).polarity, Polarity::Rise);
+        assert_eq!(SignalTransition::fall(s).polarity, Polarity::Fall);
+        assert_eq!(SignalTransition::rise(s).signal, s);
+    }
+}

@@ -1,0 +1,265 @@
+//! Writer producing `.g` text from an [`Stg`].
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use si_petri::{PlaceId, TransitionId};
+
+use crate::model::Stg;
+use crate::signal::SignalKind;
+
+/// Serialises `stg` to `.g` text accepted by [`parse_g`](crate::parse_g).
+///
+/// Places with exactly one producer and one consumer are collapsed into the
+/// `t1 t2` implicit-place shorthand; remaining places are written explicitly
+/// (renamed `p0`, `p1`, … when their generated names are not valid tokens).
+/// If the STG carries an initial code, an `.initial { … }` extension section
+/// is emitted so the round trip preserves `v₀`.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::{parse_g, write_g};
+///
+/// # fn main() -> Result<(), si_stg::StgError> {
+/// let stg = parse_g(
+///     ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+///      .marking { <b-,a+> }\n.initial { a=0 b=0 }\n.end",
+/// )?;
+/// let text = write_g(&stg);
+/// let reparsed = parse_g(&text)?;
+/// assert_eq!(reparsed.signal_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_g(stg: &Stg) -> String {
+    let net = stg.net();
+
+    // Unique token per transition: `a+`, then `a+/2`, `a+/3`, …
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut token: HashMap<TransitionId, String> = HashMap::new();
+    for t in net.transitions() {
+        let base = stg.transition_label_string(t);
+        let n = counts.entry(base.clone()).or_insert(0);
+        *n += 1;
+        let tok = if *n == 1 { base } else { format!("{base}/{n}") };
+        token.insert(t, tok);
+    }
+
+    // Classify places: implicit (1 producer, 1 consumer) vs explicit.
+    let mut implicit: HashMap<PlaceId, (TransitionId, TransitionId)> = HashMap::new();
+    let mut explicit_name: HashMap<PlaceId, String> = HashMap::new();
+    let mut fresh = 0usize;
+    for p in net.places() {
+        let pre = net.place_preset(p);
+        let post = net.place_postset(p);
+        if pre.len() == 1 && post.len() == 1 {
+            implicit.insert(p, (pre[0], post[0]));
+        } else {
+            let raw = net.place_name(p);
+            let ok = !raw.is_empty()
+                && raw
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !raw.starts_with('.');
+            let name = if ok {
+                raw.to_owned()
+            } else {
+                loop {
+                    let cand = format!("p{fresh}");
+                    fresh += 1;
+                    if net.places().all(|q| net.place_name(q) != cand) {
+                        break cand;
+                    }
+                }
+            };
+            explicit_name.insert(p, name);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+    for (kind, directive) in [
+        (SignalKind::Input, ".inputs"),
+        (SignalKind::Output, ".outputs"),
+        (SignalKind::Internal, ".internal"),
+    ] {
+        let names: Vec<&str> = stg
+            .signals()
+            .filter(|&s| stg.signal_kind(s) == kind)
+            .map(|s| stg.signal_name(s))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{directive} {}", names.join(" "));
+        }
+    }
+    let dummies: Vec<&String> = net
+        .transitions()
+        .filter(|&t| stg.label(t).is_none())
+        .map(|t| &token[&t])
+        .collect();
+    if !dummies.is_empty() {
+        let mut line = String::from(".dummy");
+        for d in dummies {
+            line.push(' ');
+            line.push_str(d);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    out.push_str(".graph\n");
+    for t in net.transitions() {
+        let mut targets = Vec::new();
+        for &p in net.postset(t) {
+            match implicit.get(&p) {
+                Some(&(_, consumer)) => targets.push(token[&consumer].clone()),
+                None => targets.push(explicit_name[&p].clone()),
+            }
+        }
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", token[&t], targets.join(" "));
+        }
+    }
+    for p in net.places() {
+        if let Some(name) = explicit_name.get(&p) {
+            let consumers: Vec<&String> =
+                net.place_postset(p).iter().map(|t| &token[t]).collect();
+            if !consumers.is_empty() {
+                let mut line = name.clone();
+                for c in consumers {
+                    line.push(' ');
+                    line.push_str(c);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+
+    let mut marking_tokens = Vec::new();
+    for p in net.places() {
+        if net.initial_marking().contains(p) {
+            match implicit.get(&p) {
+                Some(&(producer, consumer)) => {
+                    marking_tokens.push(format!("<{},{}>", token[&producer], token[&consumer]));
+                }
+                None => marking_tokens.push(explicit_name[&p].clone()),
+            }
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", marking_tokens.join(" "));
+
+    if let Some(code) = stg.initial_code() {
+        let assigns: Vec<String> = stg
+            .signals()
+            .map(|s| {
+                format!(
+                    "{}={}",
+                    stg.signal_name(s),
+                    if code.get(s) { 1 } else { 0 }
+                )
+            })
+            .collect();
+        let _ = writeln!(out, ".initial {{ {} }}", assigns.join(" "));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StgBuilder;
+    use crate::parse::parse_g;
+
+    fn sample() -> Stg {
+        let mut b = StgBuilder::new();
+        b.set_name("sample");
+        let a = b.input("a");
+        let c = b.output("c");
+        let a_p = b.rise(a);
+        let c_p = b.rise(c);
+        let a_m = b.fall(a);
+        let c_m = b.fall(c);
+        b.arc_tt(a_p, c_p);
+        b.arc_tt(c_p, a_m);
+        b.arc_tt(a_m, c_m);
+        let back = b.arc_tt(c_m, a_p);
+        b.mark(back);
+        b.initial_all_zero();
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let stg = sample();
+        let text = write_g(&stg);
+        let re = parse_g(&text).expect("reparses");
+        assert_eq!(re.name(), stg.name());
+        assert_eq!(re.signal_count(), stg.signal_count());
+        assert_eq!(re.net().transition_count(), stg.net().transition_count());
+        assert_eq!(re.net().place_count(), stg.net().place_count());
+        assert_eq!(
+            re.net().initial_marking().len(),
+            stg.net().initial_marking().len()
+        );
+        assert_eq!(
+            re.initial_code().map(ToString::to_string),
+            stg.initial_code().map(ToString::to_string)
+        );
+    }
+
+    #[test]
+    fn duplicate_labels_get_indices() {
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let x = b.output("x");
+        let a1 = b.rise(a);
+        let x1 = b.rise(x);
+        let a2 = b.fall(a);
+        let x2 = b.fall(x);
+        let x3 = b.rise(x); // second x+ instance
+        let x4 = b.fall(x); // second x- instance
+        b.arc_tt(a1, x1);
+        b.arc_tt(x1, a2);
+        b.arc_tt(a2, x2);
+        b.arc_tt(x2, x3);
+        b.arc_tt(x3, x4);
+        let back = b.arc_tt(x4, a1);
+        b.mark(back);
+        b.initial_all_zero();
+        let stg = b.build().expect("valid");
+        let text = write_g(&stg);
+        assert!(text.contains("x+/2"));
+        assert!(text.contains("x-/2"));
+        let re = parse_g(&text).expect("reparses");
+        assert_eq!(re.net().transition_count(), 6);
+    }
+
+    #[test]
+    fn explicit_place_with_fanout_kept() {
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let c = b.output("c");
+        let a_p = b.rise(a);
+        let c_p = b.rise(c);
+        let a_m = b.fall(a);
+        let c_m = b.fall(c);
+        // A choice place feeding both a+ and c+ would be place-to-two-
+        // transitions; use a merge place with two producers instead.
+        let merge = b.place("merge");
+        b.arc_tp(a_p, merge);
+        b.arc_tp(c_p, merge);
+        b.arc_pt(merge, a_m);
+        b.arc_tt(a_m, c_m);
+        let p1 = b.arc_tt(c_m, a_p);
+        let p2 = b.arc_tt(c_m, c_p);
+        b.mark(p1);
+        b.mark(p2);
+        b.initial_all_zero();
+        let stg = b.build().expect("valid");
+        let text = write_g(&stg);
+        assert!(text.contains("merge"));
+        let re = parse_g(&text).expect("reparses");
+        assert_eq!(re.net().place_count(), stg.net().place_count());
+    }
+}

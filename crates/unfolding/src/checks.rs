@@ -1,0 +1,173 @@
+//! Semi-modularity (output persistency) checking on the segment.
+//!
+//! The paper (§3.1): "The last general correctness criterion,
+//! semi-modularity, can be checked on the STG-unfolding segment in linear
+//! time." An excited non-input signal must not be disabled by any other
+//! transition firing; on the occurrence net this shows up as two events in
+//! *direct conflict* (sharing a preset condition) that can be co-enabled,
+//! where the disabled one drives a non-input signal.
+
+use si_stg::{SignalTransition, Stg};
+
+use crate::build::StgUnfolding;
+use crate::ids::{ConditionId, EventId};
+
+/// A semi-modularity violation found on the segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPersistencyViolation {
+    /// The condition both events compete for.
+    pub condition: ConditionId,
+    /// The event whose (non-input) signal change can be disabled.
+    pub disabled: EventId,
+    /// Its label.
+    pub disabled_label: SignalTransition,
+    /// The competing event whose firing disables it.
+    pub by: EventId,
+}
+
+/// Checks semi-modularity on the segment.
+///
+/// Two consumers of one condition are reported when they can actually be
+/// co-enabled (their remaining preset conditions are pairwise concurrent)
+/// and the disabled event drives an output or internal signal.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_unfolding::{check_segment_persistency, StgUnfolding, UnfoldingOptions};
+///
+/// # fn main() -> Result<(), si_unfolding::UnfoldError> {
+/// let stg = paper_fig1();
+/// let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default())?;
+/// assert!(check_segment_persistency(&stg, &unf).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_segment_persistency(
+    stg: &Stg,
+    unf: &StgUnfolding,
+) -> Vec<SegmentPersistencyViolation> {
+    let mut violations = Vec::new();
+    for b in unf.conditions() {
+        let consumers = unf.consumers(b);
+        if consumers.len() < 2 {
+            continue;
+        }
+        for (i, &e1) in consumers.iter().enumerate() {
+            let Some(l1) = unf.label(e1) else { continue };
+            if !stg.signal_kind(l1.signal).is_implementable() {
+                continue;
+            }
+            for (j, &e2) in consumers.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if co_enabled(unf, e1, e2, b) {
+                    violations.push(SegmentPersistencyViolation {
+                        condition: b,
+                        disabled: e1,
+                        disabled_label: l1,
+                        by: e2,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Both events can be enabled at once: besides the shared condition, their
+/// presets are pairwise concurrent (or shared).
+fn co_enabled(unf: &StgUnfolding, e1: EventId, e2: EventId, shared: ConditionId) -> bool {
+    for &b1 in unf.preset(e1) {
+        for &b2 in unf.preset(e2) {
+            if b1 == b2 || b1 == shared || b2 == shared {
+                continue;
+            }
+            if !unf.conditions_co(b1, b2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{StgUnfolding, UnfoldingOptions};
+    use si_stg::generators::muller_pipeline;
+    use si_stg::suite::{request_mux, paper_fig4ab, vme_read_csc};
+    use si_stg::{SignalKind, StgBuilder};
+
+    fn build(stg: &Stg) -> StgUnfolding {
+        StgUnfolding::build(stg, &UnfoldingOptions::default()).expect("builds")
+    }
+
+    #[test]
+    fn clean_specs_have_no_violations() {
+        for stg in [
+            paper_fig4ab(),
+            vme_read_csc(),
+            request_mux(),
+            muller_pipeline(3),
+        ] {
+            let unf = build(&stg);
+            assert!(
+                check_segment_persistency(&stg, &unf).is_empty(),
+                "{} flagged",
+                stg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn output_choice_flagged() {
+        let mut b = StgBuilder::new();
+        let x = b.signal("x", SignalKind::Output);
+        let y = b.signal("y", SignalKind::Output);
+        let px = b.place("choice");
+        let x_p = b.rise(x);
+        let y_p = b.rise(y);
+        let x_m = b.fall(x);
+        let y_m = b.fall(y);
+        b.arc_pt(px, x_p);
+        b.arc_pt(px, y_p);
+        b.arc_tt(x_p, x_m);
+        b.arc_tt(y_p, y_m);
+        b.arc_tp(x_m, px);
+        b.arc_tp(y_m, px);
+        b.mark(px);
+        b.initial_all_zero();
+        let stg = b.build().expect("builds");
+        let unf = build(&stg);
+        let v = check_segment_persistency(&stg, &unf);
+        assert!(!v.is_empty());
+        // Both orderings are reported (x disabled by y and vice versa).
+        assert!(v.len() >= 2);
+    }
+
+    #[test]
+    fn input_choice_not_flagged() {
+        let mut b = StgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let px = b.place("choice");
+        let x_p = b.rise(x);
+        let y_p = b.rise(y);
+        let x_m = b.fall(x);
+        let y_m = b.fall(y);
+        b.arc_pt(px, x_p);
+        b.arc_pt(px, y_p);
+        b.arc_tt(x_p, x_m);
+        b.arc_tt(y_p, y_m);
+        b.arc_tp(x_m, px);
+        b.arc_tp(y_m, px);
+        b.mark(px);
+        b.initial_all_zero();
+        let stg = b.build().expect("builds");
+        let unf = build(&stg);
+        assert!(check_segment_persistency(&stg, &unf).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export of a segment, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use si_stg::Stg;
+
+use crate::build::StgUnfolding;
+
+/// Renders the segment in Graphviz DOT syntax. Events are boxes labelled
+/// with the instantiated signal change and their binary code; cutoff events
+/// are double-bordered; conditions carry their original place names.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_unfolding::{unfolding_to_dot, StgUnfolding, UnfoldingOptions};
+///
+/// # fn main() -> Result<(), si_unfolding::UnfoldError> {
+/// let stg = paper_fig1();
+/// let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default())?;
+/// let dot = unfolding_to_dot(&stg, &unf);
+/// assert!(dot.contains("digraph unfolding"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn unfolding_to_dot(stg: &Stg, unf: &StgUnfolding) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph unfolding {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for e in unf.events() {
+        let label = match unf.transition(e) {
+            Some(t) => format!("{} [{}]", stg.transition_label_string(t), unf.code(e)),
+            None => format!("⊥ [{}]", unf.code(e)),
+        };
+        let peripheries = if unf.is_cutoff(e) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  E{} [label=\"{}\", shape=box, peripheries={}];",
+            e.0, label, peripheries
+        );
+    }
+    for b in unf.conditions() {
+        let _ = writeln!(
+            out,
+            "  B{} [label=\"{}\", shape=circle];",
+            b.0,
+            stg.net().place_name(unf.place(b))
+        );
+    }
+    for e in unf.events() {
+        for &b in unf.preset(e) {
+            let _ = writeln!(out, "  B{} -> E{};", b.0, e.0);
+        }
+        for &b in unf.postset(e) {
+            let _ = writeln!(out, "  E{} -> B{};", e.0, b.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::UnfoldingOptions;
+    use si_stg::suite::paper_fig1;
+
+    #[test]
+    fn dot_shows_cutoffs_and_codes() {
+        let stg = paper_fig1();
+        let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default()).expect("builds");
+        let dot = unfolding_to_dot(&stg, &unf);
+        assert!(dot.contains("peripheries=2")); // the -b cutoff
+        assert!(dot.contains("[000]")); // the initial code appears
+        assert!(dot.contains("a+"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for unfolding construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing an STG-unfolding segment.
+///
+/// The paper (§3.1) notes that a segment "can only be constructed for an STG
+/// specification satisfying boundedness and consistent state assignment
+/// criteria" — violations of either are detected during construction and
+/// reported here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnfoldError {
+    /// The STG violates consistent state assignment.
+    Inconsistent {
+        /// The offending signal's name.
+        signal: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The underlying net is not 1-safe (two concurrent instances of the
+    /// same place).
+    Unsafe {
+        /// The offending place's name.
+        place: String,
+    },
+    /// The segment exceeded the event budget (the STG may be unbounded, or
+    /// simply too large for the configured limit).
+    BudgetExceeded {
+        /// The event budget that was exceeded.
+        budget: usize,
+    },
+    /// The STG contains dummy (unlabelled) transitions, which the synthesis
+    /// algorithms do not support.
+    DummyTransitions,
+    /// A transition has two arcs from the same place (non-unit arc weight),
+    /// which 1-safe STGs cannot fire.
+    DuplicatePresetPlace {
+        /// The offending transition's label.
+        transition: String,
+    },
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::Inconsistent { signal, detail } => {
+                write!(f, "inconsistent state assignment on `{signal}`: {detail}")
+            }
+            UnfoldError::Unsafe { place } => {
+                write!(f, "net is not 1-safe: place `{place}` can hold two tokens")
+            }
+            UnfoldError::BudgetExceeded { budget } => {
+                write!(f, "unfolding exceeded the budget of {budget} events")
+            }
+            UnfoldError::DummyTransitions => {
+                f.write_str("STG contains dummy transitions; label every transition")
+            }
+            UnfoldError::DuplicatePresetPlace { transition } => {
+                write!(
+                    f,
+                    "transition `{transition}` has a duplicated preset place (arc weight > 1)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for UnfoldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(UnfoldError::Inconsistent {
+            signal: "a".into(),
+            detail: "x".into()
+        }
+        .to_string()
+        .contains("`a`"));
+        assert!(UnfoldError::Unsafe { place: "p".into() }
+            .to_string()
+            .contains("1-safe"));
+        assert!(UnfoldError::BudgetExceeded { budget: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(UnfoldError::DummyTransitions.to_string().contains("dummy"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Node identifiers for the occurrence net.
+
+use std::fmt;
+
+/// Index of an event (transition instance) in a
+/// [`StgUnfolding`](crate::StgUnfolding).
+///
+/// Event 0 is always the virtual *initial transition* `⊥` whose postset maps
+/// onto the initial marking (the paper, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+/// Index of a condition (place instance) in a
+/// [`StgUnfolding`](crate::StgUnfolding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConditionId(pub u32);
+
+impl EventId {
+    /// The virtual initial transition `⊥`.
+    pub const ROOT: EventId = EventId(0);
+
+    /// The id as a `usize`, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the initial transition `⊥`.
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl ConditionId {
+    /// The id as a `usize`, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            f.write_str("⊥")
+        } else {
+            write!(f, "e{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ConditionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_display() {
+        assert_eq!(EventId::ROOT.to_string(), "⊥");
+        assert_eq!(EventId(3).to_string(), "e3");
+        assert_eq!(ConditionId(7).to_string(), "b7");
+        assert!(EventId::ROOT.is_root());
+        assert!(!EventId(1).is_root());
+    }
+}

@@ -1,0 +1,43 @@
+//! # si-unfolding — the STG-unfolding segment
+//!
+//! The partial-order semantic model the paper's synthesis method rests on:
+//! a finite, complete prefix of the occurrence-net unfolding of an STG
+//! (McMillan-style, with a pluggable adequate order), where every event
+//! carries the binary code of its local configuration.
+//!
+//! Construction doubles as verification, exactly as in the paper:
+//! consistency of the state assignment, 1-safeness and (separately)
+//! semi-modularity are checked on the segment, so by the time a segment
+//! exists the general correctness criteria hold.
+//!
+//! ## Example
+//!
+//! ```
+//! use si_stg::generators::independent_cycles;
+//! use si_unfolding::{StgUnfolding, UnfoldingOptions};
+//!
+//! # fn main() -> Result<(), si_unfolding::UnfoldError> {
+//! // 12 concurrent loops: the state graph has 4096 states …
+//! let stg = independent_cycles(12);
+//! let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default())?;
+//! // … but the segment stays linear in the number of loops.
+//! assert!(unf.event_count() <= 25);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod checks;
+mod dot;
+mod error;
+mod ids;
+mod relations;
+
+pub use build::{AdequateOrder, StgUnfolding, UnfoldingOptions};
+pub use checks::{check_segment_persistency, SegmentPersistencyViolation};
+pub use dot::unfolding_to_dot;
+pub use error::UnfoldError;
+pub use ids::{ConditionId, EventId};

@@ -1,0 +1,409 @@
+//! Queries over a built segment: structure access, the causality /
+//! concurrency relations, cuts, and the `next` / `first` instance sets the
+//! synthesis algorithms are defined on.
+
+use si_petri::{BitSet, Marking, PlaceId, TransitionId};
+use si_stg::{BinaryCode, SignalId, SignalTransition, Stg};
+
+use crate::build::StgUnfolding;
+use crate::ids::{ConditionId, EventId};
+
+impl StgUnfolding {
+    /// Number of events, including the initial transition `⊥`.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of conditions.
+    pub fn condition_count(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Iterates over all events (`⊥` first).
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.events.len() as u32).map(EventId)
+    }
+
+    /// Iterates over all conditions.
+    pub fn conditions(&self) -> impl Iterator<Item = ConditionId> + '_ {
+        (0..self.conditions.len() as u32).map(ConditionId)
+    }
+
+    /// The STG transition instantiated by `e` (`None` for `⊥`).
+    pub fn transition(&self, e: EventId) -> Option<TransitionId> {
+        self.events[e.index()].transition
+    }
+
+    /// The signal change labelling `e` (`None` for `⊥`).
+    pub fn label(&self, e: EventId) -> Option<SignalTransition> {
+        self.events[e.index()].label
+    }
+
+    /// Returns `true` if `e` is a cutoff event.
+    pub fn is_cutoff(&self, e: EventId) -> bool {
+        self.events[e.index()].cutoff
+    }
+
+    /// The preset conditions `•e`.
+    pub fn preset(&self, e: EventId) -> &[ConditionId] {
+        &self.events[e.index()].preset
+    }
+
+    /// The postset conditions `e•`.
+    pub fn postset(&self, e: EventId) -> &[ConditionId] {
+        &self.events[e.index()].postset
+    }
+
+    /// `⌈e⌉` as a bit set of event indices (includes `e`, excludes `⊥`).
+    pub fn causes(&self, e: EventId) -> &BitSet {
+        &self.events[e.index()].causes
+    }
+
+    /// `|⌈e⌉|`.
+    pub fn local_size(&self, e: EventId) -> usize {
+        self.events[e.index()].size
+    }
+
+    /// The binary code `λ(⌈e⌉)` reached by firing the local configuration.
+    pub fn code(&self, e: EventId) -> &BinaryCode {
+        &self.codes[e.index()]
+    }
+
+    /// The initial binary code `v₀` (declared or inferred from `first`).
+    pub fn initial_code(&self) -> &BinaryCode {
+        &self.initial_code
+    }
+
+    /// Number of signals of the originating STG.
+    pub fn signal_count(&self) -> usize {
+        self.signal_count
+    }
+
+    /// The minimal stable cut `c_min_s(e) = Cut(⌈e⌉)`: the state reached by
+    /// firing `e` with its minimal set of causes.
+    pub fn min_stable_cut(&self, e: EventId) -> &[ConditionId] {
+        &self.events[e.index()].cut
+    }
+
+    /// The minimal excitation cut `c_min_e(e) = Cut(⌈e⌉ \ {e})`: the first
+    /// state at which `e` becomes enabled.
+    pub fn min_excitation_cut(&self, e: EventId) -> Vec<ConditionId> {
+        let ev = &self.events[e.index()];
+        let mut cut: Vec<ConditionId> = ev
+            .cut
+            .iter()
+            .copied()
+            .filter(|b| !ev.postset.contains(b))
+            .collect();
+        cut.extend(ev.preset.iter().copied());
+        cut.sort();
+        cut
+    }
+
+    /// `Mark(⌈e⌉)`: the final state of the local configuration, as a marking
+    /// of the original STG.
+    pub fn final_marking(&self, e: EventId) -> &Marking {
+        &self.events[e.index()].marking
+    }
+
+    /// The original place instantiated by condition `b`.
+    pub fn place(&self, b: ConditionId) -> PlaceId {
+        self.conditions[b.index()].place
+    }
+
+    /// The event that produced `b` (`⊥` for initial conditions).
+    pub fn producer(&self, b: ConditionId) -> EventId {
+        self.conditions[b.index()].producer
+    }
+
+    /// The events consuming `b`.
+    pub fn consumers(&self, b: ConditionId) -> &[EventId] {
+        &self.conditions[b.index()].consumers
+    }
+
+    /// Returns `true` if `b` was produced by a cutoff event (the segment is
+    /// not extended past it).
+    pub fn is_frozen(&self, b: ConditionId) -> bool {
+        self.conditions[b.index()].frozen
+    }
+
+    /// The conditions concurrent with `b`, as a bit set of condition indices.
+    pub fn co_conditions(&self, b: ConditionId) -> &BitSet {
+        &self.conditions[b.index()].co
+    }
+
+    /// Returns `true` if the two conditions are concurrent.
+    pub fn conditions_co(&self, a: ConditionId, b: ConditionId) -> bool {
+        self.conditions[a.index()].co.contains(b.index())
+    }
+
+    /// Causal order on events: `a ≤ b` iff `a ∈ ⌈b⌉` (with `⊥ ≤` everything).
+    pub fn precedes_or_equal(&self, a: EventId, b: EventId) -> bool {
+        a.is_root() || self.events[b.index()].causes.contains(a.index())
+    }
+
+    /// True concurrency on events: neither ordered nor in conflict.
+    pub fn events_co(&self, a: EventId, b: EventId) -> bool {
+        if a == b || a.is_root() || b.is_root() {
+            return false;
+        }
+        if self.precedes_or_equal(a, b) || self.precedes_or_equal(b, a) {
+            return false;
+        }
+        // Unordered events are concurrent iff their postsets can coexist.
+        self.events[a.index()].postset.iter().any(|&ba| {
+            self.events[b.index()]
+                .postset
+                .iter()
+                .any(|&bb| self.conditions_co(ba, bb))
+        })
+    }
+
+    /// Returns `true` if event `e` can fire while condition `b` is marked:
+    /// `b` is concurrent with every preset condition of `e`.
+    pub fn event_co_condition(&self, e: EventId, b: ConditionId) -> bool {
+        if e.is_root() {
+            return false;
+        }
+        let preset = &self.events[e.index()].preset;
+        if preset.contains(&b) {
+            return false;
+        }
+        preset
+            .iter()
+            .all(|&p| self.conditions[b.index()].co.contains(p.index()))
+    }
+
+    /// Causal order between a condition and an event: `b < e` iff some
+    /// consumer of `b` belongs to `⌈e⌉` (i.e. `e` can only fire after `b`
+    /// was marked and consumed) or `b ∈ •e`.
+    pub fn condition_precedes_event(&self, b: ConditionId, e: EventId) -> bool {
+        if self.events[e.index()].preset.contains(&b) {
+            return true;
+        }
+        self.conditions[b.index()]
+            .consumers
+            .iter()
+            .any(|&c| self.events[e.index()].causes.contains(c.index()))
+    }
+
+    /// Causal order between an event and a condition: `e ≤ b` iff the
+    /// producer of `b` is `e` or causally after `e`.
+    pub fn event_precedes_condition(&self, e: EventId, b: ConditionId) -> bool {
+        let prod = self.conditions[b.index()].producer;
+        if prod.is_root() {
+            return e.is_root();
+        }
+        self.precedes_or_equal(e, prod)
+    }
+
+    /// `first(a)`: the instances of signal `signal` first reached from the
+    /// beginning of the segment (no other instance of the signal in their
+    /// local configuration).
+    pub fn first_instances(&self, signal: SignalId) -> Vec<EventId> {
+        self.events()
+            .filter(|&e| {
+                let Some(l) = self.label(e) else { return false };
+                if l.signal != signal {
+                    return false;
+                }
+                // No earlier instance of the same signal in ⌈e⌉ \ {e}.
+                self.events[e.index()]
+                    .causes
+                    .iter()
+                    .filter(|&c| c != e.index())
+                    .all(|c| self.events[c].label.map(|l2| l2.signal) != Some(signal))
+            })
+            .collect()
+    }
+
+    /// `next(e)`: the instances of `e`'s signal causally reachable from `e`
+    /// without an intermediate instance of the same signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is the initial transition `⊥` (it has no signal); use
+    /// [`first_instances`](Self::first_instances) for the slice entered at
+    /// the initial state.
+    pub fn next_instances(&self, e: EventId) -> Vec<EventId> {
+        let signal = self
+            .label(e)
+            .expect("next_instances of a labelled event")
+            .signal;
+        let mut out = Vec::new();
+        let mut seen_events = BitSet::new();
+        let mut stack: Vec<EventId> = vec![e];
+        while let Some(cur) = stack.pop() {
+            for &b in &self.events[cur.index()].postset {
+                for &consumer in &self.conditions[b.index()].consumers {
+                    if !seen_events.insert(consumer.index()) {
+                        continue;
+                    }
+                    let l = self.events[consumer.index()].label.expect("labelled");
+                    if l.signal == signal {
+                        out.push(consumer);
+                    } else {
+                        stack.push(consumer);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All instances of `signal` in the segment.
+    pub fn instances_of(&self, signal: SignalId) -> Vec<EventId> {
+        self.events()
+            .filter(|&e| self.label(e).map(|l| l.signal) == Some(signal))
+            .collect()
+    }
+
+    /// Renders a human-readable name for `e`, e.g. `e3:c+`.
+    pub fn event_name(&self, stg: &Stg, e: EventId) -> String {
+        match self.transition(e) {
+            Some(t) => format!("{e}:{}", stg.transition_label_string(t)),
+            None => "⊥".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::UnfoldingOptions;
+    use si_stg::suite::{paper_fig1, paper_fig4ab};
+    use si_stg::Polarity;
+
+    fn fig1() -> (si_stg::Stg, StgUnfolding) {
+        let stg = paper_fig1();
+        let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default()).expect("builds");
+        (stg, unf)
+    }
+
+    fn event_by_name(stg: &si_stg::Stg, unf: &StgUnfolding, name: &str) -> EventId {
+        unf.events()
+            .find(|&e| {
+                unf.transition(e)
+                    .map(|t| stg.transition_label_string(t) == name)
+                    .unwrap_or(false)
+            })
+            .unwrap_or_else(|| panic!("no event labelled {name}"))
+    }
+
+    #[test]
+    fn codes_match_paper_fig2() {
+        let (stg, unf) = fig1();
+        // λ(⌈+a⌉) = 100, λ(⌈-a⌉) = 011 (after a,b,c up then a down), etc.
+        let a_plus = event_by_name(&stg, &unf, "a+");
+        assert_eq!(unf.code(a_plus).to_string(), "100");
+        let a_minus = event_by_name(&stg, &unf, "a-");
+        assert_eq!(unf.code(a_minus).to_string(), "011");
+        assert_eq!(unf.initial_code().to_string(), "000");
+        assert_eq!(unf.code(EventId::ROOT).to_string(), "000");
+    }
+
+    #[test]
+    fn min_cuts_of_fig1() {
+        let (stg, unf) = fig1();
+        let a_plus = event_by_name(&stg, &unf, "a+");
+        // c_min_s(+a) = {p2, p3}; c_min_e(+a) = {p1}.
+        let stable: Vec<String> = unf
+            .min_stable_cut(a_plus)
+            .iter()
+            .map(|&b| stg.net().place_name(unf.place(b)).to_owned())
+            .collect();
+        assert_eq!(stable, vec!["p2", "p3"]);
+        let excitation: Vec<String> = unf
+            .min_excitation_cut(a_plus)
+            .iter()
+            .map(|&b| stg.net().place_name(unf.place(b)).to_owned())
+            .collect();
+        assert_eq!(excitation, vec!["p1"]);
+    }
+
+    #[test]
+    fn concurrency_between_b_and_c_instances() {
+        let (stg, unf) = fig1();
+        // +b (the p2→p5 instance) and +c (the p3→{p6,p8} instance) are
+        // concurrent; find them by their codes/structure.
+        let b_instances = unf.instances_of(stg.signal_by_name("b").expect("b"));
+        let c_instances = unf.instances_of(stg.signal_by_name("c").expect("c"));
+        let concurrent_pairs: Vec<(EventId, EventId)> = b_instances
+            .iter()
+            .flat_map(|&be| c_instances.iter().map(move |&ce| (be, ce)))
+            .filter(|&(be, ce)| unf.events_co(be, ce))
+            .collect();
+        assert_eq!(concurrent_pairs.len(), 1, "exactly +b'' co +c''");
+    }
+
+    #[test]
+    fn next_instances_in_fig1() {
+        let (stg, unf) = fig1();
+        let a_plus = event_by_name(&stg, &unf, "a+");
+        let next = unf.next_instances(a_plus);
+        assert_eq!(next.len(), 1);
+        assert_eq!(
+            unf.label(next[0]).map(|l| l.polarity),
+            Some(Polarity::Fall)
+        );
+        // next of +b'' should be -b (through +c, -a, -c).
+        let sb = stg.signal_by_name("b").expect("b");
+        for &e in &unf.instances_of(sb) {
+            if unf.label(e).map(|l| l.polarity) == Some(Polarity::Rise) {
+                let next = unf.next_instances(e);
+                assert!(next.iter().all(|&x| {
+                    unf.label(x).map(|l| (l.signal, l.polarity)) == Some((sb, Polarity::Fall))
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn first_instances_in_fig1() {
+        let (stg, unf) = fig1();
+        let sb = stg.signal_by_name("b").expect("b");
+        let firsts = unf.first_instances(sb);
+        // Both +b instances are first (they are in conflicting branches).
+        assert_eq!(firsts.len(), 2);
+        let sc = stg.signal_by_name("c").expect("c");
+        assert_eq!(unf.first_instances(sc).len(), 2);
+    }
+
+    #[test]
+    fn event_condition_concurrency_fig4() {
+        let stg = paper_fig4ab();
+        let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default()).expect("builds");
+        let d_plus = event_by_name(&stg, &unf, "d+");
+        // p2 (input of +b) is concurrent with +d.
+        let p2 = unf
+            .conditions()
+            .find(|&b| stg.net().place_name(unf.place(b)) == "p2")
+            .expect("p2 instance");
+        assert!(unf.event_co_condition(d_plus, p2));
+        // p4 (the very input of +d) is not.
+        let p4 = unf
+            .conditions()
+            .find(|&b| stg.net().place_name(unf.place(b)) == "p4")
+            .expect("p4 instance");
+        assert!(!unf.event_co_condition(d_plus, p4));
+    }
+
+    #[test]
+    fn causal_orders() {
+        let (stg, unf) = fig1();
+        let a_plus = event_by_name(&stg, &unf, "a+");
+        let a_minus = event_by_name(&stg, &unf, "a-");
+        assert!(unf.precedes_or_equal(a_plus, a_minus));
+        assert!(!unf.precedes_or_equal(a_minus, a_plus));
+        assert!(unf.precedes_or_equal(EventId::ROOT, a_plus));
+        // Condition/event order: p1 precedes a+.
+        let p1 = unf
+            .conditions()
+            .find(|&b| stg.net().place_name(unf.place(b)) == "p1" && unf.producer(b).is_root())
+            .expect("initial p1");
+        assert!(unf.condition_precedes_event(p1, a_plus));
+        assert!(!unf.event_precedes_condition(a_plus, p1));
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthesising Muller pipelines: the workload of the paper's Figure 6.
+//!
+//! Demonstrates why the unfolding segment scales where the state graph does
+//! not: the segment grows polynomially with the stage count while the SG
+//! grows exponentially, yet both flows produce the same C-element logic.
+//!
+//! Run with: `cargo run --release --example muller_pipeline -- [stages]`
+
+use si_synth::stategraph::StateGraph;
+use si_synth::stg::generators::muller_pipeline;
+use si_synth::synthesis::{synthesize_from_unfolding, verify_against_sg, SynthesisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4);
+    let spec = muller_pipeline(stages);
+    println!("specification: {spec}");
+
+    let result = synthesize_from_unfolding(&spec, &SynthesisOptions::default())?;
+    println!(
+        "unfolding segment: {} events / {} conditions",
+        result.events, result.conditions
+    );
+    match StateGraph::build(&spec, 5_000_000) {
+        Ok(sg) => println!("state graph:       {} states (for comparison)", sg.len()),
+        Err(e) => println!("state graph:       not buildable ({e})"),
+    }
+
+    println!("\ngate equations (each stage is a C-element):");
+    for gate in &result.gates {
+        println!("  {}   [{} literals]", gate.equation(&spec), gate.literal_count());
+    }
+    println!("total literals: {}", result.literal_count());
+    println!(
+        "timing: unfold {:?}, derive {:?}, minimise {:?}",
+        result.timing.unfold, result.timing.derive, result.timing.minimize
+    );
+
+    if stages <= 8 {
+        verify_against_sg(&spec, &result, 5_000_000)?;
+        println!("verified against the state-graph oracle");
+    } else {
+        println!("(skipping SG verification — state space too large, which is the point)");
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! A miniature of the paper's Figure 6: unfolding-based synthesis vs the
+//! SG-based baseline on growing Muller pipelines.
+//!
+//! Run with: `cargo run --release --example scaling`
+
+use std::time::Instant;
+
+use si_synth::stategraph::{synthesize_from_sg, SgSynthesisOptions};
+use si_synth::stg::generators::muller_pipeline;
+use si_synth::synthesis::{synthesize_from_unfolding, SynthesisOptions};
+
+fn main() {
+    println!("{:>7} {:>8} {:>14} {:>14}", "stages", "signals", "PUNT-style", "SG baseline");
+    for stages in [2, 4, 6, 8, 10, 12] {
+        let spec = muller_pipeline(stages);
+
+        let start = Instant::now();
+        let unf = synthesize_from_unfolding(&spec, &SynthesisOptions::default());
+        let unf_time = start.elapsed();
+        let unf_cell = match unf {
+            Ok(r) => format!("{:>9.2?} ({})", unf_time, r.literal_count()),
+            Err(e) => format!("error: {e}"),
+        };
+
+        let start = Instant::now();
+        let sg = synthesize_from_sg(
+            &spec,
+            &SgSynthesisOptions {
+                state_budget: 300_000,
+                ..SgSynthesisOptions::default()
+            },
+        );
+        let sg_time = start.elapsed();
+        let sg_cell = match sg {
+            Ok(r) => format!("{:>9.2?} ({})", sg_time, r.literal_count()),
+            Err(_) => "state blow-up".to_owned(),
+        };
+
+        println!(
+            "{:>7} {:>8} {:>14} {:>14}",
+            stages,
+            spec.signal_count(),
+            unf_cell,
+            sg_cell
+        );
+    }
+    println!("\n(literal counts in parentheses; the SG baseline hits its state budget first)");
+}

@@ -1,0 +1,45 @@
+//! # si-synth — speed-independent circuit synthesis from STG-unfolding
+//! segments
+//!
+//! A full reproduction of *"Synthesis of Speed-Independent Circuits from
+//! STG-unfolding Segment"* (Semenov, Yakovlev, Pastor, Peña, Cortadella,
+//! DAC 1997) as a Rust workspace. This facade crate re-exports the public
+//! APIs of the member crates:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`petri`] | 1-safe Petri net kernel, markings, reachability |
+//! | [`stg`] | Signal Transition Graphs, `.g` parser/writer, generators, benchmark suite |
+//! | [`cubes`] | Ternary cube/cover algebra, Espresso-style minimiser |
+//! | [`stategraph`] | Explicit state graphs, CSC/persistency checks, SG-based baseline synthesis |
+//! | [`unfolding`] | STG-unfolding segments: occurrence nets, cutoffs, cuts, concurrency |
+//! | [`synthesis`] | The paper's contribution: slices, exact & approximate covers, refinement, architectures |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use si_synth::stg::suite::paper_fig1;
+//! use si_synth::synthesis::{synthesize_from_unfolding, SynthesisOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = paper_fig1();
+//! let netlist = synthesize_from_unfolding(&spec, &SynthesisOptions::default())?;
+//! for gate in &netlist.gates {
+//!     println!("{}", gate.equation(&spec)); // b = a + c
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! regenerated Table 1 / Figure 6 results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use si_cubes as cubes;
+pub use si_petri as petri;
+pub use si_stategraph as stategraph;
+pub use si_stg as stg;
+pub use si_synthesis as synthesis;
+pub use si_unfolding as unfolding;

@@ -1,0 +1,149 @@
+//! Property-based tests for the cube/cover algebra and the Espresso-style
+//! minimiser: the algebra must agree with brute-force truth-table
+//! evaluation on every operation, and minimisation must preserve the
+//! on/off contract while never increasing cost.
+
+use proptest::prelude::*;
+use si_synth::cubes::{minimize, Cover, Cube, Literal};
+
+/// Strategy: a random cube over `width` variables as a `{0,1,-}` string.
+fn cube_strategy(width: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('-')], width)
+        .prop_map(|chars| Cube::from_str_cube(&chars.into_iter().collect::<String>()))
+}
+
+/// Strategy: a random cover of up to `max_cubes` cubes.
+fn cover_strategy(width: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(cube_strategy(width), 0..=max_cubes)
+        .prop_map(|cubes| cubes.into_iter().collect())
+}
+
+/// All assignments over `width ≤ 12` variables.
+fn assignments(width: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << width)).map(move |x| (0..width).map(|i| (x >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cube_intersection_agrees_with_pointwise_and(a in cube_strategy(6), b in cube_strategy(6)) {
+        let i = a.intersect(&b);
+        for bits in assignments(6) {
+            let expected = a.covers_bits(&bits) && b.covers_bits(&bits);
+            let got = i.as_ref().map(|c| c.covers_bits(&bits)).unwrap_or(false);
+            prop_assert_eq!(expected, got, "at {:?}", bits);
+        }
+    }
+
+    #[test]
+    fn cube_containment_agrees_with_pointwise_subset(a in cube_strategy(6), b in cube_strategy(6)) {
+        let contains = a.contains(&b);
+        let pointwise = assignments(6).all(|bits| !b.covers_bits(&bits) || a.covers_bits(&bits));
+        prop_assert_eq!(contains, pointwise);
+    }
+
+    #[test]
+    fn supercube_is_smallest_common_superset(a in cube_strategy(6), b in cube_strategy(6)) {
+        let s = a.supercube(&b);
+        prop_assert!(s.contains(&a));
+        prop_assert!(s.contains(&b));
+        // Minimality: fixing any free variable of `s` to either value must
+        // exclude a point of `a` or `b`.
+        for v in 0..6 {
+            if s.get(v) == Literal::DontCare {
+                for lit in [Literal::Zero, Literal::One] {
+                    let mut tight = s.clone();
+                    tight.set(v, lit);
+                    if tight.contains(&a) && tight.contains(&b) {
+                        // Only allowed when the other polarity also works
+                        // (i.e. the variable genuinely doesn't matter) —
+                        // which cannot happen for a supercube of two cubes
+                        // unless both are empty of that variable, in which
+                        // case tightening both ways works; rule that out:
+                        let mut other = s.clone();
+                        other.set(v, if lit == Literal::Zero { Literal::One } else { Literal::Zero });
+                        prop_assert!(
+                            !(other.contains(&a) && other.contains(&b)),
+                            "supercube not minimal in var {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_tautology_agrees_with_exhaustive(f in cover_strategy(5, 6)) {
+        let tautology = f.is_tautology();
+        let exhaustive = assignments(5).all(|bits| f.covers_bits(&bits));
+        prop_assert_eq!(tautology, exhaustive);
+    }
+
+    #[test]
+    fn covers_cube_agrees_with_exhaustive(f in cover_strategy(5, 5), c in cube_strategy(5)) {
+        let covered = f.covers_cube(&c);
+        let exhaustive = assignments(5).all(|bits| !c.covers_bits(&bits) || f.covers_bits(&bits));
+        prop_assert_eq!(covered, exhaustive);
+    }
+
+    #[test]
+    fn cover_intersect_agrees_with_pointwise(f in cover_strategy(5, 4), g in cover_strategy(5, 4)) {
+        let x = f.intersect(&g);
+        for bits in assignments(5) {
+            prop_assert_eq!(
+                x.covers_bits(&bits),
+                f.covers_bits(&bits) && g.covers_bits(&bits)
+            );
+        }
+        prop_assert_eq!(f.intersects(&g), !x.is_empty());
+    }
+
+    #[test]
+    fn minimize_contract_on_random_partitions(seed in any::<u64>()) {
+        // Deterministically split the 6-variable space into on/off/dc
+        // minterms from the seed.
+        let width = 6usize;
+        let mut on = Cover::empty(width);
+        let mut off = Cover::empty(width);
+        for (i, bits) in assignments(width).enumerate() {
+            match (seed >> (i % 60)) & 0b11 {
+                0 => on.push(Cube::minterm(bits)),
+                1 => off.push(Cube::minterm(bits)),
+                _ => {} // don't care
+            }
+        }
+        let min = minimize(&on, &off);
+        for bits in assignments(width) {
+            if on.covers_bits(&bits) {
+                prop_assert!(min.covers_bits(&bits), "lost on-point {:?}", bits);
+            }
+            if off.covers_bits(&bits) {
+                prop_assert!(!min.covers_bits(&bits), "hit off-point {:?}", bits);
+            }
+        }
+        prop_assert!(min.len() <= on.len().max(1));
+        prop_assert!(min.literal_count() <= on.literal_count().max(1));
+    }
+
+    #[test]
+    fn minimize_is_idempotent(seed in any::<u64>()) {
+        let width = 5usize;
+        let mut on = Cover::empty(width);
+        let mut off = Cover::empty(width);
+        for (i, bits) in assignments(width).enumerate() {
+            match (seed >> (i % 60)) & 0b11 {
+                0 => on.push(Cube::minterm(bits)),
+                1 => off.push(Cube::minterm(bits)),
+                _ => {}
+            }
+        }
+        let once = minimize(&on, &off);
+        if once.is_empty() {
+            return Ok(());
+        }
+        let twice = minimize(&once, &off);
+        prop_assert!(twice.len() <= once.len());
+        prop_assert!(twice.literal_count() <= once.literal_count());
+    }
+}
