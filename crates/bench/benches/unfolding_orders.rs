@@ -13,17 +13,13 @@ fn bench_unfolding(c: &mut Criterion) {
             ("mcmillan", AdequateOrder::McMillan),
             ("erv", AdequateOrder::ErvLex),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, stages),
-                &stg,
-                |b, stg| {
-                    let options = UnfoldingOptions {
-                        order,
-                        ..UnfoldingOptions::default()
-                    };
-                    b.iter(|| StgUnfolding::build(stg, &options).expect("builds"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, stages), &stg, |b, stg| {
+                let options = UnfoldingOptions {
+                    order,
+                    ..UnfoldingOptions::default()
+                };
+                b.iter(|| StgUnfolding::build(stg, &options).expect("builds"));
+            });
         }
     }
     let cf = counterflow_pipeline(6);

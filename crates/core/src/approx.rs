@@ -130,12 +130,7 @@ pub fn approximate_side(stg: &Stg, unf: &StgUnfolding, slices: &[Slice]) -> Vec<
 /// provably enabled in *every* slice state where `p` is marked: it is
 /// enabled at `Cut(⌈prod(p)⌉)` through conditions no slice member can
 /// consume, so no later in-slice firing can disable it.
-fn opposite_always_enabled(
-    stg: &Stg,
-    unf: &StgUnfolding,
-    slice: &Slice,
-    p: ConditionId,
-) -> bool {
+fn opposite_always_enabled(stg: &Stg, unf: &StgUnfolding, slice: &Slice, p: ConditionId) -> bool {
     let producer = unf.producer(p);
     let base_cut = unf.min_stable_cut(producer);
     let marking: Marking = base_cut.iter().map(|&b| unf.place(b)).collect();
@@ -247,9 +242,7 @@ mod tests {
         let sa = stg.signal_by_name("a").expect("a");
         let slices = side_slices(&unf, sa, true);
         let atoms = approximate_side(&stg, &unf, &slices);
-        assert!(atoms
-            .iter()
-            .any(|a| a.kind == AtomKind::ExcitationRegion));
+        assert!(atoms.iter().any(|a| a.kind == AtomKind::ExcitationRegion));
         assert!(atoms.iter().all(|a| a.slice < slices.len()));
         assert!(atoms.iter().all(|a| !a.exhausted));
     }

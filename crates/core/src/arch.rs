@@ -140,9 +140,9 @@ pub fn synthesize_excitation_functions(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use si_stategraph::StateGraph;
     use si_stg::generators::muller_pipeline;
     use si_stg::suite::{paper_fig1, vme_read_csc};
-    use si_stategraph::StateGraph;
     use si_stg::Polarity;
 
     fn check_excitation_contract(stg: &Stg, impls: &[ExcitationImplementation]) {

@@ -157,11 +157,7 @@ pub fn restricted_exit_cubes(
 /// stay marked (such firings preserve exit-enabledness, so every covered
 /// state is genuinely excluded). Returns `None` when `p` cannot coexist
 /// with the exit preset or the joint configuration would consume `p`.
-pub fn exit_enabled_under_cube(
-    unf: &StgUnfolding,
-    p: ConditionId,
-    exit: EventId,
-) -> Option<Cube> {
+pub fn exit_enabled_under_cube(unf: &StgUnfolding, p: ConditionId, exit: EventId) -> Option<Cube> {
     let preset = unf.preset(exit);
     // `p` must be able to coexist with every exit-preset condition.
     for &b in preset {
@@ -193,8 +189,8 @@ pub fn exit_enabled_under_cube(
         if joint.contains(f.index()) {
             continue;
         }
-        let preserves = unf.event_co_condition(f, p)
-            && preset.iter().all(|&b| unf.event_co_condition(f, b));
+        let preserves =
+            unf.event_co_condition(f, p) && preset.iter().all(|&b| unf.event_co_condition(f, b));
         if preserves {
             if let Some(label) = unf.label(f) {
                 cube.set(label.signal.index(), Literal::DontCare);
@@ -235,8 +231,7 @@ pub fn opposite_enabled_under_cubes(
             .map(|&q| {
                 unf.conditions()
                     .filter(|&b| {
-                        unf.place(b) == q
-                            && (b == p || unf.co_conditions(p).contains(b.index()))
+                        unf.place(b) == q && (b == p || unf.co_conditions(p).contains(b.index()))
                     })
                     .collect::<Vec<_>>()
             })
@@ -275,9 +270,7 @@ fn assemble_cosets(
         return;
     }
     for &b in &candidates[idx] {
-        let compatible = combo
-            .iter()
-            .all(|&c| c == b || unf.conditions_co(c, b));
+        let compatible = combo.iter().all(|&c| c == b || unf.conditions_co(c, b));
         if compatible {
             combo.push(b);
             assemble_cosets(unf, candidates, idx + 1, combo, budget, sink);
@@ -287,11 +280,7 @@ fn assemble_cosets(
 }
 
 /// The under-cube for one co-set (see [`opposite_enabled_under_cubes`]).
-fn under_cube_for_coset(
-    unf: &StgUnfolding,
-    p: ConditionId,
-    coset: &[ConditionId],
-) -> Option<Cube> {
+fn under_cube_for_coset(unf: &StgUnfolding, p: ConditionId, coset: &[ConditionId]) -> Option<Cube> {
     let mut joint = BitSet::new();
     let prod_p = unf.producer(p);
     if !prod_p.is_root() {
@@ -317,8 +306,8 @@ fn under_cube_for_coset(
         if joint.contains(f.index()) {
             continue;
         }
-        let preserves = unf.event_co_condition(f, p)
-            && coset.iter().all(|&b| unf.event_co_condition(f, b));
+        let preserves =
+            unf.event_co_condition(f, p) && coset.iter().all(|&b| unf.event_co_condition(f, b));
         if preserves {
             if let Some(label) = unf.label(f) {
                 cube.set(label.signal.index(), Literal::DontCare);
@@ -468,13 +457,14 @@ mod tests {
             .conditions()
             .find(|&b| {
                 let prod = unf.producer(b);
-                unf.label(prod).map(|l| stg.signal_name(l.signal).to_owned())
+                unf.label(prod)
+                    .map(|l| stg.signal_name(l.signal).to_owned())
                     == Some("c2".to_owned())
-                    && unf
-                        .consumers(b)
-                        .iter()
-                        .any(|&c| unf.label(c).map(|l| stg.signal_name(l.signal) == "a")
-                            .unwrap_or(false))
+                    && unf.consumers(b).iter().any(|&c| {
+                        unf.label(c)
+                            .map(|l| stg.signal_name(l.signal) == "a")
+                            .unwrap_or(false)
+                    })
             })
             .expect("condition ⟨c2+,a+⟩");
         let under = exit_enabled_under_cube(&unf, p, exit).expect("applicable");

@@ -44,7 +44,10 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::Unfold(e) => write!(f, "unfolding failed: {e}"),
             SynthesisError::NotPersistent { signal } => {
-                write!(f, "STG is not semi-modular: signal `{signal}` can be disabled")
+                write!(
+                    f,
+                    "STG is not semi-modular: signal `{signal}` can be disabled"
+                )
             }
             SynthesisError::CscViolation { signal, witness } => write!(
                 f,

@@ -97,24 +97,20 @@ pub fn slice_codes(
         let mut enabled: Vec<EventId> = Vec::new();
         for b in cut.iter() {
             for &e in unf.consumers(ConditionId(b as u32)) {
-                if !enabled.contains(&e)
-                    && unf.preset(e).iter().all(|c| cut.contains(c.index()))
-                {
+                if !enabled.contains(&e) && unf.preset(e).iter().all(|c| cut.contains(c.index())) {
                     enabled.push(e);
                 }
             }
         }
         // A state belongs to the slice's set only if no opposite change of
         // the signal is enabled in the original STG at this marking.
-        let opposite_enabled = opposite
-            .iter()
-            .any(|&t| stg.net().is_enabled(t, &marking));
+        let opposite_enabled = opposite.iter().any(|&t| stg.net().is_enabled(t, &marking));
         if !opposite_enabled && code_set.insert(code.to_string()) {
             codes.push(code.clone());
         }
         // Whether the entry is still pending (its preset intact).
-        let entry_pending = !slice.entry.is_root()
-            && entry_preset.iter().all(|b| cut.contains(b.index()));
+        let entry_pending =
+            !slice.entry.is_root() && entry_preset.iter().all(|b| cut.contains(b.index()));
         for &f in &enabled {
             if slice.is_exit(f) {
                 continue;
@@ -122,10 +118,7 @@ pub fn slice_codes(
             // While the entry is pending, refuse events that would disable
             // it (steal a preset condition) — those states leave the slice.
             if entry_pending && f != slice.entry {
-                let conflicts = unf
-                    .preset(f)
-                    .iter()
-                    .any(|b| entry_preset.contains(b));
+                let conflicts = unf.preset(f).iter().any(|b| entry_preset.contains(b));
                 if conflicts {
                     continue;
                 }

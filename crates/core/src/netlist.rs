@@ -157,10 +157,7 @@ pub fn excitation_to_verilog(stg: &Stg, impls: &[ExcitationImplementation]) -> S
         .filter(|&s| stg.signal_kind(s) == SignalKind::Input)
         .map(|s| stg.signal_name(s))
         .collect();
-    let outputs: Vec<&str> = impls
-        .iter()
-        .map(|i| stg.signal_name(i.signal))
-        .collect();
+    let outputs: Vec<&str> = impls.iter().map(|i| stg.signal_name(i.signal)).collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -205,8 +202,7 @@ mod tests {
     #[test]
     fn eqn_lists_all_gates() {
         let stg = vme_read_csc();
-        let netlist =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let netlist = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         let eqn = to_eqn(&stg, &netlist);
         assert!(eqn.contains("INORDER = dsr ldtack;"));
         assert!(eqn.contains("lds = "));
@@ -217,8 +213,7 @@ mod tests {
     #[test]
     fn verilog_shape() {
         let stg = paper_fig1();
-        let netlist =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let netlist = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         let v = to_verilog(&stg, &netlist);
         assert!(v.contains("module paper_fig1 (a, c, b);"));
         assert!(v.contains("input  a;"));
@@ -230,8 +225,7 @@ mod tests {
     #[test]
     fn verilog_handles_complement_and_products() {
         let stg = vme_read_csc();
-        let netlist =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let netlist = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         let v = to_verilog(&stg, &netlist);
         // csc0 = dsr ldtack' + dsr csc0 becomes (dsr & ~ldtack) | (dsr & csc0).
         assert!(v.contains("(dsr & ~ldtack)"), "got:\n{v}");

@@ -57,9 +57,21 @@ pub fn refine_until_disjoint(
         if report.steps >= max_steps {
             // Escalate everything that still conflicts.
             let progressed = escalate(
-                stg, unf, on_slices, on_atoms, on_idx, slice_budget, &mut report,
+                stg,
+                unf,
+                on_slices,
+                on_atoms,
+                on_idx,
+                slice_budget,
+                &mut report,
             )? | escalate(
-                stg, unf, off_slices, off_atoms, off_idx, slice_budget, &mut report,
+                stg,
+                unf,
+                off_slices,
+                off_atoms,
+                off_idx,
+                slice_budget,
+                &mut report,
             )?;
             if !progressed {
                 return Ok(report);
@@ -72,9 +84,21 @@ pub fn refine_until_disjoint(
         progressed |= refine_atom(unf, off_slices, &mut off_atoms[off_idx]);
         if !progressed {
             let escalated = escalate(
-                stg, unf, on_slices, on_atoms, on_idx, slice_budget, &mut report,
+                stg,
+                unf,
+                on_slices,
+                on_atoms,
+                on_idx,
+                slice_budget,
+                &mut report,
             )? | escalate(
-                stg, unf, off_slices, off_atoms, off_idx, slice_budget, &mut report,
+                stg,
+                unf,
+                off_slices,
+                off_atoms,
+                off_idx,
+                slice_budget,
+                &mut report,
             )?;
             if !escalated {
                 // Both offending atoms are already exact: genuine CSC
@@ -149,8 +173,7 @@ fn refine_atom(unf: &StgUnfolding, slices: &[Slice], atom: &mut CoverAtom) -> bo
         .iter()
         .map(|i| ConditionId(i as u32))
         .filter(|&p_k| {
-            !anchors.contains(&p_k)
-                && anchors.iter().all(|&a| unf.conditions_co(a, p_k))
+            !anchors.contains(&p_k) && anchors.iter().all(|&a| unf.conditions_co(a, p_k))
         })
         .collect();
     if refining.is_empty() {
@@ -215,10 +238,7 @@ mod tests {
         StgUnfolding::build(stg, &UnfoldingOptions::default()).expect("builds")
     }
 
-    fn refined_sides(
-        stg: &Stg,
-        name: &str,
-    ) -> (StgUnfolding, Cover, Cover, RefinementReport) {
+    fn refined_sides(stg: &Stg, name: &str) -> (StgUnfolding, Cover, Cover, RefinementReport) {
         let unf = build(stg);
         let sig = stg.signal_by_name(name).expect("signal");
         let on_slices = side_slices(&unf, sig, true);
@@ -279,7 +299,14 @@ mod tests {
         let mut on = approximate_side(&stg, &unf, &on_slices);
         let mut off = approximate_side(&stg, &unf, &off_slices);
         let report = refine_until_disjoint(
-            &stg, &unf, &on_slices, &off_slices, &mut on, &mut off, 100, 100_000,
+            &stg,
+            &unf,
+            &on_slices,
+            &off_slices,
+            &mut on,
+            &mut off,
+            100,
+            100_000,
         )
         .expect("no budget issue");
         assert!(!report.disjoint);

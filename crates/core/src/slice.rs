@@ -54,11 +54,7 @@ impl Slice {
             if f.is_root() || f == entry || exit_set.contains(f.index()) {
                 continue;
             }
-            if unf
-                .causes(f)
-                .iter()
-                .any(|c| exit_set.contains(c))
-            {
+            if unf.causes(f).iter().any(|c| exit_set.contains(c)) {
                 continue;
             }
             let related = if entry.is_root() {
@@ -225,12 +221,12 @@ impl Slice {
 /// Builds all slices of the given side (`value = true` → on-set) for
 /// `signal`: one per instance of the entering polarity, plus the `⊥` slice
 /// when the initial value already equals `value`.
-pub fn side_slices(
-    unf: &StgUnfolding,
-    signal: SignalId,
-    value: bool,
-) -> Vec<Slice> {
-    let entering = if value { Polarity::Rise } else { Polarity::Fall };
+pub fn side_slices(unf: &StgUnfolding, signal: SignalId, value: bool) -> Vec<Slice> {
+    let entering = if value {
+        Polarity::Rise
+    } else {
+        Polarity::Fall
+    };
     let mut slices = Vec::new();
     if unf.initial_code().get(signal) == value {
         slices.push(Slice::build(unf, signal, value, EventId::ROOT));

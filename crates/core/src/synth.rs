@@ -300,10 +300,8 @@ fn accept_weak(
     if x.is_empty() {
         return Ok(Some((signal, on, off, None)));
     }
-    let within_off =
-        cover_true_within_slices(stg, unf, off_slices, &on, options.slice_budget);
-    let within_on =
-        cover_true_within_slices(stg, unf, on_slices, &off, options.slice_budget);
+    let within_off = cover_true_within_slices(stg, unf, off_slices, &on, options.slice_budget);
+    let within_on = cover_true_within_slices(stg, unf, on_slices, &off, options.slice_budget);
     match (within_off, within_on) {
         (Ok(false), Ok(false)) => {
             // Intersection ⊆ DC-set: Definition 2.1 holds after carving it
@@ -335,8 +333,8 @@ mod tests {
     use super::*;
     use si_stg::generators::{muller_pipeline, sequencer};
     use si_stg::suite::{
-        request_mux, concurrent_fork_join, paper_fig1, paper_fig4ab, toggle,
-        vme_read_csc, vme_read_no_csc,
+        concurrent_fork_join, paper_fig1, paper_fig4ab, request_mux, toggle, vme_read_csc,
+        vme_read_no_csc,
     };
 
     fn exact_options() -> SynthesisOptions {
@@ -359,8 +357,7 @@ mod tests {
     fn fig1_approximate_matches_exact() {
         let stg = paper_fig1();
         let exact = synthesize_from_unfolding(&stg, &exact_options()).expect("ok");
-        let approx =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let approx = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         assert_eq!(
             approx.gates[0].equation(&stg),
             exact.gates[0].equation(&stg)
@@ -419,8 +416,7 @@ mod tests {
         // on-set and avoid the exact off-set).
         let stg = muller_pipeline(2);
         let exact = synthesize_from_unfolding(&stg, &exact_options()).expect("ok");
-        let approx =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let approx = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         for (e, a) in exact.gates.iter().zip(&approx.gates) {
             assert_eq!(e.signal, a.signal);
             assert!(a.gate.covers_cover(&e.on_cover));
@@ -431,8 +427,7 @@ mod tests {
     #[test]
     fn timing_breakdown_is_populated() {
         let stg = muller_pipeline(3);
-        let result =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         assert!(result.timing.total() >= result.timing.unfold);
         assert!(result.events > 0);
         assert!(result.conditions > 0);

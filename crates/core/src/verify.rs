@@ -172,8 +172,7 @@ mod tests {
     fn tampered_gate_is_caught() {
         use si_cubes::{Cover, Cube};
         let stg = si_stg::suite::paper_fig1();
-        let mut result =
-            synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        let mut result = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         // Replace the gate for b with constant 1.
         result.gates[0].gate = [Cube::full(3)].into_iter().collect::<Cover>();
         let err = verify_against_sg(&stg, &result, 10_000).unwrap_err();

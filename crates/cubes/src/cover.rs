@@ -154,11 +154,7 @@ impl Cover {
     /// Returns `true` if the cover covers every point of `cube`
     /// (`cube ⊆ self`), via cofactoring and tautology.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        let cofactored: Vec<Cube> = self
-            .cubes
-            .iter()
-            .filter_map(|c| c.cofactor(cube))
-            .collect();
+        let cofactored: Vec<Cube> = self.cubes.iter().filter_map(|c| c.cofactor(cube)).collect();
         if cofactored.iter().any(Cube::is_full) {
             return true;
         }
@@ -402,7 +398,9 @@ mod tests {
         let d = Cube::from_str_cube("0---");
         assert_eq!(c.sharp(&d), vec![c.clone()]);
         // Contained: sharp is empty.
-        assert!(Cube::from_str_cube("11--").sharp(&Cube::from_str_cube("1---")).is_empty());
+        assert!(Cube::from_str_cube("11--")
+            .sharp(&Cube::from_str_cube("1---"))
+            .is_empty());
     }
 
     #[test]

@@ -325,7 +325,10 @@ mod tests {
     fn intersection() {
         let a = Cube::from_str_cube("1--");
         let b = Cube::from_str_cube("-0-");
-        assert_eq!(a.intersect(&b).map(|c| c.to_string()).as_deref(), Some("10-"));
+        assert_eq!(
+            a.intersect(&b).map(|c| c.to_string()).as_deref(),
+            Some("10-")
+        );
         let c = Cube::from_str_cube("0--");
         assert!(a.intersect(&c).is_none());
     }
@@ -356,7 +359,10 @@ mod tests {
         assert_eq!(a.conflict_count(&b), 1);
         assert!(a.cofactor(&b).is_none());
         let c = Cube::from_str_cube("1--");
-        assert_eq!(a.cofactor(&c).map(|x| x.to_string()).as_deref(), Some("--0"));
+        assert_eq!(
+            a.cofactor(&c).map(|x| x.to_string()).as_deref(),
+            Some("--0")
+        );
     }
 
     #[test]

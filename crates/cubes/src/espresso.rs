@@ -165,7 +165,13 @@ fn reduce(f: &mut Cover, on: &Cover) {
                     .cubes()
                     .iter()
                     .enumerate()
-                    .map(|(j, c)| if j == i { candidate_cube.clone() } else { c.clone() })
+                    .map(|(j, c)| {
+                        if j == i {
+                            candidate_cube.clone()
+                        } else {
+                            c.clone()
+                        }
+                    })
                     .collect();
                 let ok = on
                     .cubes()

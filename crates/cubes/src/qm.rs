@@ -22,7 +22,10 @@ use crate::cube::{Cube, Literal};
 pub struct QmBudget {
     /// Maximum number of prime implicants generated.
     pub max_primes: usize,
-    /// Maximum number of branch-and-bound nodes explored.
+    /// Maximum number of work units spent overall: candidate cubes expanded
+    /// during prime generation, chunk splits, and branch-and-bound nodes all
+    /// count against this single bound, so `minimize_exact` returns `None`
+    /// in bounded time instead of hanging on wide inputs.
     pub max_nodes: usize,
 }
 
@@ -30,7 +33,7 @@ impl Default for QmBudget {
     fn default() -> Self {
         QmBudget {
             max_primes: 20_000,
-            max_nodes: 2_000_000,
+            max_nodes: 10_000_000,
         }
     }
 }
@@ -67,11 +70,23 @@ pub fn minimize_exact(on: &Cover, off: &Cover, budget: &QmBudget) -> Option<Cove
     let mut work: Vec<Cube> = on.cubes().to_vec();
     let mut seen: HashSet<String> = work.iter().map(ToString::to_string).collect();
     let mut primes: Vec<Cube> = Vec::new();
+    let mut spent = 0usize;
     while let Some(cube) = work.pop() {
+        spent += 1;
+        if spent > budget.max_nodes {
+            return None;
+        }
         let mut is_prime = true;
         for v in 0..width {
             if cube.get(v) == Literal::DontCare {
                 continue;
+            }
+            // Each raise test scans the off-set, so it is the dominant cost
+            // of prime generation — charge it against the work budget in
+            // proportion to the cubes it touches.
+            spent = spent.saturating_add(1 + off.len());
+            if spent > budget.max_nodes {
+                return None;
             }
             let mut raised = cube.clone();
             raised.set(v, Literal::DontCare);
@@ -97,8 +112,13 @@ pub fn minimize_exact(on: &Cover, off: &Cover, budget: &QmBudget) -> Option<Cove
     //    on disjoint "chunks" (each chunk is wholly inside or outside any
     //    prime it intersects — we conservatively refine to minterm-free
     //    chunks via recursive splitting).
-    let chunks = split_into_chunks(on, &primes);
-    // Membership matrix: chunk i covered by prime j?
+    let chunks = split_into_chunks(on, &primes, budget.max_nodes, &mut spent)?;
+    // Membership matrix: chunk i covered by prime j? Building it scans every
+    // prime per chunk — charge that before doing the work.
+    spent = spent.saturating_add(chunks.len().saturating_mul(primes.len()));
+    if spent > budget.max_nodes {
+        return None;
+    }
     let matrix: Vec<Vec<usize>> = chunks
         .iter()
         .map(|c| {
@@ -114,7 +134,6 @@ pub fn minimize_exact(on: &Cover, off: &Cover, budget: &QmBudget) -> Option<Cove
 
     // Branch and bound on (cube count, literal count).
     let mut best: Option<(usize, usize, Vec<usize>)> = None;
-    let mut nodes = 0usize;
     let mut chosen: Vec<usize> = Vec::new();
     search(
         &matrix,
@@ -122,10 +141,10 @@ pub fn minimize_exact(on: &Cover, off: &Cover, budget: &QmBudget) -> Option<Cove
         0,
         &mut chosen,
         &mut best,
-        &mut nodes,
+        &mut spent,
         budget.max_nodes,
     );
-    if nodes > budget.max_nodes {
+    if spent > budget.max_nodes {
         return None;
     }
     let (_, _, picks) = best?;
@@ -136,10 +155,21 @@ pub fn minimize_exact(on: &Cover, off: &Cover, budget: &QmBudget) -> Option<Cove
 
 /// Splits the on-cubes into pieces that are each contained in at least one
 /// prime (recursively cutting along primes until containment holds).
-fn split_into_chunks(on: &Cover, primes: &[Cube]) -> Vec<Cube> {
+/// Returns `None` when the cumulative work budget is exhausted.
+fn split_into_chunks(
+    on: &Cover,
+    primes: &[Cube],
+    max_nodes: usize,
+    spent: &mut usize,
+) -> Option<Vec<Cube>> {
     let mut chunks = Vec::new();
     let mut work: Vec<Cube> = on.cubes().to_vec();
     while let Some(cube) = work.pop() {
+        // Each popped cube scans the prime list (containment, then overlap).
+        *spent = spent.saturating_add(1 + primes.len());
+        if *spent > max_nodes {
+            return None;
+        }
         if primes.iter().any(|p| p.contains(&cube)) {
             chunks.push(cube);
             continue;
@@ -153,7 +183,7 @@ fn split_into_chunks(on: &Cover, primes: &[Cube]) -> Vec<Cube> {
         work.extend(cube.sharp(&inside));
         work.push(inside);
     }
-    chunks
+    Some(chunks)
 }
 
 fn cost_of(primes: &[Cube], picks: &[usize]) -> (usize, usize) {
@@ -258,7 +288,9 @@ mod tests {
             let mut off = Cover::empty(width);
             for x in 0..(1u32 << width) {
                 let bits: Vec<bool> = (0..width).map(|i| (x >> i) & 1 == 1).collect();
-                match (seed.wrapping_mul(0x9e37_79b9).wrapping_add(x as u64 * 0x85eb_ca6b)
+                match (seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(x as u64 * 0x85eb_ca6b)
                     >> 7)
                     & 0b11
                 {

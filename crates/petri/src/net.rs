@@ -387,10 +387,7 @@ mod tests {
         let p = net.add_place("p");
         let t = net.add_transition("t");
         net.add_arc_pt(p, t);
-        assert!(matches!(
-            net.validate(),
-            Err(NetError::EmptyInitialMarking)
-        ));
+        assert!(matches!(net.validate(), Err(NetError::EmptyInitialMarking)));
     }
 
     #[test]

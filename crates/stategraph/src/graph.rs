@@ -217,9 +217,7 @@ mod tests {
         // The paper's SG (Fig 1c) assigns these code/marking pairs.
         let mut found: Vec<String> = (0..sg.len()).map(|s| sg.code(s).to_string()).collect();
         found.sort();
-        let mut expected = vec![
-            "000", "100", "001", "110", "101", "111", "011", "010",
-        ];
+        let mut expected = vec!["000", "100", "001", "110", "101", "111", "011", "010"];
         expected.sort();
         assert_eq!(found, expected);
     }

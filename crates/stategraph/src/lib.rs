@@ -34,9 +34,7 @@ mod synth;
 
 pub use error::SgError;
 pub use graph::StateGraph;
-pub use props::{
-    check_csc, check_persistency, check_usc, CscConflict, PersistencyViolation,
-};
+pub use props::{check_csc, check_persistency, check_usc, CscConflict, PersistencyViolation};
 pub use synth::{
     on_off_sets, synthesize_from_built_sg, synthesize_from_sg, GateImplementation, OnOffSets,
     SgSynthesis, SgSynthesisOptions,

@@ -171,7 +171,10 @@ mod tests {
         let stg = vme_read_no_csc();
         let sg = StateGraph::build(&stg, 10_000).expect("builds");
         let conflicts = check_csc(&stg, &sg);
-        assert!(!conflicts.is_empty(), "expected the classic VME CSC conflict");
+        assert!(
+            !conflicts.is_empty(),
+            "expected the classic VME CSC conflict"
+        );
     }
 
     #[test]

@@ -152,7 +152,10 @@ pub struct SgSynthesis {
 impl SgSynthesis {
     /// Total literal count over all gates (Table 1's `LitCnt`).
     pub fn literal_count(&self) -> usize {
-        self.gates.iter().map(GateImplementation::literal_count).sum()
+        self.gates
+            .iter()
+            .map(GateImplementation::literal_count)
+            .sum()
     }
 }
 
@@ -180,10 +183,7 @@ impl SgSynthesis {
 /// # Ok(())
 /// # }
 /// ```
-pub fn synthesize_from_sg(
-    stg: &Stg,
-    options: &SgSynthesisOptions,
-) -> Result<SgSynthesis, SgError> {
+pub fn synthesize_from_sg(stg: &Stg, options: &SgSynthesisOptions) -> Result<SgSynthesis, SgError> {
     let sg = StateGraph::build(stg, options.state_budget)?;
     synthesize_from_built_sg(stg, &sg, options)
 }
@@ -218,8 +218,7 @@ pub fn synthesize_from_built_sg(
         }
         let run_minimize = |on: &Cover, off: &Cover| {
             if options.exact_minimization {
-                minimize_exact(on, off, &QmBudget::default())
-                    .unwrap_or_else(|| minimize(on, off))
+                minimize_exact(on, off, &QmBudget::default()).unwrap_or_else(|| minimize(on, off))
             } else {
                 minimize(on, off)
             }

@@ -39,8 +39,7 @@ pub fn stg_to_dot(stg: &Stg) -> String {
         );
     }
     for p in net.places() {
-        let implicit =
-            net.place_preset(p).len() == 1 && net.place_postset(p).len() == 1;
+        let implicit = net.place_preset(p).len() == 1 && net.place_postset(p).len() == 1;
         let marked = net.initial_marking().contains(p);
         if implicit {
             let fill = if marked { "black" } else { "white" };

@@ -251,7 +251,8 @@ impl StgBuilder {
     pub fn transition(&mut self, signal: SignalId, polarity: Polarity) -> TransitionId {
         let name = format!("{}{}", self.signals[signal.index()].name, polarity);
         let t = self.net.add_transition(name);
-        self.labels.push(Some(SignalTransition { signal, polarity }));
+        self.labels
+            .push(Some(SignalTransition { signal, polarity }));
         t
     }
 
@@ -395,7 +396,10 @@ mod tests {
         assert_eq!(stg.net().transition_count(), 4);
         assert_eq!(stg.net().place_count(), 4);
         assert!(stg.is_fully_labelled());
-        assert_eq!(stg.initial_code().map(ToString::to_string).as_deref(), Some("00"));
+        assert_eq!(
+            stg.initial_code().map(ToString::to_string).as_deref(),
+            Some("00")
+        );
         assert_eq!(stg.name(), "handshake");
     }
 
@@ -454,7 +458,10 @@ mod tests {
         b.initial_value(a, false);
         assert!(matches!(
             b.build(),
-            Err(StgError::PartialInitialValues { declared: 1, signals: 2 })
+            Err(StgError::PartialInitialValues {
+                declared: 1,
+                signals: 2
+            })
         ));
     }
 
@@ -467,7 +474,10 @@ mod tests {
         assert!(stg
             .set_initial_code(BinaryCode::from_str_bits("10"))
             .is_ok());
-        assert_eq!(stg.initial_code().map(ToString::to_string).as_deref(), Some("10"));
+        assert_eq!(
+            stg.initial_code().map(ToString::to_string).as_deref(),
+            Some("10")
+        );
     }
 
     #[test]

@@ -303,9 +303,7 @@ impl Parser {
                 self.builder.mark(place);
                 rest = stripped[end + 1..].trim_start();
             } else {
-                let end = rest
-                    .find(|c: char| c.is_whitespace())
-                    .unwrap_or(rest.len());
+                let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
                 let token = &rest[..end];
                 let place = self.places.get(token).copied().ok_or_else(|| {
                     Self::err(line_no, format!("unknown place `{token}` in marking"))

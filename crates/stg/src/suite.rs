@@ -595,11 +595,7 @@ mod tests {
         for stg in synthesisable() {
             let rg = ReachabilityGraph::explore(stg.net(), 5_000_000)
                 .unwrap_or_else(|e| panic!("{} not safe: {e}", stg.name()));
-            assert!(
-                rg.deadlocks().is_empty(),
-                "{} has deadlocks",
-                stg.name()
-            );
+            assert!(rg.deadlocks().is_empty(), "{} has deadlocks", stg.name());
         }
     }
 

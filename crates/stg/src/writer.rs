@@ -58,9 +58,7 @@ pub fn write_g(stg: &Stg) -> String {
         } else {
             let raw = net.place_name(p);
             let ok = !raw.is_empty()
-                && raw
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && raw.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                 && !raw.starts_with('.');
             let name = if ok {
                 raw.to_owned()
@@ -122,8 +120,7 @@ pub fn write_g(stg: &Stg) -> String {
     }
     for p in net.places() {
         if let Some(name) = explicit_name.get(&p) {
-            let consumers: Vec<&String> =
-                net.place_postset(p).iter().map(|t| &token[t]).collect();
+            let consumers: Vec<&String> = net.place_postset(p).iter().map(|t| &token[t]).collect();
             if !consumers.is_empty() {
                 let mut line = name.clone();
                 for c in consumers {
@@ -151,13 +148,7 @@ pub fn write_g(stg: &Stg) -> String {
     if let Some(code) = stg.initial_code() {
         let assigns: Vec<String> = stg
             .signals()
-            .map(|s| {
-                format!(
-                    "{}={}",
-                    stg.signal_name(s),
-                    if code.get(s) { 1 } else { 0 }
-                )
-            })
+            .map(|s| format!("{}={}", stg.signal_name(s), if code.get(s) { 1 } else { 0 }))
             .collect();
         let _ = writeln!(out, ".initial {{ {} }}", assigns.join(" "));
     }

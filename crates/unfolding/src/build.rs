@@ -418,9 +418,7 @@ impl Builder<'_> {
                 }
                 match self.order {
                     AdequateOrder::McMillan => rep_ev.size < size,
-                    AdequateOrder::ErvLex => {
-                        (rep_ev.size, &rep_ev.parikh) < (size, &cand.parikh)
-                    }
+                    AdequateOrder::ErvLex => (rep_ev.size, &rep_ev.parikh) < (size, &cand.parikh),
                 }
             }
             None => false,
@@ -630,6 +628,7 @@ mod tests {
         let stg = paper_fig1();
         let unf = StgUnfolding::build(&stg, &UnfoldingOptions::default()).expect("builds");
         assert_eq!(unf.event_count(), 9); // ⊥ + 8 transitions
+
         // Two cutoffs: -a re-reaches {p7,p8} (first produced by the smaller
         // +b' configuration) and -b returns to the initial marking.
         let mut cutoff_labels: Vec<String> = unf

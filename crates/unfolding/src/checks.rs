@@ -98,7 +98,7 @@ mod tests {
     use super::*;
     use crate::build::{StgUnfolding, UnfoldingOptions};
     use si_stg::generators::muller_pipeline;
-    use si_stg::suite::{request_mux, paper_fig4ab, vme_read_csc};
+    use si_stg::suite::{paper_fig4ab, request_mux, vme_read_csc};
     use si_stg::{SignalKind, StgBuilder};
 
     fn build(stg: &Stg) -> StgUnfolding {

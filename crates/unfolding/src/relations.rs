@@ -344,10 +344,7 @@ mod tests {
         let a_plus = event_by_name(&stg, &unf, "a+");
         let next = unf.next_instances(a_plus);
         assert_eq!(next.len(), 1);
-        assert_eq!(
-            unf.label(next[0]).map(|l| l.polarity),
-            Some(Polarity::Fall)
-        );
+        assert_eq!(unf.label(next[0]).map(|l| l.polarity), Some(Polarity::Fall));
         // next of +b'' should be -b (through +c, -a, -c).
         let sb = stg.signal_by_name("b").expect("b");
         for &e in &unf.instances_of(sb) {

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ngate equations (each stage is a C-element):");
     for gate in &result.gates {
-        println!("  {}   [{} literals]", gate.equation(&spec), gate.literal_count());
+        println!(
+            "  {}   [{} literals]",
+            gate.equation(&spec),
+            gate.literal_count()
+        );
     }
     println!("total literals: {}", result.literal_count());
     println!(

@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use si_synth::stg::suite::paper_fig1;
 use si_synth::stg::stg_to_dot;
+use si_synth::stg::suite::paper_fig1;
 use si_synth::synthesis::{
     synthesize_from_unfolding, verify_against_sg, CoverMode, SynthesisOptions,
 };
@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         approx.events, approx.conditions
     );
     for gate in &approx.gates {
-        println!("approximate: {}  ({} literals)", gate.equation(&spec), gate.literal_count());
+        println!(
+            "approximate: {}  ({} literals)",
+            gate.equation(&spec),
+            gate.literal_count()
+        );
         if let Some(report) = &gate.refinement {
             println!(
                 "  refinement: {} steps, {} exact fallbacks",

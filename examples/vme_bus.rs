@@ -56,7 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Export the resolved controller in the .g interchange format and
     //    the implementation as structural Verilog / an SIS-style .eqn list.
     println!("\n--- .g interchange ---\n{}", write_g(&fixed));
-    println!("--- Verilog ---\n{}", si_synth::synthesis::to_verilog(&fixed, &acg));
-    println!("--- .eqn ---\n{}", si_synth::synthesis::to_eqn(&fixed, &acg));
+    println!(
+        "--- Verilog ---\n{}",
+        si_synth::synthesis::to_verilog(&fixed, &acg)
+    );
+    println!(
+        "--- .eqn ---\n{}",
+        si_synth::synthesis::to_eqn(&fixed, &acg)
+    );
     Ok(())
 }

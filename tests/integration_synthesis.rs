@@ -167,8 +167,7 @@ fn exact_mode_recovers_literal_parity_on_counterflow() {
     // exact mode restores parity with the SG baseline.
     let stg = generators::counterflow_pipeline(2);
     let exact_result = synthesize_from_unfolding(&stg, &exact()).expect("exact ok");
-    let baseline =
-        synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("baseline ok");
+    let baseline = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("baseline ok");
     assert_eq!(exact_result.literal_count(), baseline.literal_count());
 }
 

@@ -45,7 +45,12 @@ fn round_trip_preserves_behaviour() {
         let re = roundtrip(&stg);
         let sg_a = StateGraph::build(&stg, 1_000_000).expect("original builds");
         let sg_b = StateGraph::build(&re, 1_000_000).expect("round-tripped builds");
-        assert_eq!(sg_a.len(), sg_b.len(), "{}: state count changed", stg.name());
+        assert_eq!(
+            sg_a.len(),
+            sg_b.len(),
+            "{}: state count changed",
+            stg.name()
+        );
 
         let options = SynthesisOptions::default();
         let a = synthesize_from_unfolding(&stg, &options).expect("original synthesises");
@@ -69,9 +74,15 @@ fn double_round_trip_is_stable_as_a_line_set() {
     // Transition ids (and hence line order) may permute across parses, but
     // the *set* of emitted lines must reach a fixed point immediately.
     for stg in [suite::paper_fig4ab(), generators::muller_pipeline(2)] {
-        let mut once: Vec<String> = write_g(&roundtrip(&stg)).lines().map(str::to_owned).collect();
+        let mut once: Vec<String> = write_g(&roundtrip(&stg))
+            .lines()
+            .map(str::to_owned)
+            .collect();
         let reparsed = parse_g(&once.join("\n")).expect("parses");
-        let mut twice: Vec<String> = write_g(&roundtrip(&reparsed)).lines().map(str::to_owned).collect();
+        let mut twice: Vec<String> = write_g(&roundtrip(&reparsed))
+            .lines()
+            .map(str::to_owned)
+            .collect();
         once.sort();
         twice.sort();
         assert_eq!(once, twice, "{}: writer not stable", stg.name());

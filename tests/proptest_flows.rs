@@ -85,7 +85,8 @@ fn build(bp: &Blueprint) -> Stg {
         b.mark(idle);
     }
     b.initial_all_zero();
-    b.build().expect("blueprint yields a structurally valid STG")
+    b.build()
+        .expect("blueprint yields a structurally valid STG")
 }
 
 proptest! {

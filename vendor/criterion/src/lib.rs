@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, providing the subset of the API this workspace uses.
+//!
+//! The build container has no crates.io access, so the real criterion cannot
+//! be fetched. This shim keeps `cargo bench` working end to end: each
+//! benchmark is warmed up briefly, then timed over a fixed measurement
+//! window, and the mean iteration time is printed. There are no statistics,
+//! plots, or baseline comparisons.
+//!
+//! Supported surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId::new`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Warm-up time per benchmark.
+const WARM_UP: Duration = Duration::from_millis(300);
+/// Measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Times `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` measured at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timer handle: call [`Bencher::iter`] with the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the measurement window, recording total time
+    /// and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (not recorded).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARM_UP {
+            hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            hint::black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let mean = bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+    println!("  {label}: {mean:?}/iter ({} iters)", bencher.iters);
+}
+
+/// Opaque value barrier re-exported for benchmark bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Declares a group function runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

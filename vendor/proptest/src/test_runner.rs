@@ -1,0 +1,98 @@
+//! Deterministic case runner: configuration, failure type, and the
+//! xorshift-based random source strategies draw from.
+
+use std::fmt;
+
+/// Per-test configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic random source handed to strategies.
+///
+/// Seeded from the test name so different properties see different streams,
+/// and re-mixed per case so cases are independent; runs are reproducible
+/// from build to build.
+#[derive(Debug)]
+pub struct TestRunner {
+    seed: u64,
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(_config: &Config, name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            seed,
+            state: seed | 1,
+        }
+    }
+
+    /// Re-seeds the stream for case number `case`.
+    pub fn start_case(&mut self, case: u32) {
+        // SplitMix64-style mix of (seed, case).
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = (z ^ (z >> 31)) | 1;
+    }
+
+    /// Next raw 64 pseudo-random bits (xorshift64).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible for the small bounds used here.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
