@@ -16,12 +16,17 @@ use si_synthesis::{synthesize_from_unfolding, SynthesisOptions};
 /// SG baselines give up beyond this many explicit states, standing in for
 /// "ran out of memory" in the paper.
 const SG_BUDGET: usize = 2_000_000;
-/// Once one baseline run exceeds this, larger instances are skipped,
-/// standing in for "taking prohibitively long" in the paper. Each extra
-/// pipeline stage multiplies the baseline's minimisation time by ~5×, so
-/// the threshold must stay well below the longest run anyone wants to sit
-/// through: the first run past it is also the last.
-const SG_GIVE_UP: Duration = Duration::from_secs(5);
+/// The baseline stops once the *predicted* time of the next instance
+/// exceeds this, standing in for "taking prohibitively long" in the paper.
+/// Prediction instead of run-one-over-the-limit matters because the growth
+/// per series point is brutal: the state count quadruples per +2 pipeline
+/// stages and minimisation time follows with a factor of ~15–30×, so the
+/// first run past the threshold would dwarf the entire rest of the series.
+const SG_GIVE_UP: Duration = Duration::from_secs(60);
+/// Observed per-point growth factor of the SG baseline on Muller pipelines
+/// (~0.3 s at 10 stages, ~4.6 s at 12, ~137 s at 14), used to predict
+/// whether the next instance fits under [`SG_GIVE_UP`].
+const SG_GROWTH_PER_POINT: u32 = 30;
 
 fn main() {
     let max_stages: usize = std::env::args()
@@ -44,7 +49,12 @@ fn main() {
 
         let (sg_time, sg_states) = if baseline_alive {
             let r = run_baseline(&spec);
-            if r.0.map(|t| t > SG_GIVE_UP).unwrap_or(true) {
+            // Stop when the *next* instance is predicted to blow the
+            // give-up budget (or when this one already failed outright).
+            if r.0
+                .map(|t| t * SG_GROWTH_PER_POINT > SG_GIVE_UP)
+                .unwrap_or(true)
+            {
                 baseline_alive = false;
             }
             r

@@ -37,6 +37,18 @@ pub enum SynthesisError {
         /// The configured budget.
         budget: usize,
     },
+    /// The derived on- and off-set covers handed to the minimiser overlap
+    /// even though derivation reported them disjoint — an internal
+    /// consistency failure. Unlike [`SynthesisError::CscViolation`] (a
+    /// property of the specification), this indicates a bug in cover
+    /// derivation, and it is checked in release builds too: minimising an
+    /// inconsistent partition would silently return garbage gates.
+    InconsistentCovers {
+        /// The affected signal.
+        signal: String,
+        /// A witness cube of the overlap.
+        witness: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -59,6 +71,11 @@ impl fmt::Display for SynthesisError {
             SynthesisError::SliceBudgetExceeded { budget } => {
                 write!(f, "slice enumeration exceeded {budget} cuts")
             }
+            SynthesisError::InconsistentCovers { signal, witness } => write!(
+                f,
+                "internal error: derived covers for `{signal}` overlap at {witness} \
+                 despite passing the disjointness check"
+            ),
         }
     }
 }
@@ -93,6 +110,12 @@ mod tests {
         assert!(SynthesisError::SliceBudgetExceeded { budget: 9 }
             .to_string()
             .contains('9'));
+        let e = SynthesisError::InconsistentCovers {
+            signal: "d".into(),
+            witness: "1-0".into(),
+        };
+        assert!(e.to_string().contains("`d`"));
+        assert!(e.to_string().contains("1-0"));
         let e = SynthesisError::from(UnfoldError::DummyTransitions);
         assert!(e.source().is_some());
     }

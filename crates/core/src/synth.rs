@@ -4,6 +4,7 @@
 
 use std::time::{Duration, Instant};
 
+use si_cubes::par::par_map;
 use si_cubes::{minimize, Cover};
 use si_stg::{SignalId, Stg};
 use si_unfolding::{check_segment_persistency, StgUnfolding, UnfoldingOptions};
@@ -56,6 +57,10 @@ pub struct SynthesisOptions {
     pub check_persistency: bool,
     /// Cover-correctness condition (strong intersection-freedom by default).
     pub correctness: CorrectnessCondition,
+    /// Worker threads for the per-signal derive/minimise stages; `None`
+    /// uses one per available CPU. Output is bit-identical to sequential
+    /// (`Some(1)`) regardless of the worker count.
+    pub workers: Option<usize>,
 }
 
 impl Default for SynthesisOptions {
@@ -67,6 +72,7 @@ impl Default for SynthesisOptions {
             slice_budget: 2_000_000,
             check_persistency: true,
             correctness: CorrectnessCondition::Strong,
+            workers: None,
         }
     }
 }
@@ -187,31 +193,54 @@ pub fn synthesize_from_unfolding(
     }
 
     let derive_start = Instant::now();
-    let mut per_signal = Vec::new();
-    for signal in stg.implementable_signals() {
+    let signals = stg.implementable_signals();
+    for &signal in &signals {
         if stg.transitions_of(signal).is_empty() {
             return Err(SynthesisError::ConstantSignal {
                 signal: stg.signal_name(signal).to_owned(),
             });
         }
-        per_signal.push(derive_covers(stg, &unf, signal, options)?);
+    }
+    // Derive every signal's covers on the worker pool. Results come back in
+    // signal order, so on failure the reported error is the same one the
+    // sequential loop would have hit first.
+    let mut per_signal = Vec::with_capacity(signals.len());
+    for derived in par_map(&signals, options.workers, |_, &signal| {
+        derive_covers(stg, &unf, signal, options)
+    }) {
+        per_signal.push(derived?);
     }
     let derive = derive_start.elapsed();
 
     let min_start = Instant::now();
-    let gates = per_signal
-        .into_iter()
-        .map(|(signal, on_cover, off_cover, refinement)| {
-            let gate = minimize(&on_cover, &off_cover);
-            SignalGate {
-                signal,
-                on_cover,
-                off_cover,
-                gate,
-                refinement,
-            }
-        })
-        .collect();
+    let minimized = par_map(&per_signal, options.workers, |_, entry| {
+        let (signal, on_cover, off_cover, _) = entry;
+        // Derivation promised disjoint covers; re-check in release builds
+        // too, because minimising an inconsistent partition returns garbage.
+        if on_cover.intersects(off_cover) {
+            let witness = on_cover
+                .intersect(off_cover)
+                .cubes()
+                .first()
+                .map(ToString::to_string)
+                .unwrap_or_default();
+            return Err(SynthesisError::InconsistentCovers {
+                signal: stg.signal_name(*signal).to_owned(),
+                witness,
+            });
+        }
+        Ok(minimize(on_cover, off_cover))
+    });
+    let mut gates = Vec::with_capacity(per_signal.len());
+    for ((signal, on_cover, off_cover, refinement), gate) in per_signal.into_iter().zip(minimized) {
+        gates.push(SignalGate {
+            signal,
+            on_cover,
+            off_cover,
+            gate: gate?,
+            refinement,
+        });
+    }
     let minimize_time = min_start.elapsed();
 
     Ok(UnfoldingSynthesis {

@@ -83,7 +83,7 @@ impl Cover {
     pub fn intersects(&self, other: &Cover) -> bool {
         self.cubes
             .iter()
-            .any(|a| other.cubes.iter().any(|b| a.intersect(b).is_some()))
+            .any(|a| other.cubes.iter().any(|b| a.intersects(b)))
     }
 
     /// The pairwise intersection cover (`self · other`), with contained
@@ -152,16 +152,16 @@ impl Cover {
     }
 
     /// Returns `true` if the cover covers every point of `cube`
-    /// (`cube ⊆ self`), via cofactoring and tautology.
+    /// (`cube ⊆ self`): the unate-recursive containment check — cofactor
+    /// every cube against `cube`, then decide by recursive tautology.
+    pub fn contains_cube(&self, cube: &Cube) -> bool {
+        cofactor_covers(self.cubes.iter(), cube, self.width)
+    }
+
+    /// Alias of [`Cover::contains_cube`], kept for the `covers_*` naming of
+    /// the rest of the algebra.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        let cofactored: Vec<Cube> = self.cubes.iter().filter_map(|c| c.cofactor(cube)).collect();
-        if cofactored.iter().any(Cube::is_full) {
-            return true;
-        }
-        if cofactored.is_empty() {
-            return false;
-        }
-        tautology_rec(&cofactored, self.width)
+        self.contains_cube(cube)
     }
 
     /// Returns `true` if the cover covers every point of `other`.
@@ -240,6 +240,126 @@ impl fmt::Debug for Cover {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Cover({self})")
     }
+}
+
+/// Containment of `target` in the union of `cubes` without materialising a
+/// [`Cover`]: cofactors each cube against `target` and decides by recursive
+/// tautology. The minimiser calls this with filtered or element-substituted
+/// views of a cover, so taking an iterator avoids cloning cube lists just to
+/// ask a yes/no question.
+pub(crate) fn cofactor_covers<'a, I>(cubes: I, target: &Cube, width: usize) -> bool
+where
+    I: Iterator<Item = &'a Cube>,
+{
+    if width <= 64 {
+        return match cofactor_rows1(cubes, target) {
+            None => true,
+            Some(rows) => !rows.is_empty() && tautology1(&rows),
+        };
+    }
+    let mut cofactored = Vec::new();
+    for c in cubes {
+        if let Some(x) = c.cofactor(target) {
+            if x.is_full() {
+                return true;
+            }
+            cofactored.push(x);
+        }
+    }
+    if cofactored.is_empty() {
+        return false;
+    }
+    tautology_rec(&cofactored, width)
+}
+
+/// Single-block fast path: cofactors `cubes` against `target` into packed
+/// `(mask, val)` rows. Returns `None` when some cofactor comes out full (the
+/// target is covered outright); conflicting cubes are dropped.
+pub(crate) fn cofactor_rows1<'a, I>(cubes: I, target: &Cube) -> Option<Vec<(u64, u64)>>
+where
+    I: Iterator<Item = &'a Cube>,
+{
+    let (tm, tv) = (target.mask_block(0), target.val_block(0));
+    let mut rows = Vec::new();
+    for c in cubes {
+        let (cm, cv) = (c.mask_block(0), c.val_block(0));
+        if (cv ^ tv) & cm & tm != 0 {
+            continue; // conflicts with the target: contributes nothing
+        }
+        let m = cm & !tm;
+        if m == 0 {
+            return None; // cofactor is the full cube: target covered
+        }
+        rows.push((m, cv & !tm));
+    }
+    Some(rows)
+}
+
+/// Recursive tautology over packed single-block `(mask, val)` rows — the
+/// same unate-reduction algorithm as [`tautology_rec`], but each cofactor
+/// step is a flat filter over 16-byte rows instead of cloning heap-backed
+/// [`Cube`]s. Rows must be non-full (`mask != 0`).
+pub(crate) fn tautology1(rows: &[(u64, u64)]) -> bool {
+    // The most binate variable must constrain some row in each polarity.
+    let mut ones_union = 0u64;
+    let mut zeros_union = 0u64;
+    for &(mask, val) in rows {
+        ones_union |= mask & val;
+        zeros_union |= mask & !val;
+    }
+    let binate = ones_union & zeros_union;
+    if binate == 0 {
+        // Unate cover without a full cube: never a tautology.
+        return false;
+    }
+    let mut best_var = 0u32;
+    let mut best_score = 0usize;
+    let mut candidates = binate;
+    while candidates != 0 {
+        let v = candidates.trailing_zeros();
+        candidates &= candidates - 1;
+        let m = 1u64 << v;
+        let score = rows.iter().filter(|&&(mask, _)| mask & m != 0).count();
+        if score > best_score {
+            best_score = score;
+            best_var = v;
+        }
+    }
+    let m = 1u64 << best_var;
+    for value in [0u64, m] {
+        match cofactor_rows_by_var(rows, m, value) {
+            None => continue, // a full cube covers this branch
+            Some(cof) => {
+                if cof.is_empty() || !tautology1(&cof) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Cofactors packed single-block rows by one variable (`m` is its bit)
+/// pinned to `value` (`0` or `m`): rows of the opposite polarity are
+/// dropped, the variable is freed in the rest. Returns `None` when a row
+/// comes out full — that branch of the space is covered outright.
+pub(crate) fn cofactor_rows_by_var(
+    rows: &[(u64, u64)],
+    m: u64,
+    value: u64,
+) -> Option<Vec<(u64, u64)>> {
+    let mut cof = Vec::with_capacity(rows.len());
+    for &(mask, val) in rows {
+        if mask & m != 0 && val & m != value {
+            continue; // opposite polarity: dropped by the cofactor
+        }
+        let nm = mask & !m;
+        if nm == 0 {
+            return None; // full cube in this branch
+        }
+        cof.push((nm, val & !m));
+    }
+    Some(cof)
 }
 
 /// Recursive tautology with unate reduction: choose the most binate

@@ -148,6 +148,85 @@ impl Cube {
         })
     }
 
+    /// Returns `true` if the cubes share at least one point — the boolean
+    /// answer of [`Cube::intersect`] without allocating the intersection.
+    ///
+    /// This is the minimiser's innermost disjointness probe, so it runs
+    /// block-wise over the packed `(mask, val)` words.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        for b in 0..self.mask.len() {
+            if (self.val[b] ^ other.val[b]) & self.mask[b] & other.mask[b] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the cubes have no common point (some variable is
+    /// required to take opposite values).
+    pub fn disjoint(&self, other: &Cube) -> bool {
+        !self.intersects(other)
+    }
+
+    /// The canonical cover order: compares variable by variable with
+    /// `0 < 1 < -`, so cubes constraining earlier variables sort first
+    /// (`a + c` rather than `c + a`). Decides on the lowest-indexed
+    /// differing variable straight from the `(mask, val)` block words, so a
+    /// comparison allocates nothing.
+    pub fn cmp_canonical(&self, other: &Cube) -> std::cmp::Ordering {
+        debug_assert_eq!(self.width, other.width);
+        for b in 0..self.mask.len() {
+            let diff = (self.mask[b] ^ other.mask[b]) | (self.val[b] ^ other.val[b]);
+            if diff != 0 {
+                let i = diff.trailing_zeros();
+                // Per-variable rank: 0 < 1 < don't-care.
+                let rank = |mask: u64, val: u64| {
+                    if (mask >> i) & 1 == 0 {
+                        2u8
+                    } else {
+                        ((val >> i) & 1) as u8
+                    }
+                };
+                return rank(self.mask[b], self.val[b]).cmp(&rank(other.mask[b], other.val[b]));
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Builds a single-block (≤ 64 variable) cube directly from its packed
+    /// `(mask, val)` words.
+    pub(crate) fn from_block1(width: usize, mask: u64, val: u64) -> Cube {
+        debug_assert!(width <= 64);
+        Cube {
+            mask: vec![mask],
+            val: vec![val & mask],
+            width,
+        }
+    }
+
+    /// Number of 64-variable blocks backing the cube.
+    pub(crate) fn block_count(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// The packed presence bits (`mask`) of block `b`.
+    pub(crate) fn mask_block(&self, b: usize) -> u64 {
+        self.mask[b]
+    }
+
+    /// The packed value bits (`val`) of block `b`; zero where `mask` is zero.
+    pub(crate) fn val_block(&self, b: usize) -> u64 {
+        self.val[b]
+    }
+
+    /// Frees (sets to don't-care) every variable of block `b` whose bit is
+    /// set in `bits` — the EXPAND "raise" move, a whole block at a time.
+    pub(crate) fn raise_block(&mut self, b: usize, bits: u64) {
+        self.mask[b] &= !bits;
+        self.val[b] &= !bits;
+    }
+
     /// Cube intersection; `None` when the cubes conflict on some variable
     /// (empty intersection).
     pub fn intersect(&self, other: &Cube) -> Option<Cube> {
@@ -331,6 +410,45 @@ mod tests {
         );
         let c = Cube::from_str_cube("0--");
         assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn boolean_intersects_matches_intersect() {
+        let cases = ["1--", "-0-", "0--", "001", "---", "110"];
+        for a in cases {
+            for b in cases {
+                let a = Cube::from_str_cube(a);
+                let b = Cube::from_str_cube(b);
+                assert_eq!(a.intersects(&b), a.intersect(&b).is_some(), "{a} vs {b}");
+                assert_eq!(a.disjoint(&b), a.intersect(&b).is_none(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order_matches_remapped_string_order() {
+        // The historical key: the `{0,1,-}` string with `-` remapped past
+        // `1`, compared lexicographically.
+        let key = |c: &Cube| -> String {
+            c.to_string()
+                .chars()
+                .map(|ch| if ch == '-' { '~' } else { ch })
+                .collect()
+        };
+        let cases = ["---", "1--", "-1-", "0--", "11-", "1-0", "010", "--1"];
+        for a in cases {
+            for b in cases {
+                let (a, b) = (Cube::from_str_cube(a), Cube::from_str_cube(b));
+                assert_eq!(a.cmp_canonical(&b), key(&a).cmp(&key(&b)), "{a} vs {b}");
+            }
+        }
+        // And across a block boundary.
+        let mut a = Cube::full(70);
+        let mut b = Cube::full(70);
+        a.set(66, Literal::Zero);
+        b.set(66, Literal::One);
+        assert_eq!(a.cmp_canonical(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp_canonical(&a), std::cmp::Ordering::Equal);
     }
 
     #[test]

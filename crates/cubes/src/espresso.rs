@@ -10,7 +10,7 @@
 //! result is a *prime and irredundant* cover whose cost (cube count, then
 //! literal count) does not exceed the input's.
 
-use crate::cover::Cover;
+use crate::cover::{cofactor_covers, cofactor_rows1, cofactor_rows_by_var, tautology1, Cover};
 use crate::cube::{Cube, Literal};
 
 /// Minimises `on` against `off`: returns a cover that covers every point of
@@ -69,15 +69,12 @@ pub fn minimize(on: &Cover, off: &Cover) -> Cover {
 }
 
 /// Sorts cubes so that terms constraining earlier variables come first —
-/// `a + c` rather than `c + a` — making reports deterministic.
-fn canonical_order(f: &mut Cover) {
+/// `a + c` rather than `c + a` — making reports deterministic. Compares the
+/// packed block words directly ([`Cube::cmp_canonical`]), so determinism
+/// costs O(n log n) comparisons rather than O(n log n) string allocations.
+pub fn canonical_order(f: &mut Cover) {
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
-    cubes.sort_by_key(|c| {
-        c.to_string()
-            .chars()
-            .map(|ch| if ch == '-' { '~' } else { ch })
-            .collect::<String>()
-    });
+    cubes.sort_by(Cube::cmp_canonical);
     *f = cubes.into_iter().collect();
 }
 
@@ -89,21 +86,80 @@ fn cost(f: &Cover) -> (usize, usize) {
 
 /// EXPAND: raise literals of every cube as long as the cube stays disjoint
 /// from the off-set, then drop cubes contained in the expanded one.
-fn expand(f: &mut Cover, off: &Cover) {
+///
+/// Instead of re-testing the whole off-set per raised literal (allocating an
+/// intersection per probe), this precomputes a *blocking structure*: for
+/// every off-cube, the bitset of variables on which it conflicts with the
+/// cube, plus the conflict count. A literal not involved in any conflict is
+/// raised immediately (the raise-all phase); each remaining literal can be
+/// raised exactly when no off-cube relies on it as its *only* conflict, and
+/// raising it just clears one bit per blocked off-cube (the retract phase).
+/// The raise decisions are identical to the probe-per-(cube, variable,
+/// off-cube) formulation.
+///
+/// A cube already inside an expanded prime is skipped before paying the
+/// off-set scan (the classic Espresso move): on minterm-level covers — the
+/// SG baseline's input — the first few primes absorb almost everything, so
+/// this turns the quadratic cover × off-set sweep into one sweep per
+/// *surviving* cube.
+pub fn expand(f: &mut Cover, off: &Cover) {
     let width = f.width();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
     // Expand big cubes first so they absorb the small ones.
     cubes.sort_by_key(|c| c.literal_count());
+    let blocks = cubes.first().map(Cube::block_count).unwrap_or(0);
+    // Scratch reused across cubes: `conflicts` holds `off.len()` rows of
+    // `blocks` words each; `counts[o]` is the popcount of row `o`.
+    let mut conflicts: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut union: Vec<u64> = Vec::new();
     let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
     for mut cube in cubes {
-        for v in 0..width {
-            if cube.get(v) == Literal::DontCare {
-                continue;
+        if result.iter().any(|r| r.contains(&cube)) {
+            continue; // already covered: expanding it cannot help
+        }
+        conflicts.clear();
+        conflicts.resize(off.len() * blocks, 0);
+        counts.clear();
+        counts.resize(off.len(), 0);
+        union.clear();
+        union.resize(blocks, 0);
+        let mut blocked = false; // some off-cube already intersects `cube`
+        for (oi, o) in off.cubes().iter().enumerate() {
+            let mut count = 0u32;
+            for b in 0..blocks {
+                let c = cube.mask_block(b) & o.mask_block(b) & (cube.val_block(b) ^ o.val_block(b));
+                conflicts[oi * blocks + b] = c;
+                union[b] |= c;
+                count += c.count_ones();
             }
-            let saved = cube.get(v);
-            cube.set(v, Literal::DontCare);
-            if off.cubes().iter().any(|o| o.intersect(&cube).is_some()) {
-                cube.set(v, saved);
+            counts[oi] = count;
+            blocked |= count == 0;
+        }
+        if !blocked {
+            // Raise-all phase: a literal no off-cube conflicts on can never
+            // separate the cube from the off-set — free them all at once.
+            for (b, u) in union.iter().enumerate() {
+                let raise = cube.mask_block(b) & !u;
+                cube.raise_block(b, raise);
+            }
+            // Retract phase: try the conflicting literals in variable order.
+            for v in 0..width {
+                let (b, m) = (v / 64, 1u64 << (v % 64));
+                if cube.mask_block(b) & m == 0 || union[b] & m == 0 {
+                    continue;
+                }
+                let legal =
+                    (0..off.len()).all(|oi| conflicts[oi * blocks + b] & m == 0 || counts[oi] > 1);
+                if legal {
+                    cube.raise_block(b, m);
+                    for oi in 0..off.len() {
+                        if conflicts[oi * blocks + b] & m != 0 {
+                            conflicts[oi * blocks + b] &= !m;
+                            counts[oi] -= 1;
+                        }
+                    }
+                }
             }
         }
         if !result.iter().any(|r| r.contains(&cube)) {
@@ -116,25 +172,30 @@ fn expand(f: &mut Cover, off: &Cover) {
 
 /// IRREDUNDANT: greedily remove cubes whose points are already covered by
 /// the rest of the cover (validated against the original on-set).
-fn irredundant(f: &mut Cover, on: &Cover) {
+///
+/// The containment question "do the remaining cubes still cover `o`?" goes
+/// straight through the unate-recursive cofactor/tautology machinery
+/// ([`cofactor_covers`]) on a filtered view of the cover — no candidate
+/// cover is materialised per removal attempt.
+pub fn irredundant(f: &mut Cover, on: &Cover) {
     // Try to remove large-literal cubes first (they are the most specific).
     let mut order: Vec<usize> = (0..f.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(f.cubes()[i].literal_count()));
     let mut removed = vec![false; f.len()];
     for &i in &order {
         removed[i] = true;
-        let candidate: Cover = f
-            .cubes()
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| !removed[*j])
-            .map(|(_, c)| c.clone())
-            .collect();
-        let still_covered = on
-            .cubes()
-            .iter()
-            .filter(|o| o.intersect(&f.cubes()[i]).is_some())
-            .all(|o| !candidate.is_empty() && candidate.covers_cube(o));
+        let target = &f.cubes()[i];
+        let still_covered = on.cubes().iter().filter(|o| o.intersects(target)).all(|o| {
+            cofactor_covers(
+                f.cubes()
+                    .iter()
+                    .zip(&removed)
+                    .filter(|(_, r)| !**r)
+                    .map(|(c, _)| c),
+                o,
+                f.width(),
+            )
+        });
         if !still_covered {
             removed[i] = false;
         }
@@ -150,49 +211,242 @@ fn irredundant(f: &mut Cover, on: &Cover) {
 
 /// REDUCE: shrink each cube as far as the on-set coverage allows, so the
 /// next EXPAND can move it in a better direction.
-fn reduce(f: &mut Cover, on: &Cover) {
+///
+/// The historical formulation probed every (variable, polarity) pair with a
+/// full cover-containment check. This one computes, once per cube, the
+/// *residue* `U` — the points of the obligated on-cubes (those intersecting
+/// the cube at entry) left uncovered by the rest of the cover — and uses the
+/// identity that the greedy var-by-var shrink lands exactly on
+/// `entry ∩ supercube(U)`:
+///
+/// * constraining `v` to a literal is valid iff `U` lies entirely on that
+///   side, i.e. iff `supercube(U)` constrains `v` to the same literal;
+/// * if `supercube(U)` pokes outside the cube, no constraint is ever valid
+///   and the cube stays put;
+/// * if `U` is empty, every probe succeeds and the greedy (which tries `1`
+///   before `0`) pins every free variable to `1`.
+///
+/// The decisions — and therefore the result — are identical, but the cover
+/// subtraction is paid once per cube instead of a tautology per probe.
+pub fn reduce(f: &mut Cover, on: &Cover) {
     let width = f.width();
-    for i in 0..f.len() {
-        let mut cube = f.cubes()[i].clone();
-        for v in 0..width {
-            if cube.get(v) != Literal::DontCare {
-                continue;
-            }
-            for lit in [Literal::One, Literal::Zero] {
-                let mut candidate_cube = cube.clone();
-                candidate_cube.set(v, lit);
-                let candidate: Cover = f
-                    .cubes()
-                    .iter()
-                    .enumerate()
-                    .map(|(j, c)| {
-                        if j == i {
-                            candidate_cube.clone()
-                        } else {
-                            c.clone()
-                        }
-                    })
-                    .collect();
-                let ok = on
-                    .cubes()
-                    .iter()
-                    .filter(|o| o.intersect(&f.cubes()[i]).is_some())
-                    .all(|o| candidate.covers_cube(o));
-                if ok {
-                    cube = candidate_cube;
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    for i in 0..cubes.len() {
+        // The cube as it stood when this iteration started: the on-cubes it
+        // intersects are the ones whose coverage the shrink must preserve.
+        let entry = cubes[i].clone();
+        let mut residue: Option<Cube> = None;
+        for o in on.cubes().iter().filter(|o| o.intersects(&entry)) {
+            if let Some(s) = residue_supercube(o, &cubes, i, width) {
+                let r = match residue {
+                    None => s,
+                    Some(r) => r.supercube(&s),
+                };
+                // Once the residue pokes outside the cube no shrink can be
+                // valid, so the remaining obligations don't matter.
+                let sticks_out = !entry.contains(&r);
+                residue = Some(r);
+                if sticks_out {
                     break;
                 }
             }
         }
-        // Rebuild `f` with the reduced cube in place.
-        let cubes: Vec<Cube> = f
-            .cubes()
+        cubes[i] = match residue {
+            // No residue: the rest already covers every obligation, and the
+            // greedy pins each free variable to 1.
+            None => {
+                let mut c = entry;
+                for v in 0..width {
+                    if c.get(v) == Literal::DontCare {
+                        c.set(v, Literal::One);
+                    }
+                }
+                c
+            }
+            // The residue fits inside the cube: shrink down onto it.
+            Some(s) if entry.contains(&s) => s,
+            // The residue sticks out: no shrink is valid.
+            Some(_) => entry,
+        };
+    }
+    *f = cubes.into_iter().collect();
+}
+
+/// Piece cap for the sharp-based residue computation; past this the
+/// per-variable probe fallback (bounded, but slower) takes over.
+const RESIDUE_PIECE_CAP: usize = 2_048;
+
+/// The supercube of `o # (cubes \ {skip})` — the smallest cube containing
+/// the points of `o` not covered by the other cubes — or `None` when that
+/// difference is empty.
+fn residue_supercube(o: &Cube, cubes: &[Cube], skip: usize, width: usize) -> Option<Cube> {
+    if width <= 64 {
+        return residue_supercube1(o, cubes, skip, width);
+    }
+    // Wide-cube generic path: incremental sharp with heap cubes.
+    let mut pieces: Vec<Cube> = vec![o.clone()];
+    let mut scratch: Vec<Cube> = Vec::new();
+    for (j, g) in cubes.iter().enumerate() {
+        if j == skip || g.disjoint(o) {
+            continue;
+        }
+        scratch.clear();
+        for p in &pieces {
+            scratch.extend(p.sharp(g));
+        }
+        std::mem::swap(&mut pieces, &mut scratch);
+        if pieces.is_empty() {
+            return None;
+        }
+        if pieces.len() > RESIDUE_PIECE_CAP {
+            return residue_supercube_by_probe(o, cubes, skip, width);
+        }
+    }
+    let mut sup: Option<Cube> = None;
+    for p in &pieces {
+        sup = Some(match sup {
+            None => p.clone(),
+            Some(s) => s.supercube(p),
+        });
+    }
+    sup
+}
+
+/// Single-block residue supercube: incremental sharp over packed
+/// `(mask, val)` rows. The pieces start as `{o}` and stay pairwise disjoint
+/// throughout (the sharp of disjoint cubes is disjoint), so no containment
+/// pruning is needed — each subtraction step is a flat map over 16-byte
+/// rows, and cubes disjoint from `o` are skipped outright. If the piece
+/// count blows past [`RESIDUE_PIECE_CAP`], the bounded per-variable probe
+/// fallback takes over.
+fn residue_supercube1(o: &Cube, cubes: &[Cube], skip: usize, width: usize) -> Option<Cube> {
+    let (om, ov) = (o.mask_block(0), o.val_block(0));
+    let mut pieces: Vec<(u64, u64)> = vec![(om, ov)];
+    let mut scratch: Vec<(u64, u64)> = Vec::new();
+    for (j, g) in cubes.iter().enumerate() {
+        if j == skip {
+            continue;
+        }
+        let (gm, gv) = (g.mask_block(0), g.val_block(0));
+        if (ov ^ gv) & om & gm != 0 {
+            continue; // g disjoint from o: no piece can touch it
+        }
+        scratch.clear();
+        for &(pm, pv) in &pieces {
+            if (pv ^ gv) & pm & gm != 0 {
+                scratch.push((pm, pv)); // disjoint piece survives whole
+                continue;
+            }
+            // Sharp: for each variable g constrains and the piece leaves
+            // free, emit the piece with that literal flipped, fixing the
+            // previous ones to g's values so the pieces stay disjoint.
+            let mut prefix_m = pm;
+            let mut prefix_v = pv;
+            let mut free = gm & !pm;
+            while free != 0 {
+                let m = free & free.wrapping_neg();
+                free &= free - 1;
+                scratch.push((prefix_m | m, prefix_v | (!gv & m)));
+                prefix_m |= m;
+                prefix_v |= gv & m;
+            }
+            // gm ⊆ pm: the piece lies inside g and vanishes.
+        }
+        std::mem::swap(&mut pieces, &mut scratch);
+        if pieces.is_empty() {
+            return None;
+        }
+        if pieces.len() > RESIDUE_PIECE_CAP {
+            return residue_supercube_by_probe(o, cubes, skip, width);
+        }
+    }
+    let (mut sm, mut sv) = pieces[0];
+    for &(pm, pv) in &pieces[1..] {
+        let agree = sm & pm & !(sv ^ pv);
+        sm = agree;
+        sv &= agree;
+    }
+    Some(Cube::from_block1(width, sm, sv))
+}
+
+/// Fallback residue supercube: decides each variable's literal from whether
+/// `o`'s two half-spaces on that variable are fully covered by the rest.
+fn residue_supercube_by_probe(o: &Cube, cubes: &[Cube], skip: usize, width: usize) -> Option<Cube> {
+    let rest = || {
+        cubes
             .iter()
             .enumerate()
-            .map(|(j, c)| if j == i { cube.clone() } else { c.clone() })
-            .collect();
-        *f = cubes.into_iter().collect();
+            .filter(move |(j, _)| *j != skip)
+            .map(|(_, c)| c)
+    };
+    if width <= 64 {
+        // Cofactor the rest of the cover by `o` once; every half-space
+        // question below is then a flat filter plus tautology over rows.
+        let Some(rows) = cofactor_rows1(rest(), o) else {
+            return None; // some cube swallows o whole
+        };
+        if !rows.is_empty() && tautology1(&rows) {
+            return None; // residue empty
+        }
+        let (om, ov) = (o.mask_block(0), o.val_block(0));
+        let mut sup = Cube::full(width);
+        for v in 0..width {
+            let m = 1u64 << v;
+            if om & m != 0 {
+                // o constrains v: the whole residue lies on o's side.
+                sup.set(
+                    v,
+                    if ov & m != 0 {
+                        Literal::One
+                    } else {
+                        Literal::Zero
+                    },
+                );
+                continue;
+            }
+            let side_uncovered = |value: u64| match cofactor_rows_by_var(&rows, m, value) {
+                None => false, // a full cube covers this side
+                Some(cof) => cof.is_empty() || !tautology1(&cof),
+            };
+            let zero = side_uncovered(0);
+            let one = side_uncovered(m);
+            match (zero, one) {
+                (true, true) => {}
+                (true, false) => sup.set(v, Literal::Zero),
+                (false, true) => sup.set(v, Literal::One),
+                // Unreachable: the residue is nonempty, so some side has
+                // points.
+                (false, false) => {}
+            }
+        }
+        return Some(sup);
     }
+    let covered = |target: &Cube| cofactor_covers(rest(), target, width);
+    if covered(o) {
+        return None; // residue empty
+    }
+    let mut sup = Cube::full(width);
+    for v in 0..width {
+        // Does the residue have points with v = 0 / v = 1?
+        let side_uncovered = |lit: Literal| {
+            if o.get(v) != Literal::DontCare {
+                return o.get(v) == lit; // the residue is nonempty, on o's side
+            }
+            let mut half = o.clone();
+            half.set(v, lit);
+            !covered(&half)
+        };
+        let zero = side_uncovered(Literal::Zero);
+        let one = side_uncovered(Literal::One);
+        match (zero, one) {
+            (true, true) => {}
+            (true, false) => sup.set(v, Literal::Zero),
+            (false, true) => sup.set(v, Literal::One),
+            // Unreachable: the residue is nonempty, so some side has points.
+            (false, false) => {}
+        }
+    }
+    Some(sup)
 }
 
 #[cfg(test)]

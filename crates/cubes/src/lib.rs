@@ -27,9 +27,17 @@
 mod cover;
 mod cube;
 mod espresso;
+pub mod par;
 mod qm;
 
 pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use espresso::minimize;
 pub use qm::{minimize_exact, QmBudget};
+
+/// The individual minimiser phases, exposed for the equivalence test suite
+/// that pins them against reference implementations. Not a stable API.
+#[doc(hidden)]
+pub mod internals {
+    pub use crate::espresso::{canonical_order, expand, irredundant, reduce};
+}

@@ -1,0 +1,132 @@
+//! A minimal ordered parallel map over scoped threads.
+//!
+//! Per-signal synthesis (deriving covers, two-level minimisation) is
+//! embarrassingly parallel: the per-signal work shares nothing but
+//! read-only inputs. This module provides the one combinator both synthesis
+//! flows need — run a function over a slice on a small fixed pool of
+//! [`std::thread::scope`] workers and return the results *in input order*,
+//! so parallel synthesis is bit-identical to sequential synthesis.
+//!
+//! No work-stealing, no channels: workers claim indices from a shared
+//! atomic counter and stash `(index, result)` pairs locally; the results
+//! are stitched back into order after the join. With one worker (or one
+//! item) the map runs inline on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a worker-count request: `None` means one worker per available
+/// CPU (`std::thread::available_parallelism`), and the result is clamped to
+/// the number of items.
+fn resolve_workers(requested: Option<usize>, items: usize) -> usize {
+    let n = requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    n.clamp(1, items.max(1))
+}
+
+/// Maps `f` over `items` on `workers` scoped threads (`None` = one per
+/// available CPU), returning the results in input order.
+///
+/// `f` receives the item index and the item. Results are deterministic: the
+/// output vector is ordered by index regardless of which worker computed
+/// which item or in what order they finished. If `f` panics on any item the
+/// panic is propagated after the scope joins.
+///
+/// # Examples
+///
+/// ```
+/// use si_cubes::par::par_map;
+///
+/// let squares = par_map(&[1, 2, 3, 4], Some(2), |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_workers(workers, items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                // Re-raise with the original payload so a panic inside `f`
+                // reads the same under any worker count.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_results() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [None, Some(1), Some(3), Some(16)] {
+            let out = par_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: [u8; 0] = [];
+        assert!(par_map(&empty, Some(4), |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7], Some(4), |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        assert_eq!(
+            par_map(&[1, 2], Some(64), |_, &x| x),
+            vec![1, 2],
+            "worker count is clamped to the item count"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_worker_panics_with_payload() {
+        par_map(&[0, 1, 2, 3], Some(2), |_, &x| {
+            assert_ne!(x, 2, "boom");
+            x
+        });
+    }
+}

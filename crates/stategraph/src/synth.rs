@@ -7,6 +7,7 @@
 //! number of concurrent signals, which is precisely the behaviour Figure 6
 //! demonstrates.
 
+use si_cubes::par::par_map;
 use si_cubes::{minimize, minimize_exact, Cover, Cube, QmBudget};
 use si_stg::{Polarity, SignalId, Stg};
 
@@ -29,7 +30,9 @@ pub struct OnOffSets {
 ///
 /// A state belongs to the on-set when the *implied value* of the signal is 1:
 /// either `+a` is excited there, or the signal is stable at 1. Symmetrically
-/// for the off-set. Duplicate codes are deduplicated.
+/// for the off-set. Duplicate codes are deduplicated, and both covers come
+/// back in canonical cube order — hash-iteration order must not leak into
+/// the minimiser, or synthesis output would vary from run to run.
 ///
 /// # Examples
 ///
@@ -68,21 +71,21 @@ pub fn on_off_sets(stg: &Stg, sg: &StateGraph, signal: SignalId) -> OnOffSets {
         };
         let minterm = Cube::minterm(code.iter().map(|(_, v)| v));
         if implied {
-            on_codes.insert(minterm.to_string());
-            let _ = &minterm;
+            on_codes.insert(minterm);
         } else {
-            off_codes.insert(minterm.to_string());
+            off_codes.insert(minterm);
         }
     }
-    let on: Cover = on_codes
-        .into_iter()
-        .map(|s| Cube::from_str_cube(&s))
-        .collect();
-    let off: Cover = off_codes
-        .into_iter()
-        .map(|s| Cube::from_str_cube(&s))
-        .collect();
-    OnOffSets { signal, on, off }
+    let sorted = |codes: std::collections::HashSet<Cube>| -> Cover {
+        let mut cubes: Vec<Cube> = codes.into_iter().collect();
+        cubes.sort_by(Cube::cmp_canonical);
+        cubes.into_iter().collect()
+    };
+    OnOffSets {
+        signal,
+        on: sorted(on_codes),
+        off: sorted(off_codes),
+    }
 }
 
 /// The synthesised gate for one signal in the atomic-complex-gate-per-signal
@@ -130,6 +133,10 @@ pub struct SgSynthesisOptions {
     /// second exponent of the Figure 6 curves. Falls back to the heuristic
     /// when the exact search exceeds its budget.
     pub exact_minimization: bool,
+    /// Worker threads for the per-signal on/off-set derivation and
+    /// minimisation; `None` uses one per available CPU. Output is
+    /// bit-identical to sequential (`Some(1)`) regardless of the count.
+    pub workers: Option<usize>,
 }
 
 impl Default for SgSynthesisOptions {
@@ -138,6 +145,7 @@ impl Default for SgSynthesisOptions {
             state_budget: 2_000_000,
             allow_inversion: false,
             exact_minimization: false,
+            workers: None,
         }
     }
 }
@@ -195,13 +203,19 @@ pub fn synthesize_from_built_sg(
     sg: &StateGraph,
     options: &SgSynthesisOptions,
 ) -> Result<SgSynthesis, SgError> {
-    let mut gates = Vec::new();
-    for signal in stg.implementable_signals() {
+    let signals = stg.implementable_signals();
+    for &signal in &signals {
         if stg.transitions_of(signal).is_empty() {
             return Err(SgError::ConstantSignal {
                 signal: stg.signal_name(signal).to_owned(),
             });
         }
+    }
+    // One worker task per signal: derive the exact on/off-sets, check the
+    // partition (the release-build guard against minimising overlapping
+    // covers), minimise. Results come back in signal order, so both the
+    // gate list and the first-error semantics match the sequential loop.
+    let results = par_map(&signals, options.workers, |_, &signal| {
         let sets = on_off_sets(stg, sg, signal);
         if sets.on.intersects(&sets.off) {
             let witness = sets
@@ -234,12 +248,13 @@ pub fn synthesize_from_built_sg(
         } else {
             (on_impl, false)
         };
-        gates.push(GateImplementation {
+        Ok(GateImplementation {
             signal,
             cover,
             inverted,
-        });
-    }
+        })
+    });
+    let gates = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SgSynthesis { gates })
 }
 

@@ -1,0 +1,123 @@
+//! Parallel synthesis must be a pure speed-up: with any worker count, both
+//! flows must produce byte-identical gates, in the same order, as the
+//! sequential (`workers = Some(1)`) path — and repeated runs must agree
+//! with each other (no hash-iteration order may leak into the output).
+
+use si_synth::stategraph::{synthesize_from_sg, SgSynthesisOptions};
+use si_synth::stg::generators::{muller_pipeline, sequencer};
+use si_synth::stg::suite::{paper_fig4ab, request_mux, vme_read_csc};
+use si_synth::stg::Stg;
+use si_synth::synthesis::{synthesize_from_unfolding, SynthesisOptions};
+
+fn sg_fingerprint(stg: &Stg, options: &SgSynthesisOptions) -> String {
+    let result = synthesize_from_sg(stg, options).expect("synthesis succeeds");
+    result
+        .gates
+        .iter()
+        .map(|g| format!("{}|{}|{:?}\n", g.equation(stg), g.inverted, g.cover))
+        .collect()
+}
+
+fn unfolding_fingerprint(stg: &Stg, options: &SynthesisOptions) -> String {
+    let result = synthesize_from_unfolding(stg, options).expect("synthesis succeeds");
+    result
+        .gates
+        .iter()
+        .map(|g| {
+            format!(
+                "{}|{:?}|{:?}|{:?}\n",
+                g.equation(stg),
+                g.gate,
+                g.on_cover,
+                g.off_cover
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sg_parallel_output_is_byte_identical_to_sequential() {
+    for stg in [
+        muller_pipeline(4),
+        sequencer(5),
+        vme_read_csc(),
+        request_mux(),
+    ] {
+        let sequential = sg_fingerprint(
+            &stg,
+            &SgSynthesisOptions {
+                workers: Some(1),
+                ..Default::default()
+            },
+        );
+        for workers in [None, Some(2), Some(4), Some(8)] {
+            let parallel = sg_fingerprint(
+                &stg,
+                &SgSynthesisOptions {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                sequential,
+                parallel,
+                "{}: workers={workers:?} diverged from sequential",
+                stg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn unfolding_parallel_output_is_byte_identical_to_sequential() {
+    for stg in [muller_pipeline(4), paper_fig4ab(), vme_read_csc()] {
+        let sequential = unfolding_fingerprint(
+            &stg,
+            &SynthesisOptions {
+                workers: Some(1),
+                ..Default::default()
+            },
+        );
+        for workers in [None, Some(2), Some(4)] {
+            let parallel = unfolding_fingerprint(
+                &stg,
+                &SynthesisOptions {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                sequential,
+                parallel,
+                "{}: workers={workers:?} diverged from sequential",
+                stg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sg_synthesis_is_deterministic_across_runs() {
+    // The exact on/off-sets are deduplicated through a HashSet; the covers
+    // must nevertheless come out in canonical order every run, or gate
+    // content could differ between two invocations in the same process.
+    let stg = muller_pipeline(3);
+    let options = SgSynthesisOptions::default();
+    let first = sg_fingerprint(&stg, &options);
+    for _ in 0..5 {
+        assert_eq!(first, sg_fingerprint(&stg, &options));
+    }
+}
+
+#[test]
+fn inversion_and_exact_paths_are_deterministic_in_parallel() {
+    let stg = sequencer(4);
+    let options = |workers| SgSynthesisOptions {
+        allow_inversion: true,
+        exact_minimization: true,
+        workers,
+        ..Default::default()
+    };
+    let sequential = sg_fingerprint(&stg, &options(Some(1)));
+    assert_eq!(sequential, sg_fingerprint(&stg, &options(Some(4))));
+}
