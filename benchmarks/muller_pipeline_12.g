@@ -1,0 +1,35 @@
+.model muller-pipeline-12
+.inputs r a
+.outputs c1 c2 c3 c4 c5 c6 c7 c8 c9 c10 c11 c12
+.graph
+r+ c1+
+c1+ r- c2+
+c2+ c1- c3+
+c3+ c2- c4+
+c4+ c3- c5+
+c5+ c4- c6+
+c6+ c5- c7+
+c7+ c6- c8+
+c8+ c7- c9+
+c9+ c8- c10+
+c10+ c9- c11+
+c11+ c10- c12+
+c12+ c11- a+
+a+ c12-
+r- c1-
+c1- r+ c2-
+c2- c1+ c3-
+c3- c2+ c4-
+c4- c3+ c5-
+c5- c4+ c6-
+c6- c5+ c7-
+c7- c6+ c8-
+c8- c7+ c9-
+c9- c8+ c10-
+c10- c9+ c11-
+c11- c10+ c12-
+c12- c11+ a-
+a- c12+
+.marking { <c1-,r+> <c2-,c1+> <c3-,c2+> <c4-,c3+> <c5-,c4+> <c6-,c5+> <c7-,c6+> <c8-,c7+> <c9-,c8+> <c10-,c9+> <c11-,c10+> <c12-,c11+> <a-,c12+> }
+.initial { r=0 c1=0 c2=0 c3=0 c4=0 c5=0 c6=0 c7=0 c8=0 c9=0 c10=0 c11=0 c12=0 a=0 }
+.end

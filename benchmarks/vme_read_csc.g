@@ -1,0 +1,20 @@
+.model vme-read-csc
+.inputs dsr ldtack
+.outputs lds d dtack
+.internal csc0
+.graph
+dsr+ csc0+
+lds+ ldtack+
+ldtack+ d+
+csc0+ lds+
+d+ dtack+
+dtack+ dsr-
+dsr- csc0-
+d- dtack- lds-
+dtack- dsr+
+lds- ldtack-
+ldtack- csc0+
+csc0- d-
+.marking { <ldtack-,csc0+> <dtack-,dsr+> }
+.initial { dsr=0 ldtack=0 lds=0 d=0 dtack=0 csc0=0 }
+.end

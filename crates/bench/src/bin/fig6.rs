@@ -19,14 +19,19 @@ const SG_BUDGET: usize = 2_000_000;
 /// The baseline stops once the *predicted* time of the next instance
 /// exceeds this, standing in for "taking prohibitively long" in the paper.
 /// Prediction instead of run-one-over-the-limit matters because the growth
-/// per series point is brutal: the state count quadruples per +2 pipeline
-/// stages and minimisation time follows with a factor of ~15–30×, so the
-/// first run past the threshold would dwarf the entire rest of the series.
+/// per series point is still exponential: the state count quadruples per
+/// +2 pipeline stages, and since the implicit-cover rework the synthesis
+/// time tracks the state count (~4–6× per point) instead of its square —
+/// but a first run past the threshold would still dwarf the series.
 const SG_GIVE_UP: Duration = Duration::from_secs(60);
 /// Observed per-point growth factor of the SG baseline on Muller pipelines
-/// (~0.3 s at 10 stages, ~4.6 s at 12, ~137 s at 14), used to predict
-/// whether the next instance fits under [`SG_GIVE_UP`].
-const SG_GROWTH_PER_POINT: u32 = 30;
+/// with implicit on/off covers (~0.2 s at 14 stages, ~1.1 s at 16, ~6 s at
+/// 18; the explicit-minterm path took ~137 s at 14), used to predict
+/// whether the next instance fits under [`SG_GIVE_UP`]. In practice the
+/// [`SG_BUDGET`] state cap now stops the series (20 stages ≈ 4.2 M states)
+/// before the time cutoff does — the wall moved from minimisation time to
+/// explicit state enumeration itself, which is the paper's point.
+const SG_GROWTH_PER_POINT: u32 = 6;
 
 fn main() {
     let max_stages: usize = std::env::args()

@@ -1,0 +1,220 @@
+//! `synth` — the CLI front door: synthesise a user-supplied `.g` file with
+//! either flow and print the gate equations plus a Table-1-style timing
+//! breakdown.
+//!
+//! ```text
+//! Usage: synth <spec.g> [options]
+//!
+//!   --flow sg|unfolding    synthesis flow (default: unfolding)
+//!   --cover exact|approx   cover derivation / minimisation mode
+//!                          (default: approx; for --flow sg, `exact`
+//!                          selects exact Quine–McCluskey minimisation)
+//!   --workers N            worker threads (default: one per CPU)
+//!   --budget N             state/slice budget (default: 2000000)
+//!   --invert               (sg flow) allow implementing the complemented
+//!                          function when it is cheaper
+//! ```
+//!
+//! Run with: `cargo run -p si-bench --release --bin synth -- spec.g --flow sg`
+//!
+//! Exit codes: 0 success, 1 usage or I/O error, 2 parse or synthesis error
+//! (a malformed `.g` file is reported as a structured parse error, never a
+//! panic).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use si_bench::secs;
+use si_stategraph::{synthesize_from_built_sg, SgSynthesisOptions, StateGraph};
+use si_stg::{parse_g, Stg};
+use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Sg,
+    Unfolding,
+}
+
+struct Args {
+    path: String,
+    flow: Flow,
+    exact: bool,
+    workers: Option<usize>,
+    budget: usize,
+    invert: bool,
+}
+
+fn usage() -> &'static str {
+    "Usage: synth <spec.g> [--flow sg|unfolding] [--cover exact|approx] \
+     [--workers N] [--budget N] [--invert]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut flow = Flow::Unfolding;
+    let mut exact = false;
+    let mut workers = None;
+    let mut budget = 2_000_000usize;
+    let mut invert = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flow" => {
+                flow = match args.next().as_deref() {
+                    Some("sg") => Flow::Sg,
+                    Some("unfolding") => Flow::Unfolding,
+                    other => return Err(format!("--flow needs sg|unfolding, got {other:?}")),
+                }
+            }
+            "--cover" => {
+                exact = match args.next().as_deref() {
+                    Some("exact") => true,
+                    Some("approx") => false,
+                    other => return Err(format!("--cover needs exact|approx, got {other:?}")),
+                }
+            }
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?;
+                workers = Some(n);
+            }
+            "--budget" => {
+                budget = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--budget needs a positive integer")?;
+            }
+            "--invert" => invert = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(|| usage().to_owned())?;
+    Ok(Args {
+        path,
+        flow,
+        exact,
+        workers,
+        budget,
+        invert,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", args.path);
+            return ExitCode::from(1);
+        }
+    };
+    let stg = match parse_g(&text) {
+        Ok(stg) => stg,
+        Err(e) => {
+            eprintln!("`{}`: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+    println!("{stg}");
+    match args.flow {
+        Flow::Sg => run_sg(&stg, &args),
+        Flow::Unfolding => run_unfolding(&stg, &args),
+    }
+}
+
+fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
+    let start = Instant::now();
+    let sg = match StateGraph::build(stg, args.budget) {
+        Ok(sg) => sg,
+        Err(e) => {
+            eprintln!("state graph construction failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sg_time = start.elapsed();
+    let options = SgSynthesisOptions {
+        state_budget: args.budget,
+        exact_minimization: args.exact,
+        allow_inversion: args.invert,
+        workers: args.workers,
+        ..SgSynthesisOptions::default()
+    };
+    let syn_start = Instant::now();
+    let result = match synthesize_from_built_sg(stg, &sg, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let syn_time = syn_start.elapsed();
+    println!("\nGate equations (SG baseline, implicit covers):");
+    for gate in &result.gates {
+        println!("  {}", gate.equation(stg));
+    }
+    println!("\nTiming breakdown (seconds):");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8}",
+        "States", "SgTim", "SynTim", "TotTim", "LitCnt"
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8}",
+        sg.len(),
+        secs(sg_time),
+        secs(syn_time),
+        secs(sg_time + syn_time),
+        result.literal_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_unfolding(stg: &Stg, args: &Args) -> ExitCode {
+    let options = SynthesisOptions {
+        mode: if args.exact {
+            CoverMode::Exact
+        } else {
+            CoverMode::Approximate
+        },
+        slice_budget: args.budget,
+        workers: args.workers,
+        ..SynthesisOptions::default()
+    };
+    let result = match synthesize_from_unfolding(stg, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("\nGate equations (unfolding flow):");
+    for gate in &result.gates {
+        println!("  {}", gate.equation(stg));
+    }
+    println!("\nTiming breakdown (seconds, the paper's Table 1 columns):");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "Events", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        result.events,
+        secs(result.timing.unfold),
+        secs(result.timing.derive),
+        secs(result.timing.minimize),
+        secs(result.timing.total()),
+        result.literal_count()
+    );
+    ExitCode::SUCCESS
+}

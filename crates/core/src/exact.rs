@@ -9,6 +9,7 @@
 
 use std::collections::HashSet;
 
+use si_cubes::implicit::{ImplicitCover, ImplicitPool, MintermList};
 use si_cubes::{Cover, Cube};
 use si_petri::{BitSet, Marking};
 use si_stg::{BinaryCode, Stg};
@@ -266,7 +267,10 @@ pub fn cover_true_within_slices(
 }
 
 /// The exact cover of one side (on- or off-set) of a signal: the union of
-/// the minterms of every slice's codes.
+/// the minterms of every slice's codes, in canonical cube order (so the
+/// minimiser's input — and therefore its output — does not depend on slice
+/// traversal order, and matches what materialising [`exact_side_set`]
+/// yields).
 ///
 /// # Errors
 ///
@@ -286,7 +290,35 @@ pub fn exact_side_cover(
             }
         }
     }
+    cubes.sort_by(Cube::cmp_canonical);
     Ok(cubes.into_iter().collect())
+}
+
+/// The exact side cover as an *implicit* set in `pool`: every slice code is
+/// accumulated into the canonical disjoint-cube diagram instead of one
+/// materialised minterm per state, so downstream intersection checks and
+/// minimisation track the implicit size rather than the state count.
+///
+/// The point set equals [`exact_side_cover`]'s (duplicates collapse in the
+/// diagram).
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError::SliceBudgetExceeded`].
+pub fn exact_side_set(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slices: &[Slice],
+    budget: usize,
+    pool: &mut ImplicitPool,
+) -> Result<ImplicitCover, SynthesisError> {
+    let mut list = MintermList::new(pool.width());
+    for slice in slices {
+        for code in slice_codes(stg, unf, slice, budget)? {
+            list.push(code.iter().map(|(_, v)| v));
+        }
+    }
+    Ok(pool.from_minterms(&mut list))
 }
 
 #[cfg(test)]

@@ -2,16 +2,18 @@
 //! paper's Figure 5, producing an atomic-complex-gate-per-signal
 //! implementation with the timing breakdown reported in Table 1.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use si_cubes::implicit::{ImplicitCover, ImplicitPool};
 use si_cubes::par::par_map;
-use si_cubes::{minimize, Cover};
+use si_cubes::{minimize, minimize_implicit, Cover, Cube};
 use si_stg::{SignalId, Stg};
 use si_unfolding::{check_segment_persistency, StgUnfolding, UnfoldingOptions};
 
 use crate::approx::{approximate_side, side_cover};
 use crate::error::SynthesisError;
-use crate::exact::{cover_true_within_slices, exact_side_cover};
+use crate::exact::{cover_true_within_slices, exact_side_set};
 use crate::refine::{refine_until_disjoint, RefinementReport};
 use crate::slice::side_slices;
 
@@ -214,31 +216,57 @@ pub fn synthesize_from_unfolding(
 
     let min_start = Instant::now();
     let minimized = par_map(&per_signal, options.workers, |_, entry| {
-        let (signal, on_cover, off_cover, _) = entry;
         // Derivation promised disjoint covers; re-check in release builds
-        // too, because minimising an inconsistent partition returns garbage.
-        if on_cover.intersects(off_cover) {
-            let witness = on_cover
-                .intersect(off_cover)
-                .cubes()
-                .first()
-                .map(ToString::to_string)
-                .unwrap_or_default();
-            return Err(SynthesisError::InconsistentCovers {
-                signal: stg.signal_name(*signal).to_owned(),
-                witness,
-            });
+        // too, because minimising an inconsistent partition returns
+        // garbage. The check goes through the implicit representation: one
+        // cached intersection instead of a cover-quadratic cube sweep.
+        match &entry.implicit {
+            Some(sets) => {
+                let mut guard = sets.lock().expect("per-signal pool");
+                let (pool, on, off) = &mut *guard;
+                let shared = pool.intersect(*on, *off);
+                if let Some(bits) = pool.first_minterm(shared) {
+                    return Err(SynthesisError::InconsistentCovers {
+                        signal: stg.signal_name(entry.signal).to_owned(),
+                        witness: Cube::minterm(bits).to_string(),
+                    });
+                }
+                // Exact-mode covers are minterm point sets: minimise them
+                // implicitly (byte-identical to the explicit minimiser on
+                // the materialised canonical covers).
+                Ok(minimize_implicit(pool, *on, *off))
+            }
+            None => {
+                // Approximate-mode covers are structural cube
+                // approximations, not minterm sets: the bounded pairwise
+                // cube sweep is the right guard here (building a diagram
+                // from arbitrary overlapping cubes has no size bound), and
+                // the cube-level minimiser consumes the covers directly.
+                if entry.on_cover.intersects(&entry.off_cover) {
+                    let witness = entry
+                        .on_cover
+                        .intersect(&entry.off_cover)
+                        .cubes()
+                        .first()
+                        .map(ToString::to_string)
+                        .unwrap_or_default();
+                    return Err(SynthesisError::InconsistentCovers {
+                        signal: stg.signal_name(entry.signal).to_owned(),
+                        witness,
+                    });
+                }
+                Ok(minimize(&entry.on_cover, &entry.off_cover))
+            }
         }
-        Ok(minimize(on_cover, off_cover))
     });
     let mut gates = Vec::with_capacity(per_signal.len());
-    for ((signal, on_cover, off_cover, refinement), gate) in per_signal.into_iter().zip(minimized) {
+    for (entry, gate) in per_signal.into_iter().zip(minimized) {
         gates.push(SignalGate {
-            signal,
-            on_cover,
-            off_cover,
+            signal: entry.signal,
+            on_cover: entry.on_cover,
+            off_cover: entry.off_cover,
             gate: gate?,
-            refinement,
+            refinement: entry.refinement,
         });
     }
     let minimize_time = min_start.elapsed();
@@ -255,7 +283,19 @@ pub fn synthesize_from_unfolding(
     })
 }
 
-type DerivedCovers = (SignalId, Cover, Cover, Option<RefinementReport>);
+/// The per-signal output of the derivation stage. Exact mode additionally
+/// carries the implicit on/off sets (in their pool) so the consistency
+/// guard and the minimiser can run against the implicit representation;
+/// the pool sits behind a [`Mutex`] because the minimisation stage runs on
+/// shared-reference worker tasks (each signal's pool is only ever locked by
+/// its own task).
+struct DerivedCovers {
+    signal: SignalId,
+    on_cover: Cover,
+    off_cover: Cover,
+    refinement: Option<RefinementReport>,
+    implicit: Option<Mutex<(ImplicitPool, ImplicitCover, ImplicitCover)>>,
+}
 
 /// Derives the final, checked on-/off-set covers for one signal.
 fn derive_covers(
@@ -268,12 +308,28 @@ fn derive_covers(
     let off_slices = side_slices(unf, signal, false);
     match options.mode {
         CoverMode::Exact => {
-            let on = exact_side_cover(stg, unf, &on_slices, options.slice_budget)?;
-            let off = exact_side_cover(stg, unf, &off_slices, options.slice_budget)?;
-            if on.intersects(&off) {
-                return Err(csc_error(stg, signal, &on, &off));
+            let mut pool = ImplicitPool::new(unf.signal_count());
+            let on = exact_side_set(stg, unf, &on_slices, options.slice_budget, &mut pool)?;
+            let off = exact_side_set(stg, unf, &off_slices, options.slice_budget, &mut pool)?;
+            let shared = pool.intersect(on, off);
+            if let Some(bits) = pool.first_minterm(shared) {
+                return Err(SynthesisError::CscViolation {
+                    signal: stg.signal_name(signal).to_owned(),
+                    witness: Cube::minterm(bits).to_string(),
+                });
             }
-            Ok((signal, on, off, None))
+            // The public covers stay explicit minterm lists (canonical
+            // order) — the paper's exact derivation — while minimisation
+            // consumes the implicit sets.
+            let on_cover = pool.minterms_cover(on);
+            let off_cover = pool.minterms_cover(off);
+            Ok(DerivedCovers {
+                signal,
+                on_cover,
+                off_cover,
+                refinement: None,
+                implicit: Some(Mutex::new((pool, on, off))),
+            })
         }
         CoverMode::Approximate => {
             let mut on_atoms = approximate_side(stg, unf, &on_slices);
@@ -305,7 +361,13 @@ fn derive_covers(
             if !report.disjoint {
                 return Err(csc_error(stg, signal, &on, &off));
             }
-            Ok((signal, on, off, Some(report)))
+            Ok(DerivedCovers {
+                signal,
+                on_cover: on,
+                off_cover: off,
+                refinement: Some(report),
+                implicit: None,
+            })
         }
     }
 }
@@ -327,7 +389,13 @@ fn accept_weak(
 ) -> Result<Option<DerivedCovers>, SynthesisError> {
     let x = on.intersect(&off);
     if x.is_empty() {
-        return Ok(Some((signal, on, off, None)));
+        return Ok(Some(DerivedCovers {
+            signal,
+            on_cover: on,
+            off_cover: off,
+            refinement: None,
+            implicit: None,
+        }));
     }
     let within_off = cover_true_within_slices(stg, unf, off_slices, &on, options.slice_budget);
     let within_on = cover_true_within_slices(stg, unf, on_slices, &off, options.slice_budget);
@@ -336,7 +404,13 @@ fn accept_weak(
             // Intersection ⊆ DC-set: Definition 2.1 holds after carving it
             // out of one side.
             let on = on.subtract(&x);
-            Ok(Some((signal, on, off, None)))
+            Ok(Some(DerivedCovers {
+                signal,
+                on_cover: on,
+                off_cover: off,
+                refinement: None,
+                implicit: None,
+            }))
         }
         // Reachable conflict or budget exhaustion: fall back to the strong
         // path (refinement).

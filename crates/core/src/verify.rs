@@ -10,7 +10,7 @@ use std::error::Error;
 use std::fmt;
 
 use si_stategraph::{SgError, StateGraph};
-use si_stg::{Polarity, Stg};
+use si_stg::Stg;
 
 use crate::synth::UnfoldingSynthesis;
 
@@ -95,36 +95,44 @@ pub fn verify_against_sg(
     state_budget: usize,
 ) -> Result<(), VerifyError> {
     let sg = StateGraph::build(stg, state_budget)?;
-    for s in 0..sg.len() {
-        let code = sg.code(s);
-        let bits: Vec<bool> = code.iter().map(|(_, v)| v).collect();
-        let excited = sg.excited(stg, s);
-        for gate in &synthesis.gates {
-            let rising = excited
-                .iter()
-                .any(|e| e.signal == gate.signal && e.polarity == Polarity::Rise);
-            let falling = excited
-                .iter()
-                .any(|e| e.signal == gate.signal && e.polarity == Polarity::Fall);
-            let expected = if rising {
-                true
-            } else if falling {
-                false
-            } else {
-                code.get(gate.signal)
-            };
-            let got = gate.gate.covers_bits(&bits);
-            if got != expected {
-                return Err(VerifyError::Mismatch {
-                    signal: stg.signal_name(gate.signal).to_owned(),
-                    code: code.to_string(),
-                    expected,
-                    got,
-                });
-            }
+    // The oracle compares point sets, not states: the gate cover must
+    // contain the signal's implicit on-set and miss its implicit off-set.
+    // Checking through the implicit representation makes the oracle's cost
+    // track the diagram size instead of states × gates × cubes; a reported
+    // mismatch is the canonically smallest offending code (the explicit
+    // sweep reported the first in BFS order instead). The per-state
+    // classification sweep is shared across all gates.
+    let class = si_stategraph::SgClassification::new(stg, &sg);
+    for gate in &synthesis.gates {
+        let mut sets = class.on_off_sets(gate.signal);
+        let (on, off) = (sets.on(), sets.off());
+        let pool = sets.pool_mut();
+        let gate_set = pool.cover_set(&gate.gate);
+        let missed = pool.diff(on, gate_set);
+        if let Some(bits) = pool.first_minterm(missed) {
+            return Err(VerifyError::Mismatch {
+                signal: stg.signal_name(gate.signal).to_owned(),
+                code: bits_to_code_string(&bits),
+                expected: true,
+                got: false,
+            });
+        }
+        let wrong = pool.intersect(gate_set, off);
+        if let Some(bits) = pool.first_minterm(wrong) {
+            return Err(VerifyError::Mismatch {
+                signal: stg.signal_name(gate.signal).to_owned(),
+                code: bits_to_code_string(&bits),
+                expected: false,
+                got: true,
+            });
         }
     }
     Ok(())
+}
+
+/// Renders a code the way [`si_stg::BinaryCode`] does (`101…`).
+fn bits_to_code_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,1137 @@
+//! Implicit cover representation: canonical disjoint-cube sets.
+//!
+//! The explicit SG baseline materialises one full-width minterm [`Cube`] per
+//! reachable state and feeds tens of thousands of them to the minimiser —
+//! the state-explosion behaviour the paper's Figure 6 demonstrates. This
+//! module represents the same point sets *implicitly*: a hash-consed,
+//! reduced, ordered decision diagram ([`ImplicitPool`]) whose root-to-`1`
+//! paths form a canonical disjoint-cube set (ZDD/BDD-style), with cached
+//! union / intersection / complement / cofactor. States that agree on a
+//! signal's support collapse into a single shared subgraph, so the
+//! representation stays near-linear where the explicit one is exponential.
+//!
+//! [`minimize_implicit`] runs the Espresso-style EXPAND → IRREDUNDANT →
+//! REDUCE iteration directly against the implicit on/off sets and produces
+//! **byte-identical** output to [`minimize`](crate::minimize) applied to the
+//! canonically ordered explicit minterm covers of the same sets (pinned by
+//! the equivalence proptest suite). The key observations making that
+//! possible:
+//!
+//! * EXPAND's raise legality ("does the raised cube still miss the
+//!   off-set?") is a property of the off-set *as a set of points*, not of
+//!   its cube list, so it can be answered by an implicit membership probe;
+//! * the cubes EXPAND processes are exactly the successive canonically
+//!   smallest minterms not yet covered by an emitted prime — which is the
+//!   leftmost path of the residual implicit set;
+//! * IRREDUNDANT's and REDUCE's cover-containment questions reduce to
+//!   emptiness of implicit differences, and REDUCE's residue supercube is
+//!   the supercube of one implicit set.
+//!
+//! ## Example
+//!
+//! ```
+//! use si_cubes::implicit::{minimize_implicit, ImplicitPool, MintermList};
+//!
+//! // On(b)/Off(b) of the paper's Figure 1, accumulated as points.
+//! let mut on_list = MintermList::new(3);
+//! for s in ["100", "101", "110", "111", "001", "011"] {
+//!     on_list.push(s.chars().map(|c| c == '1'));
+//! }
+//! let mut off_list = MintermList::new(3);
+//! for s in ["010", "000"] {
+//!     off_list.push(s.chars().map(|c| c == '1'));
+//! }
+//! let mut pool = ImplicitPool::new(3);
+//! let on = pool.from_minterms(&mut on_list);
+//! let off = pool.from_minterms(&mut off_list);
+//! let gate = minimize_implicit(&mut pool, on, off);
+//! assert_eq!(gate.to_expression_string(&["a", "b", "c"]), "a + c");
+//! ```
+
+use std::collections::HashMap;
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+use crate::espresso::canonical_order;
+use crate::qm::{minimize_exact, QmBudget};
+
+/// Terminal node id for the empty set (constant 0).
+const EMPTY: u32 = 0;
+/// Terminal node id for the full space (constant 1).
+const FULL: u32 = 1;
+
+/// A handle to a point set owned by an [`ImplicitPool`].
+///
+/// Copyable and cheap; all operations go through the pool. Two handles from
+/// the same pool are equal iff they denote the same point set (the diagram
+/// is canonical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImplicitCover(u32);
+
+impl ImplicitCover {
+    /// Returns `true` if this is the empty set (constant 0).
+    pub fn is_empty(self) -> bool {
+        self.0 == EMPTY
+    }
+}
+
+/// Binary operation codes for the apply cache.
+const OP_UNION: u8 = 0;
+const OP_INTERSECT: u8 = 1;
+const OP_DIFF: u8 = 2;
+/// Unary cofactor codes (`b` in the cache key holds the variable).
+const OP_COFACTOR0: u8 = 3;
+const OP_COFACTOR1: u8 = 4;
+
+/// A hash-consed pool of reduced ordered decision-diagram nodes over a
+/// fixed variable width, plus an operation cache.
+///
+/// Node ids 0 and 1 are the terminals; every other node `(var, lo, hi)` is
+/// unique (`lo != hi`), so equal point sets always share one id and
+/// emptiness / equality tests are O(1).
+#[derive(Debug, Clone)]
+pub struct ImplicitPool {
+    width: usize,
+    /// `(var, lo, hi)`; entries 0/1 are terminal placeholders.
+    nodes: Vec<(u32, u32, u32)>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    cache: HashMap<(u8, u32, u32), u32>,
+}
+
+impl ImplicitPool {
+    /// Creates a pool over `width` variables.
+    pub fn new(width: usize) -> Self {
+        ImplicitPool {
+            width,
+            nodes: vec![(u32::MAX, 0, 0), (u32::MAX, 1, 1)],
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The empty set (constant 0).
+    pub fn empty(&self) -> ImplicitCover {
+        ImplicitCover(EMPTY)
+    }
+
+    /// The full space (constant 1).
+    pub fn full(&self) -> ImplicitCover {
+        ImplicitCover(FULL)
+    }
+
+    /// Total number of live non-terminal nodes in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    fn var_of(&self, n: u32) -> u32 {
+        if n <= FULL {
+            self.width as u32
+        } else {
+            self.nodes[n as usize].0
+        }
+    }
+
+    /// Hash-consed node constructor with the `lo == hi` reduction.
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let key = (var, lo, hi);
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(key);
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// Splits `n` at variable `var`: the `(lo, hi)` children if `n` branches
+    /// there, `(n, n)` if `var` is unconstrained at this level.
+    fn children_at(&self, n: u32, var: u32) -> (u32, u32) {
+        if n > FULL && self.nodes[n as usize].0 == var {
+            let (_, lo, hi) = self.nodes[n as usize];
+            (lo, hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    fn apply(&mut self, op: u8, a: u32, b: u32) -> u32 {
+        // Terminal short-circuits.
+        match op {
+            OP_UNION => {
+                if a == FULL || b == FULL {
+                    return FULL;
+                }
+                if a == EMPTY || a == b {
+                    return b;
+                }
+                if b == EMPTY {
+                    return a;
+                }
+            }
+            OP_INTERSECT => {
+                if a == EMPTY || b == EMPTY {
+                    return EMPTY;
+                }
+                if a == FULL || a == b {
+                    return b;
+                }
+                if b == FULL {
+                    return a;
+                }
+            }
+            OP_DIFF => {
+                if a == EMPTY || b == FULL || a == b {
+                    return EMPTY;
+                }
+                if b == EMPTY {
+                    return a;
+                }
+            }
+            _ => unreachable!("apply handles binary set ops only"),
+        }
+        // Union and intersection are commutative: normalise the key.
+        let key = if op != OP_DIFF && a > b {
+            (op, b, a)
+        } else {
+            (op, a, b)
+        };
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let var = self.var_of(a).min(self.var_of(b));
+        let (a0, a1) = self.children_at(a, var);
+        let (b0, b1) = self.children_at(b, var);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// The union of two sets (cached).
+    pub fn union(&mut self, a: ImplicitCover, b: ImplicitCover) -> ImplicitCover {
+        ImplicitCover(self.apply(OP_UNION, a.0, b.0))
+    }
+
+    /// The intersection of two sets (cached).
+    pub fn intersect(&mut self, a: ImplicitCover, b: ImplicitCover) -> ImplicitCover {
+        ImplicitCover(self.apply(OP_INTERSECT, a.0, b.0))
+    }
+
+    /// The set difference `a \ b` (cached).
+    pub fn diff(&mut self, a: ImplicitCover, b: ImplicitCover) -> ImplicitCover {
+        ImplicitCover(self.apply(OP_DIFF, a.0, b.0))
+    }
+
+    /// The complement of `a` within the full space (cached).
+    pub fn complement(&mut self, a: ImplicitCover) -> ImplicitCover {
+        let full = self.full();
+        self.diff(full, a)
+    }
+
+    /// Returns `true` if the sets share at least one point — O(shared
+    /// structure) instead of the explicit cover's quadratic cube sweep.
+    pub fn intersects(&mut self, a: ImplicitCover, b: ImplicitCover) -> bool {
+        !self.intersect(a, b).is_empty()
+    }
+
+    /// The Shannon cofactor of `a` with variable `var` pinned to `value`
+    /// (cached). The result no longer depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= width`.
+    pub fn cofactor(&mut self, a: ImplicitCover, var: usize, value: bool) -> ImplicitCover {
+        assert!(var < self.width, "variable {var} out of range");
+        let op = if value { OP_COFACTOR1 } else { OP_COFACTOR0 };
+        ImplicitCover(self.cofactor_rec(op, a.0, var as u32))
+    }
+
+    fn cofactor_rec(&mut self, op: u8, n: u32, var: u32) -> u32 {
+        if n <= FULL || self.var_of(n) > var {
+            return n;
+        }
+        let key = (op, n, var);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (v, lo, hi) = self.nodes[n as usize];
+        let r = if v == var {
+            if op == OP_COFACTOR1 {
+                hi
+            } else {
+                lo
+            }
+        } else {
+            let l = self.cofactor_rec(op, lo, var);
+            let h = self.cofactor_rec(op, hi, var);
+            self.mk(v, l, h)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// The set of points covered by `cube` as an implicit set.
+    pub fn cube_set(&mut self, cube: &Cube) -> ImplicitCover {
+        debug_assert_eq!(cube.width(), self.width);
+        let mut acc = FULL;
+        for v in (0..self.width).rev() {
+            match cube.get(v) {
+                Literal::DontCare => {}
+                Literal::Zero => acc = self.mk(v as u32, acc, EMPTY),
+                Literal::One => acc = self.mk(v as u32, EMPTY, acc),
+            }
+        }
+        ImplicitCover(acc)
+    }
+
+    /// The set of points covered by an explicit cover.
+    pub fn cover_set(&mut self, cover: &Cover) -> ImplicitCover {
+        let mut acc = self.empty();
+        for cube in cover.cubes() {
+            let c = self.cube_set(cube);
+            acc = self.union(acc, c);
+        }
+        acc
+    }
+
+    /// Builds the set of a batch of complete minterms, merging shared
+    /// suffixes as it goes (the rows are reordered in place). This is the
+    /// bulk entry point for SG traversal: O(rows × width) with no
+    /// intermediate per-state cube allocation.
+    pub fn from_minterms(&mut self, list: &mut MintermList) -> ImplicitCover {
+        debug_assert_eq!(list.width, self.width);
+        let blocks = list.blocks;
+        let width = self.width;
+        let mut data = std::mem::take(&mut list.data);
+        let root = self.build_sorted(&mut data, blocks, 0, width);
+        list.data = data;
+        ImplicitCover(root)
+    }
+
+    /// Recursive bulk build: partition the rows on `var` (zeros first) and
+    /// hash-cons the two halves.
+    fn build_sorted(&mut self, rows: &mut [u64], blocks: usize, var: usize, width: usize) -> u32 {
+        if rows.is_empty() {
+            return EMPTY;
+        }
+        if var == width {
+            return FULL;
+        }
+        let n = rows.len() / blocks;
+        let (b, m) = (var / 64, 1u64 << (var % 64));
+        // In-place partition: rows with bit 0 first.
+        let mut lo_end = 0usize;
+        for i in 0..n {
+            if rows[i * blocks + b] & m == 0 {
+                if i != lo_end {
+                    for k in 0..blocks {
+                        rows.swap(lo_end * blocks + k, i * blocks + k);
+                    }
+                }
+                lo_end += 1;
+            }
+        }
+        let (lo_rows, hi_rows) = rows.split_at_mut(lo_end * blocks);
+        let lo = self.build_sorted(lo_rows, blocks, var + 1, width);
+        let hi = self.build_sorted(hi_rows, blocks, var + 1, width);
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// Returns `true` if `cube` shares at least one point with `set` — the
+    /// implicit form of the minimiser's innermost disjointness probe.
+    pub fn cube_intersects(&self, cube: &Cube, set: ImplicitCover) -> bool {
+        debug_assert_eq!(cube.width(), self.width);
+        let mut memo: HashMap<u32, bool> = HashMap::new();
+        self.cube_intersects_rec(cube, set.0, &mut memo)
+    }
+
+    fn cube_intersects_rec(&self, cube: &Cube, n: u32, memo: &mut HashMap<u32, bool>) -> bool {
+        if n == EMPTY {
+            return false;
+        }
+        if n == FULL {
+            // Remaining variables are unconstrained by the set; the cube's
+            // own literals are always satisfiable.
+            return true;
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let (var, lo, hi) = self.nodes[n as usize];
+        let r = match cube.get(var as usize) {
+            Literal::Zero => self.cube_intersects_rec(cube, lo, memo),
+            Literal::One => self.cube_intersects_rec(cube, hi, memo),
+            Literal::DontCare => {
+                self.cube_intersects_rec(cube, lo, memo) || self.cube_intersects_rec(cube, hi, memo)
+            }
+        };
+        memo.insert(n, r);
+        r
+    }
+
+    /// Number of points in the set, saturating at `u128::MAX`.
+    pub fn count(&self, set: ImplicitCover) -> u128 {
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        let c = self.count_rec(set.0, &mut memo);
+        shl_sat(c, self.var_of(set.0))
+    }
+
+    fn count_rec(&self, n: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if n == EMPTY {
+            return 0;
+        }
+        if n == FULL {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&n) {
+            return c;
+        }
+        let (var, lo, hi) = self.nodes[n as usize];
+        let cl = self.count_rec(lo, memo);
+        let ch = self.count_rec(hi, memo);
+        let c = shl_sat(cl, self.var_of(lo) - var - 1)
+            .saturating_add(shl_sat(ch, self.var_of(hi) - var - 1));
+        memo.insert(n, c);
+        c
+    }
+
+    /// Number of diagram nodes reachable from `set` (the implicit size the
+    /// exact minimiser charges its budget against).
+    pub fn node_count(&self, set: ImplicitCover) -> usize {
+        if set.0 <= FULL {
+            return 0;
+        }
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        seen.insert(set.0);
+        let mut stack = vec![set.0];
+        while let Some(n) = stack.pop() {
+            let (_, lo, hi) = self.nodes[n as usize];
+            for c in [lo, hi] {
+                if c > FULL && seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// The canonically smallest minterm of the set (`0` preferred over `1`
+    /// at every variable, earlier variables first), or `None` when empty.
+    pub fn first_minterm(&self, set: ImplicitCover) -> Option<Vec<bool>> {
+        if set.is_empty() {
+            return None;
+        }
+        let mut bits = vec![false; self.width];
+        let mut n = set.0;
+        while n != FULL {
+            let (var, lo, hi) = self.nodes[n as usize];
+            if lo != EMPTY {
+                n = lo;
+            } else {
+                bits[var as usize] = true;
+                n = hi;
+            }
+        }
+        Some(bits)
+    }
+
+    /// The smallest cube containing every point of the set, or `None` when
+    /// the set is empty.
+    pub fn supercube(&self, set: ImplicitCover) -> Option<Cube> {
+        if set.is_empty() {
+            return None;
+        }
+        let width = self.width;
+        let mut can0 = vec![false; width];
+        let mut can1 = vec![false; width];
+        let free_between = |lo: u32, hi: u32, can0: &mut [bool], can1: &mut [bool]| {
+            for v in lo..hi {
+                can0[v as usize] = true;
+                can1[v as usize] = true;
+            }
+        };
+        free_between(0, self.var_of(set.0), &mut can0, &mut can1);
+        if set.0 == FULL {
+            // Every variable is free.
+        } else {
+            let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            seen.insert(set.0);
+            let mut stack = vec![set.0];
+            // In a canonical diagram every non-empty child edge lies on an
+            // accepting path, so polarity/freeness can be read off edges.
+            while let Some(n) = stack.pop() {
+                let (var, lo, hi) = self.nodes[n as usize];
+                if lo != EMPTY {
+                    can0[var as usize] = true;
+                    free_between(var + 1, self.var_of(lo), &mut can0, &mut can1);
+                    if lo > FULL && seen.insert(lo) {
+                        stack.push(lo);
+                    }
+                }
+                if hi != EMPTY {
+                    can1[var as usize] = true;
+                    free_between(var + 1, self.var_of(hi), &mut can0, &mut can1);
+                    if hi > FULL && seen.insert(hi) {
+                        stack.push(hi);
+                    }
+                }
+            }
+        }
+        let mut cube = Cube::full(width);
+        for v in 0..width {
+            match (can0[v], can1[v]) {
+                (true, true) => {}
+                (true, false) => cube.set(v, Literal::Zero),
+                (false, true) => cube.set(v, Literal::One),
+                (false, false) => unreachable!("non-empty set constrains every variable somehow"),
+            }
+        }
+        Some(cube)
+    }
+
+    /// Materialises the set as its canonical disjoint-cube cover: one cube
+    /// per root-to-`1` path (skipped variables become don't-cares), in
+    /// canonical cube order.
+    pub fn to_cover(&self, set: ImplicitCover) -> Cover {
+        let mut out: Vec<Cube> = Vec::new();
+        let mut path = Cube::full(self.width);
+        self.paths_rec(set.0, &mut path, &mut out);
+        let mut cover: Cover = out.into_iter().collect();
+        if cover.is_empty() {
+            cover = Cover::empty(self.width);
+        }
+        canonical_order(&mut cover);
+        cover
+    }
+
+    fn paths_rec(&self, n: u32, path: &mut Cube, out: &mut Vec<Cube>) {
+        if n == EMPTY {
+            return;
+        }
+        if n == FULL {
+            out.push(path.clone());
+            return;
+        }
+        let (var, lo, hi) = self.nodes[n as usize];
+        path.set(var as usize, Literal::Zero);
+        self.paths_rec(lo, path, out);
+        path.set(var as usize, Literal::One);
+        self.paths_rec(hi, path, out);
+        path.set(var as usize, Literal::DontCare);
+    }
+
+    /// Materialises the set as its explicit minterm cover, in canonical
+    /// (lexicographic) order — exactly the cover the explicit enumeration
+    /// path would have produced. Cost is proportional to the point count,
+    /// so only call this where the explicit path would have been viable.
+    pub fn minterms_cover(&self, set: ImplicitCover) -> Cover {
+        let mut out: Vec<Cube> = Vec::new();
+        let mut bits = vec![false; self.width];
+        self.minterms_rec(set.0, 0, &mut bits, &mut out);
+        let mut cover: Cover = out.into_iter().collect();
+        if cover.is_empty() {
+            cover = Cover::empty(self.width);
+        }
+        cover
+    }
+
+    fn minterms_rec(&self, n: u32, var: usize, bits: &mut Vec<bool>, out: &mut Vec<Cube>) {
+        if n == EMPTY {
+            return;
+        }
+        if var == self.width {
+            out.push(Cube::minterm(bits.iter().copied()));
+            return;
+        }
+        let (lo, hi) = self.children_at(n, var as u32);
+        bits[var] = false;
+        self.minterms_rec(lo, var + 1, bits, out);
+        bits[var] = true;
+        self.minterms_rec(hi, var + 1, bits, out);
+        bits[var] = false;
+    }
+}
+
+/// Saturating left shift for point counts.
+fn shl_sat(x: u128, k: u32) -> u128 {
+    if x == 0 {
+        0
+    } else if k >= 128 || x.leading_zeros() < k {
+        u128::MAX
+    } else {
+        x << k
+    }
+}
+
+/// A flat batch of complete minterms (one row of packed bit blocks per
+/// point) feeding [`ImplicitPool::from_minterms`].
+#[derive(Debug, Clone)]
+pub struct MintermList {
+    width: usize,
+    blocks: usize,
+    data: Vec<u64>,
+}
+
+impl MintermList {
+    /// Creates an empty list over `width` variables.
+    pub fn new(width: usize) -> Self {
+        MintermList {
+            width,
+            blocks: width.div_ceil(64).max(1),
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.blocks
+    }
+
+    /// Returns `true` if no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one complete minterm given as variable values in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields fewer or more than `width` values.
+    pub fn push<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
+        let start = self.data.len();
+        self.data.resize(start + self.blocks, 0);
+        let mut n = 0usize;
+        for (i, v) in bits.into_iter().enumerate() {
+            if v {
+                self.data[start + i / 64] |= 1u64 << (i % 64);
+            }
+            n += 1;
+        }
+        assert_eq!(n, self.width, "minterm width mismatch");
+    }
+
+    /// Appends one minterm given as pre-packed bit blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong number of blocks.
+    pub fn push_blocks(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.blocks, "block count mismatch");
+        self.data.extend_from_slice(row);
+    }
+}
+
+/// EXPAND seeded from the implicit on-set: emits exactly the primes the
+/// explicit EXPAND would produce on the canonically ordered minterm cover of
+/// `on` — successive canonically smallest uncovered minterms, greedily
+/// raised in variable order against the off-set, with the same absorption
+/// bookkeeping.
+fn expand_implicit(pool: &mut ImplicitPool, on: ImplicitCover, off: ImplicitCover) -> Cover {
+    let width = pool.width();
+    let mut result: Vec<Cube> = Vec::new();
+    let mut remaining = on;
+    while let Some(bits) = pool.first_minterm(remaining) {
+        let mut cube = Cube::minterm(bits);
+        for v in 0..width {
+            let saved = cube.get(v);
+            if saved == Literal::DontCare {
+                continue;
+            }
+            cube.set(v, Literal::DontCare);
+            if pool.cube_intersects(&cube, off) {
+                cube.set(v, saved);
+            }
+        }
+        let covered = pool.cube_set(&cube);
+        remaining = pool.diff(remaining, covered);
+        if !result.iter().any(|r| r.contains(&cube)) {
+            result.retain(|r| !cube.contains(r));
+            result.push(cube);
+        }
+    }
+    result.into_iter().collect()
+}
+
+/// EXPAND over an explicit working cover (iterations after the first),
+/// probing raise legality against the implicit off-set. Decision-identical
+/// to the explicit blocking-structure EXPAND against the off-set's minterm
+/// cover: a raise is legal iff the raised cube still misses the off-set as
+/// a point set.
+fn expand_cover_implicit(pool: &mut ImplicitPool, f: &mut Cover, off: ImplicitCover) {
+    let width = f.width();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    cubes.sort_by_key(|c| c.literal_count());
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for mut cube in cubes {
+        if result.iter().any(|r| r.contains(&cube)) {
+            continue;
+        }
+        for v in 0..width {
+            let saved = cube.get(v);
+            if saved == Literal::DontCare {
+                continue;
+            }
+            cube.set(v, Literal::DontCare);
+            if pool.cube_intersects(&cube, off) {
+                cube.set(v, saved);
+            }
+        }
+        if !result.iter().any(|r| r.contains(&cube)) {
+            result.retain(|r| !cube.contains(r));
+            result.push(cube);
+        }
+    }
+    *f = result.into_iter().collect();
+}
+
+/// IRREDUNDANT against the implicit on-set: a cube is removable iff the
+/// on-points inside it stay covered by the remaining cubes — the emptiness
+/// of one implicit difference. Removal order matches the explicit phase.
+fn irredundant_implicit(pool: &mut ImplicitPool, f: &mut Cover, on: ImplicitCover) {
+    let mut order: Vec<usize> = (0..f.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(f.cubes()[i].literal_count()));
+    let mut removed = vec![false; f.len()];
+    for &i in &order {
+        removed[i] = true;
+        let target = pool.cube_set(&f.cubes()[i]);
+        let mut rest = pool.empty();
+        for (j, c) in f.cubes().iter().enumerate() {
+            if !removed[j] {
+                let cs = pool.cube_set(c);
+                rest = pool.union(rest, cs);
+            }
+        }
+        let obliged = pool.intersect(on, target);
+        if !pool.diff(obliged, rest).is_empty() {
+            removed[i] = false;
+        }
+    }
+    *f = f
+        .cubes()
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !removed[*j])
+        .map(|(_, c)| c.clone())
+        .collect();
+}
+
+/// REDUCE against the implicit on-set: each cube shrinks onto the supercube
+/// of the on-points inside it left uncovered by the rest of the cover —
+/// the same landing spot as the explicit residue-supercube REDUCE.
+fn reduce_implicit(pool: &mut ImplicitPool, f: &mut Cover, on: ImplicitCover) {
+    let width = f.width();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    for i in 0..cubes.len() {
+        let entry = cubes[i].clone();
+        let entry_set = pool.cube_set(&entry);
+        let mut rest = pool.empty();
+        for (j, c) in cubes.iter().enumerate() {
+            if j != i {
+                let cs = pool.cube_set(c);
+                rest = pool.union(rest, cs);
+            }
+        }
+        let obliged = pool.intersect(on, entry_set);
+        let residue = pool.diff(obliged, rest);
+        cubes[i] = match pool.supercube(residue) {
+            // No residue: the rest already covers every obligation; the
+            // greedy pins each free variable to 1.
+            None => {
+                let mut c = entry;
+                for v in 0..width {
+                    if c.get(v) == Literal::DontCare {
+                        c.set(v, Literal::One);
+                    }
+                }
+                c
+            }
+            Some(s) if entry.contains(&s) => s,
+            // The residue sticks out: no shrink is valid.
+            Some(_) => entry,
+        };
+    }
+    *f = cubes.into_iter().collect();
+}
+
+/// Cover cost: cube count first, then literal count (lexicographic), in a
+/// width-independent integer type so the implicit minterm count can be
+/// compared without materialising.
+fn cost(f: &Cover) -> (u128, u128) {
+    (f.len() as u128, f.literal_count() as u128)
+}
+
+/// Minimises the implicit on-set against the implicit off-set, producing
+/// **byte-identical** output to [`minimize`](crate::minimize) applied to
+/// the canonically ordered explicit minterm covers of the same point sets
+/// — without ever materialising those covers (unless no iteration improves
+/// on the raw minterm cost, in which case the minterms *are* the result,
+/// exactly as in the explicit path).
+///
+/// Points in neither set are don't-cares, as in the explicit minimiser.
+///
+/// # Examples
+///
+/// ```
+/// use si_cubes::implicit::{minimize_implicit, ImplicitPool};
+/// use si_cubes::{Cover, Cube};
+///
+/// let mut pool = ImplicitPool::new(2);
+/// let on_cover: Cover = [Cube::from_str_cube("11")].into_iter().collect();
+/// let off_cover: Cover = [Cube::from_str_cube("00")].into_iter().collect();
+/// let on = pool.cover_set(&on_cover);
+/// let off = pool.cover_set(&off_cover);
+/// let min = minimize_implicit(&mut pool, on, off);
+/// assert_eq!(min.literal_count(), 1); // 01/10 are DC: one literal suffices
+/// ```
+pub fn minimize_implicit(pool: &mut ImplicitPool, on: ImplicitCover, off: ImplicitCover) -> Cover {
+    debug_assert!(
+        !pool.intersects(on, off),
+        "on-set and off-set must be disjoint"
+    );
+    let width = pool.width();
+    if on.is_empty() {
+        return Cover::empty(width);
+    }
+    let n = pool.count(on);
+    // The explicit path's starting point is the minterm cover itself.
+    let mut best: Option<Cover> = None;
+    let mut best_cost: (u128, u128) = (n, n.saturating_mul(width as u128));
+    let mut f = Cover::empty(width);
+    for iteration in 0..8 {
+        if iteration == 0 {
+            f = expand_implicit(pool, on, off);
+        } else {
+            expand_cover_implicit(pool, &mut f, off);
+        }
+        irredundant_implicit(pool, &mut f, on);
+        let c = cost(&f);
+        if c < best_cost {
+            best = Some(f.clone());
+            best_cost = c;
+        } else {
+            break;
+        }
+        reduce_implicit(pool, &mut f, on);
+    }
+    let mut out = match best {
+        Some(b) => b,
+        // No iteration beat the raw minterm cover (XOR-like functions):
+        // the explicit path returns the minterm cover itself.
+        None => pool.minterms_cover(on),
+    };
+    canonical_order(&mut out);
+    out
+}
+
+/// Exactly minimises the implicit on-set against the implicit off-set with
+/// the Quine–McCluskey engine, charging [`QmBudget::max_nodes`] against the
+/// implicit representation *before* materialising anything: the diagram
+/// node counts are charged first, then a lower bound of the explicit
+/// engine's work (`|on| · width · |off|` raise probes). If either exceeds
+/// the budget the explicit search is guaranteed to give up too, so `None`
+/// comes back in O(implicit size) instead of after an exponential
+/// enumeration. Within budget the result is byte-identical to
+/// [`minimize_exact`] on the canonically ordered minterm covers.
+pub fn minimize_exact_implicit(
+    pool: &mut ImplicitPool,
+    on: ImplicitCover,
+    off: ImplicitCover,
+    budget: &QmBudget,
+) -> Option<Cover> {
+    debug_assert!(!pool.intersects(on, off), "on/off must be disjoint");
+    let width = pool.width() as u128;
+    if on.is_empty() {
+        return Some(Cover::empty(pool.width()));
+    }
+    let max = budget.max_nodes as u128;
+    let nodes = (pool.node_count(on) + pool.node_count(off)) as u128;
+    if nodes > max {
+        return None;
+    }
+    let n = pool.count(on);
+    let m = pool.count(off);
+    // Lower bound of the explicit engine's spend: popping the |on| seed
+    // minterms charges 1 + width·(1 + |off|) work units each.
+    let lower = n.saturating_mul(1 + width.saturating_mul(1 + m));
+    if lower > max {
+        return None;
+    }
+    let on_cover = pool.minterms_cover(on);
+    let off_cover = pool.minterms_cover(off);
+    minimize_exact(&on_cover, &off_cover, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::espresso::minimize;
+
+    fn cover(cubes: &[&str]) -> Cover {
+        cubes.iter().map(|s| Cube::from_str_cube(s)).collect()
+    }
+
+    /// All assignments over `width` variables.
+    fn assignments(width: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1u32 << width)).map(move |x| (0..width).map(|i| (x >> i) & 1 == 1).collect())
+    }
+
+    fn set_of(pool: &mut ImplicitPool, cubes: &[&str]) -> ImplicitCover {
+        let c = cover(cubes);
+        pool.cover_set(&c)
+    }
+
+    #[test]
+    fn set_algebra_matches_pointwise() {
+        let mut pool = ImplicitPool::new(4);
+        let a = set_of(&mut pool, &["1--0", "01--"]);
+        let b = set_of(&mut pool, &["1---", "--11"]);
+        let u = pool.union(a, b);
+        let i = pool.intersect(a, b);
+        let d = pool.diff(a, b);
+        let n = pool.complement(a);
+        let ca = cover(&["1--0", "01--"]);
+        let cb = cover(&["1---", "--11"]);
+        for bits in assignments(4) {
+            let ia = ca.covers_bits(&bits);
+            let ib = cb.covers_bits(&bits);
+            let m = Cube::minterm(bits.iter().copied());
+            let mut p = pool.clone();
+            let ms = p.cube_set(&m);
+            assert_eq!(p.intersects(ms, u), ia || ib, "{bits:?} union");
+            assert_eq!(p.intersects(ms, i), ia && ib, "{bits:?} intersect");
+            assert_eq!(p.intersects(ms, d), ia && !ib, "{bits:?} diff");
+            assert_eq!(p.intersects(ms, n), !ia, "{bits:?} complement");
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_sets_share_ids() {
+        let mut pool = ImplicitPool::new(3);
+        let a = set_of(&mut pool, &["1--", "-1-"]);
+        let b = set_of(&mut pool, &["-1-", "1--"]);
+        assert_eq!(a, b);
+        let c = set_of(&mut pool, &["11-", "10-", "01-", "-1-"]);
+        assert_eq!(a, c, "same point set, different cube lists");
+    }
+
+    #[test]
+    fn cofactor_matches_pointwise() {
+        let mut pool = ImplicitPool::new(3);
+        let a = set_of(&mut pool, &["1-0", "01-"]);
+        let ca = cover(&["1-0", "01-"]);
+        for var in 0..3 {
+            for value in [false, true] {
+                let cof = pool.cofactor(a, var, value);
+                for mut bits in assignments(3) {
+                    // Membership of the cofactor must not depend on `var`.
+                    bits[var] = value;
+                    let m = Cube::minterm(bits.iter().copied());
+                    let ms = pool.cube_set(&m);
+                    assert_eq!(
+                        pool.intersects(ms, cof),
+                        ca.covers_bits(&bits),
+                        "var {var}={value:?} at {bits:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_minterms_equals_per_point_union() {
+        let mut list = MintermList::new(4);
+        let points = [0b0000u32, 0b1010, 0b0110, 0b1111, 0b1010];
+        for &p in &points {
+            list.push((0..4).map(|i| (p >> i) & 1 == 1));
+        }
+        let mut pool = ImplicitPool::new(4);
+        let bulk = pool.from_minterms(&mut list);
+        let mut one_by_one = pool.empty();
+        for &p in &points {
+            let m = Cube::minterm((0..4).map(|i| (p >> i) & 1 == 1));
+            let ms = pool.cube_set(&m);
+            one_by_one = pool.union(one_by_one, ms);
+        }
+        assert_eq!(bulk, one_by_one);
+        assert_eq!(pool.count(bulk), 4, "duplicate rows collapse");
+    }
+
+    #[test]
+    fn first_minterm_is_canonical_min() {
+        let mut pool = ImplicitPool::new(3);
+        let a = set_of(&mut pool, &["11-", "-01"]);
+        // Points: 110, 111, 001, 101 → canonical min (var order, 0<1): 001.
+        assert_eq!(pool.first_minterm(a), Some(vec![false, false, true]));
+        let empty = pool.empty();
+        assert_eq!(pool.first_minterm(empty), None);
+    }
+
+    #[test]
+    fn count_and_node_count() {
+        let mut pool = ImplicitPool::new(10);
+        let full = pool.full();
+        assert_eq!(pool.count(full), 1024);
+        assert_eq!(pool.node_count(full), 0);
+        let a = set_of(&mut pool, &["1---------"]);
+        assert_eq!(pool.count(a), 512);
+        assert_eq!(pool.node_count(a), 1);
+        let empty = pool.empty();
+        assert_eq!(pool.count(empty), 0);
+    }
+
+    #[test]
+    fn supercube_matches_explicit() {
+        let mut pool = ImplicitPool::new(4);
+        for cubes in [
+            vec!["1100", "1010"],
+            vec!["0---"],
+            vec!["1111", "0000"],
+            vec!["01-0", "011-"],
+        ] {
+            let s = set_of(&mut pool, &cubes);
+            let sup = pool.supercube(s).expect("non-empty");
+            // Explicit supercube over the materialised minterms.
+            let minterms = pool.minterms_cover(s);
+            let mut expected = minterms.cubes()[0].clone();
+            for m in &minterms.cubes()[1..] {
+                expected = expected.supercube(m);
+            }
+            assert_eq!(sup, expected, "{cubes:?}");
+        }
+        let empty = pool.empty();
+        assert!(pool.supercube(empty).is_none());
+    }
+
+    #[test]
+    fn to_cover_is_disjoint_and_exact() {
+        let mut pool = ImplicitPool::new(4);
+        let s = set_of(&mut pool, &["11--", "1-1-", "--01"]);
+        let c = pool.to_cover(s);
+        let reference = cover(&["11--", "1-1-", "--01"]);
+        for bits in assignments(4) {
+            assert_eq!(c.covers_bits(&bits), reference.covers_bits(&bits));
+        }
+        // Pairwise disjoint cubes.
+        for (i, a) in c.cubes().iter().enumerate() {
+            for b in &c.cubes()[i + 1..] {
+                assert!(a.disjoint(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn minterms_cover_is_sorted_and_complete() {
+        let mut pool = ImplicitPool::new(3);
+        let s = set_of(&mut pool, &["1--"]);
+        let m = pool.minterms_cover(s);
+        let strs: Vec<String> = m.cubes().iter().map(ToString::to_string).collect();
+        assert_eq!(strs, vec!["100", "101", "110", "111"]);
+    }
+
+    #[test]
+    fn minimize_implicit_fig1() {
+        let mut pool = ImplicitPool::new(3);
+        let on = set_of(&mut pool, &["100", "101", "110", "111", "001", "011"]);
+        let off = set_of(&mut pool, &["010", "000"]);
+        let min = minimize_implicit(&mut pool, on, off);
+        assert_eq!(min.to_expression_string(&["a", "b", "c"]), "a + c");
+    }
+
+    #[test]
+    fn minimize_implicit_matches_explicit_on_partitions() {
+        // Deterministic seed sweep; the full random pin lives in the
+        // proptest suite.
+        for seed in [1u64, 7, 42, 0xDEAD_BEEF, 0x1234_5678_9ABC] {
+            let width = 5usize;
+            let mut on = Cover::empty(width);
+            let mut off = Cover::empty(width);
+            for x in 0..(1u32 << width) {
+                let bits: Vec<bool> = (0..width).map(|i| (x >> i) & 1 == 1).collect();
+                match (seed >> (x as usize % 60)) & 0b11 {
+                    0 => on.push(Cube::minterm(bits)),
+                    1 => off.push(Cube::minterm(bits)),
+                    _ => {}
+                }
+            }
+            canonical_order(&mut on);
+            canonical_order(&mut off);
+            let mut pool = ImplicitPool::new(width);
+            let on_i = pool.cover_set(&on);
+            let off_i = pool.cover_set(&off);
+            let implicit = minimize_implicit(&mut pool, on_i, off_i);
+            let explicit = if on.is_empty() {
+                on.clone()
+            } else {
+                minimize(&on, &off)
+            };
+            assert_eq!(
+                implicit.cubes(),
+                explicit.cubes(),
+                "seed {seed}: {implicit} vs {explicit}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_implicit_xor_returns_minterms() {
+        // XOR cannot be improved: the explicit path returns the input
+        // minterm cover; the implicit path must materialise the same.
+        let mut pool = ImplicitPool::new(2);
+        let on = set_of(&mut pool, &["10", "01"]);
+        let off = set_of(&mut pool, &["11", "00"]);
+        let min = minimize_implicit(&mut pool, on, off);
+        let on_cover = cover(&["01", "10"]);
+        let explicit = minimize(&on_cover, &cover(&["00", "11"]));
+        assert_eq!(min.cubes(), explicit.cubes());
+    }
+
+    #[test]
+    fn minimize_exact_implicit_within_budget_matches() {
+        let mut pool = ImplicitPool::new(3);
+        let on = set_of(&mut pool, &["110", "100"]);
+        let off = set_of(&mut pool, &["0--", "1-1"]);
+        let min = minimize_exact_implicit(&mut pool, on, off, &QmBudget::default())
+            .expect("small problem");
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].to_string(), "1-0");
+    }
+
+    #[test]
+    fn minimize_exact_implicit_gives_up_without_materialising() {
+        // A wide on/off pair whose explicit lower bound alone blows a tiny
+        // budget: the give-up must not enumerate the (large) point sets.
+        let mut pool = ImplicitPool::new(40);
+        let full = pool.full();
+        let zero_half = {
+            let c = Cube::from_str_cube(&("0".to_owned() + &"-".repeat(39)));
+            pool.cube_set(&c)
+        };
+        let one_half = pool.diff(full, zero_half);
+        let tiny = QmBudget {
+            max_primes: 10,
+            max_nodes: 1_000,
+        };
+        assert!(minimize_exact_implicit(&mut pool, one_half, zero_half, &tiny).is_none());
+    }
+
+    #[test]
+    fn empty_on_set_minimises_to_empty() {
+        let mut pool = ImplicitPool::new(3);
+        let empty = pool.empty();
+        let off = pool.full();
+        assert!(minimize_implicit(&mut pool, empty, off).is_empty());
+        let exact =
+            minimize_exact_implicit(&mut pool, empty, off, &QmBudget::default()).expect("trivial");
+        assert!(exact.is_empty());
+    }
+}

@@ -27,12 +27,14 @@
 mod cover;
 mod cube;
 mod espresso;
+pub mod implicit;
 pub mod par;
 mod qm;
 
 pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use espresso::minimize;
+pub use implicit::{minimize_exact_implicit, minimize_implicit, ImplicitCover, ImplicitPool};
 pub use qm::{minimize_exact, QmBudget};
 
 /// The individual minimiser phases, exposed for the equivalence test suite

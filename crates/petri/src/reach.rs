@@ -52,6 +52,12 @@ impl ReachabilityGraph {
     /// # }
     /// ```
     pub fn explore(net: &PetriNet, budget: usize) -> Result<Self, NetError> {
+        if budget == 0 {
+            // Even the initial marking would exceed a zero budget; erroring
+            // here keeps the invariant that a returned graph is never a
+            // truncated state space.
+            return Err(NetError::StateBudgetExceeded { budget });
+        }
         let mut graph = ReachabilityGraph {
             markings: Vec::new(),
             edges: Vec::new(),
@@ -180,6 +186,15 @@ mod tests {
         assert!(matches!(
             ReachabilityGraph::explore(&net, 2),
             Err(NetError::StateBudgetExceeded { budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_budget_is_an_error_not_a_partial_graph() {
+        let net = two_cycles();
+        assert!(matches!(
+            ReachabilityGraph::explore(&net, 0),
+            Err(NetError::StateBudgetExceeded { budget: 0 })
         ));
     }
 

@@ -36,6 +36,7 @@ pub use error::SgError;
 pub use graph::StateGraph;
 pub use props::{check_csc, check_persistency, check_usc, CscConflict, PersistencyViolation};
 pub use synth::{
-    on_off_sets, synthesize_from_built_sg, synthesize_from_sg, GateImplementation, OnOffSets,
-    SgSynthesis, SgSynthesisOptions,
+    on_off_sets, on_off_sets_implicit, synthesize_from_built_sg, synthesize_from_sg,
+    GateImplementation, ImplicitOnOffSets, OnOffSets, SgClassification, SgSynthesis,
+    SgSynthesisOptions,
 };

@@ -2,14 +2,23 @@
 //! that the paper compares against.
 //!
 //! For every implementable signal the on-set and off-set of reachable states
-//! are enumerated explicitly, turned into minterm covers, and minimised with
-//! the Espresso-style optimiser. Everything here is exponential in the
-//! number of concurrent signals, which is precisely the behaviour Figure 6
-//! demonstrates.
+//! are derived from the explicit state graph and minimised with the
+//! Espresso-style optimiser. The state graph itself is still explicit (that
+//! is the point of the paper's unfolding-based alternative), but the on/off
+//! sets default to the *implicit* cover representation
+//! ([`ImplicitOnOffSets`]): states are accumulated into canonical
+//! disjoint-cube sets during one classification sweep, states identical on
+//! a signal's support collapse into shared diagram structure, and the
+//! minimiser phases run against the implicit sets — with gate equations
+//! byte-identical to the historical explicit-minterm path
+//! ([`SgSynthesisOptions::implicit_covers`] = `false`).
 
+use si_cubes::implicit::{ImplicitCover, ImplicitPool, MintermList};
 use si_cubes::par::par_map;
-use si_cubes::{minimize, minimize_exact, Cover, Cube, QmBudget};
-use si_stg::{Polarity, SignalId, Stg};
+use si_cubes::{
+    minimize, minimize_exact, minimize_exact_implicit, minimize_implicit, Cover, Cube, QmBudget,
+};
+use si_stg::{Polarity, SignalId, SignalTransition, Stg};
 
 use crate::error::SgError;
 use crate::graph::StateGraph;
@@ -88,6 +97,184 @@ pub fn on_off_sets(stg: &Stg, sg: &StateGraph, signal: SignalId) -> OnOffSets {
     }
 }
 
+/// The exact on/off-set partition of the reachable states for one signal,
+/// held as *implicit* covers: canonical disjoint-cube sets in a hash-consed
+/// pool instead of one materialised minterm per state. States that agree on
+/// the signal's support share diagram structure, so the representation (and
+/// everything downstream of it) no longer pays the full state count.
+#[derive(Debug, Clone)]
+pub struct ImplicitOnOffSets {
+    /// The signal being implemented.
+    pub signal: SignalId,
+    pool: ImplicitPool,
+    on: ImplicitCover,
+    off: ImplicitCover,
+}
+
+impl ImplicitOnOffSets {
+    /// The pool owning both sets.
+    pub fn pool(&self) -> &ImplicitPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool (set operations require it).
+    pub fn pool_mut(&mut self) -> &mut ImplicitPool {
+        &mut self.pool
+    }
+
+    /// The implicit on-set.
+    pub fn on(&self) -> ImplicitCover {
+        self.on
+    }
+
+    /// The implicit off-set.
+    pub fn off(&self) -> ImplicitCover {
+        self.off
+    }
+
+    /// Materialises both sets as explicit minterm covers in canonical
+    /// order — byte-identical to what [`on_off_sets`] returns. Costs one
+    /// cube per state; intended for tests and small inspection, not for the
+    /// synthesis hot path.
+    pub fn to_on_off_sets(&self) -> OnOffSets {
+        OnOffSets {
+            signal: self.signal,
+            on: self.pool.minterms_cover(self.on),
+            off: self.pool.minterms_cover(self.off),
+        }
+    }
+}
+
+/// Per-state classification data shared by every signal's implicit on/off
+/// derivation: packed binary codes plus the excited rise/fall signal masks,
+/// computed in one sweep over the SG instead of once per signal.
+///
+/// Build it once with [`SgClassification::new`] when deriving sets for
+/// several signals of the same SG (one `O(states × signals)` sweep total);
+/// [`on_off_sets_implicit`] is the one-signal convenience wrapper.
+pub struct SgClassification {
+    width: usize,
+    blocks: usize,
+    states: usize,
+    /// Per state: the packed binary code.
+    codes: Vec<u64>,
+    /// Per state: signals with an excited rising change.
+    rise: Vec<u64>,
+    /// Per state: signals with an excited falling change.
+    fall: Vec<u64>,
+}
+
+impl SgClassification {
+    /// Sweeps the SG once, recording every state's packed code and excited
+    /// rise/fall signal masks.
+    pub fn new(stg: &Stg, sg: &StateGraph) -> Self {
+        Self::build(stg, sg)
+    }
+
+    /// The implicit on/off sets of `signal`, derived from the shared sweep.
+    pub fn on_off_sets(&self, signal: SignalId) -> ImplicitOnOffSets {
+        let (pool, on, off) = self.sets_for(signal);
+        ImplicitOnOffSets {
+            signal,
+            pool,
+            on,
+            off,
+        }
+    }
+
+    fn build(stg: &Stg, sg: &StateGraph) -> Self {
+        let width = stg.signal_count();
+        let blocks = width.div_ceil(64).max(1);
+        let states = sg.len();
+        let mut codes = vec![0u64; states * blocks];
+        let mut rise = vec![0u64; states * blocks];
+        let mut fall = vec![0u64; states * blocks];
+        for s in 0..states {
+            let base = s * blocks;
+            for (sig, v) in sg.code(s).iter() {
+                if v {
+                    codes[base + sig.index() / 64] |= 1u64 << (sig.index() % 64);
+                }
+            }
+            for &(t, _) in sg.successors(s) {
+                if let Some(SignalTransition { signal, polarity }) = stg.label(t) {
+                    let (b, m) = (signal.index() / 64, 1u64 << (signal.index() % 64));
+                    match polarity {
+                        Polarity::Rise => rise[base + b] |= m,
+                        Polarity::Fall => fall[base + b] |= m,
+                    }
+                }
+            }
+        }
+        SgClassification {
+            width,
+            blocks,
+            states,
+            codes,
+            rise,
+            fall,
+        }
+    }
+
+    /// Builds the implicit on/off sets of one signal: every state's code
+    /// goes to the side its *implied* signal value selects (excited rise →
+    /// on, excited fall → off, otherwise the stable code bit), merged into
+    /// the diagram as a bulk batch.
+    fn sets_for(&self, signal: SignalId) -> (ImplicitPool, ImplicitCover, ImplicitCover) {
+        let (b, m) = (signal.index() / 64, 1u64 << (signal.index() % 64));
+        let mut on_list = MintermList::new(self.width);
+        let mut off_list = MintermList::new(self.width);
+        for s in 0..self.states {
+            let base = s * self.blocks;
+            let row = &self.codes[base..base + self.blocks];
+            let implied = if self.rise[base + b] & m != 0 {
+                true
+            } else if self.fall[base + b] & m != 0 {
+                false
+            } else {
+                row[b] & m != 0
+            };
+            if implied {
+                on_list.push_blocks(row);
+            } else {
+                off_list.push_blocks(row);
+            }
+        }
+        let mut pool = ImplicitPool::new(self.width);
+        let on = pool.from_minterms(&mut on_list);
+        let off = pool.from_minterms(&mut off_list);
+        (pool, on, off)
+    }
+}
+
+/// Computes the exact on/off-sets for `signal` as implicit covers — the
+/// scalable counterpart of [`on_off_sets`]. The point sets are identical
+/// (pinned by the equivalence tests); only the representation differs.
+///
+/// When deriving sets for many signals of the same SG, prefer
+/// [`synthesize_from_built_sg`], which shares the per-state classification
+/// sweep across signals.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::suite::paper_fig1;
+/// use si_stategraph::{on_off_sets_implicit, StateGraph};
+///
+/// # fn main() -> Result<(), si_stategraph::SgError> {
+/// let stg = paper_fig1();
+/// let sg = StateGraph::build(&stg, 10_000)?;
+/// let b = stg.signal_by_name("b").expect("signal b");
+/// let sets = on_off_sets_implicit(&stg, &sg, b);
+/// assert_eq!(sets.pool().count(sets.on()), 6); // On(b): 6 codes
+/// assert_eq!(sets.pool().count(sets.off()), 2); // Off(b) = {010, 000}
+/// # Ok(())
+/// # }
+/// ```
+pub fn on_off_sets_implicit(stg: &Stg, sg: &StateGraph, signal: SignalId) -> ImplicitOnOffSets {
+    SgClassification::new(stg, sg).on_off_sets(signal)
+}
+
 /// The synthesised gate for one signal in the atomic-complex-gate-per-signal
 /// architecture.
 #[derive(Debug, Clone)]
@@ -137,6 +324,14 @@ pub struct SgSynthesisOptions {
     /// minimisation; `None` uses one per available CPU. Output is
     /// bit-identical to sequential (`Some(1)`) regardless of the count.
     pub workers: Option<usize>,
+    /// Represent each signal's on/off-sets implicitly (canonical
+    /// disjoint-cube sets) instead of one materialised minterm per state,
+    /// and run the minimiser phases against the implicit sets. Gate
+    /// equations are byte-identical either way (pinned by the equivalence
+    /// tests); the implicit path just stops paying the full state count per
+    /// signal. `false` keeps the historical explicit-minterm path for
+    /// cross-checks and ablations.
+    pub implicit_covers: bool,
 }
 
 impl Default for SgSynthesisOptions {
@@ -146,6 +341,7 @@ impl Default for SgSynthesisOptions {
             allow_inversion: false,
             exact_minimization: false,
             workers: None,
+            implicit_covers: true,
         }
     }
 }
@@ -211,6 +407,9 @@ pub fn synthesize_from_built_sg(
             });
         }
     }
+    if options.implicit_covers {
+        return synthesize_implicit(stg, sg, &signals, options);
+    }
     // One worker task per signal: derive the exact on/off-sets, check the
     // partition (the release-build guard against minimising overlapping
     // covers), minimise. Results come back in signal order, so both the
@@ -240,6 +439,59 @@ pub fn synthesize_from_built_sg(
         let on_impl = run_minimize(&sets.on, &sets.off);
         let (cover, inverted) = if options.allow_inversion {
             let off_impl = run_minimize(&sets.off, &sets.on);
+            if off_impl.literal_count() < on_impl.literal_count() {
+                (off_impl, true)
+            } else {
+                (on_impl, false)
+            }
+        } else {
+            (on_impl, false)
+        };
+        Ok(GateImplementation {
+            signal,
+            cover,
+            inverted,
+        })
+    });
+    let gates = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SgSynthesis { gates })
+}
+
+/// The implicit-cover synthesis path: one shared classification sweep over
+/// the SG, then per-signal implicit set construction, CSC check, and
+/// minimisation — gate-equation-identical to the explicit path, but the
+/// per-signal cost tracks the implicit representation size instead of the
+/// state count.
+fn synthesize_implicit(
+    stg: &Stg,
+    sg: &StateGraph,
+    signals: &[SignalId],
+    options: &SgSynthesisOptions,
+) -> Result<SgSynthesis, SgError> {
+    let class = SgClassification::build(stg, sg);
+    let results = par_map(signals, options.workers, |_, &signal| {
+        let (mut pool, on, off) = class.sets_for(signal);
+        let shared = pool.intersect(on, off);
+        if !shared.is_empty() {
+            // Same witness as the explicit path: the canonically smallest
+            // code present in both sets.
+            let bits = pool.first_minterm(shared).expect("non-empty");
+            return Err(SgError::CscViolation {
+                signal: stg.signal_name(signal).to_owned(),
+                code: Cube::minterm(bits).to_string(),
+            });
+        }
+        let run_minimize = |pool: &mut ImplicitPool, on, off| {
+            if options.exact_minimization {
+                minimize_exact_implicit(pool, on, off, &QmBudget::default())
+                    .unwrap_or_else(|| minimize_implicit(pool, on, off))
+            } else {
+                minimize_implicit(pool, on, off)
+            }
+        };
+        let on_impl = run_minimize(&mut pool, on, off);
+        let (cover, inverted) = if options.allow_inversion {
+            let off_impl = run_minimize(&mut pool, off, on);
             if off_impl.literal_count() < on_impl.literal_count() {
                 (off_impl, true)
             } else {
@@ -317,6 +569,120 @@ mod tests {
         // neighbours and itself; at minimum 3 literals under SOP.
         for gate in &result.gates {
             assert!(gate.literal_count() >= 3, "{}", gate.equation(&stg));
+        }
+    }
+
+    #[test]
+    fn implicit_sets_match_explicit_point_sets() {
+        for stg in [
+            paper_fig1(),
+            vme_read_csc(),
+            muller_pipeline(4),
+            sequencer(5),
+        ] {
+            let sg = StateGraph::build(&stg, 100_000).expect("builds");
+            for signal in stg.implementable_signals() {
+                let explicit = on_off_sets(&stg, &sg, signal);
+                let implicit = on_off_sets_implicit(&stg, &sg, signal).to_on_off_sets();
+                assert_eq!(
+                    explicit.on.cubes(),
+                    implicit.on.cubes(),
+                    "{}: on-sets differ for {}",
+                    stg.name(),
+                    stg.signal_name(signal)
+                );
+                assert_eq!(
+                    explicit.off.cubes(),
+                    implicit.off.cubes(),
+                    "{}: off-sets differ for {}",
+                    stg.name(),
+                    stg.signal_name(signal)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_and_explicit_paths_agree_byte_for_byte() {
+        for stg in [
+            paper_fig1(),
+            vme_read_csc(),
+            muller_pipeline(5),
+            sequencer(6),
+        ] {
+            for exact_minimization in [false, true] {
+                for allow_inversion in [false, true] {
+                    let implicit = synthesize_from_sg(
+                        &stg,
+                        &SgSynthesisOptions {
+                            exact_minimization,
+                            allow_inversion,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("implicit ok");
+                    let explicit = synthesize_from_sg(
+                        &stg,
+                        &SgSynthesisOptions {
+                            exact_minimization,
+                            allow_inversion,
+                            implicit_covers: false,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("explicit ok");
+                    for (a, b) in implicit.gates.iter().zip(&explicit.gates) {
+                        assert_eq!(
+                            a.equation(&stg),
+                            b.equation(&stg),
+                            "{} (exact={exact_minimization}, invert={allow_inversion})",
+                            stg.name()
+                        );
+                        assert_eq!(a.inverted, b.inverted);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csc_violation_witness_identical_across_paths() {
+        let stg = vme_read_no_csc();
+        let implicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).unwrap_err();
+        let explicit = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                implicit_covers: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(implicit, explicit, "witness code or signal differs");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error_in_both_paths() {
+        // Exceeding the state budget mid-traversal must surface as an
+        // `SgError`, never a partial state graph silently synthesised into
+        // a wrong gate.
+        let stg = muller_pipeline(8);
+        for implicit_covers in [true, false] {
+            let err = synthesize_from_sg(
+                &stg,
+                &SgSynthesisOptions {
+                    state_budget: 100,
+                    implicit_covers,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SgError::Net(si_petri::NetError::StateBudgetExceeded { budget: 100 })
+                ),
+                "got {err}"
+            );
         }
     }
 

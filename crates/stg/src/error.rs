@@ -37,6 +37,11 @@ pub enum StgError {
         /// The undeclared name.
         name: String,
     },
+    /// A signal (or dummy) name was declared more than once.
+    DuplicateSignal {
+        /// The doubly declared name.
+        name: String,
+    },
 }
 
 impl fmt::Display for StgError {
@@ -56,6 +61,9 @@ impl fmt::Display for StgError {
             }
             StgError::UnknownSignal { name } => {
                 write!(f, "signal `{name}` was not declared")
+            }
+            StgError::DuplicateSignal { name } => {
+                write!(f, "signal `{name}` was declared more than once")
             }
         }
     }

@@ -130,14 +130,49 @@ impl Parser {
         self.finish()
     }
 
-    fn declare(&mut self, name: &str, kind: SignalKind) {
+    /// Signal and dummy names must be plain identifiers: anything with
+    /// transition-token or section syntax in it would make later lines
+    /// ambiguous, so it is rejected up front.
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && !name.starts_with('.')
+            && !name
+                .chars()
+                .any(|c| matches!(c, '+' | '-' | '/' | '<' | '>' | '{' | '}' | ',' | '=' | '#'))
+    }
+
+    fn declare(&mut self, line_no: usize, name: &str, kind: SignalKind) -> Result<(), StgError> {
+        if !Self::valid_name(name) {
+            return Err(Self::err(line_no, format!("invalid signal name `{name}`")));
+        }
+        if self.signal_ids.contains_key(name) || self.dummies.contains(name) {
+            return Err(StgError::DuplicateSignal {
+                name: name.to_owned(),
+            });
+        }
         let id = self.builder.signal(name, kind);
         self.signal_ids.insert(name.to_owned(), id);
+        Ok(())
+    }
+
+    fn declare_dummy(&mut self, line_no: usize, name: &str) -> Result<(), StgError> {
+        if !Self::valid_name(name) {
+            return Err(Self::err(line_no, format!("invalid dummy name `{name}`")));
+        }
+        if self.signal_ids.contains_key(name) || self.dummies.contains(name) {
+            return Err(StgError::DuplicateSignal {
+                name: name.to_owned(),
+            });
+        }
+        self.dummies.insert(name.to_owned());
+        Ok(())
     }
 
     fn parse_line(&mut self, line_no: usize, line: &str) -> Result<(), StgError> {
         let mut tokens = line.split_whitespace();
-        let head = tokens.next().expect("non-empty line");
+        let Some(head) = tokens.next() else {
+            return Ok(()); // blank lines are filtered by the caller
+        };
         match head {
             ".model" | ".name" => {
                 if let Some(name) = tokens.next() {
@@ -146,22 +181,22 @@ impl Parser {
             }
             ".inputs" => {
                 for t in tokens {
-                    self.declare(t, SignalKind::Input);
+                    self.declare(line_no, t, SignalKind::Input)?;
                 }
             }
             ".outputs" => {
                 for t in tokens {
-                    self.declare(t, SignalKind::Output);
+                    self.declare(line_no, t, SignalKind::Output)?;
                 }
             }
             ".internal" => {
                 for t in tokens {
-                    self.declare(t, SignalKind::Internal);
+                    self.declare(line_no, t, SignalKind::Internal)?;
                 }
             }
             ".dummy" => {
                 for t in tokens {
-                    self.dummies.insert(t.to_owned());
+                    self.declare_dummy(line_no, t)?;
                 }
             }
             ".graph" => {
@@ -191,15 +226,55 @@ impl Parser {
         Ok(())
     }
 
-    /// Returns `true` if `token` names a transition (signal change or dummy)
-    /// rather than a place.
-    fn is_transition_token(&self, token: &str) -> bool {
-        if self.dummies.contains(token) {
-            return true;
+    /// Classifies a graph-section token as transition-shaped or
+    /// place-shaped. A token is transition-shaped when it is a declared
+    /// dummy or its body (before an optional `/instance` suffix) ends in
+    /// `+`/`-`; transition syntax used with an undeclared signal or a
+    /// malformed instance suffix is a hard error, never a silently created
+    /// place.
+    fn is_transition_token(&self, line_no: usize, token: &str) -> Result<bool, StgError> {
+        let body = match token.find('/') {
+            Some(pos) => &token[..pos],
+            None => token,
+        };
+        if self.dummies.contains(body) {
+            Self::check_instance_suffix(line_no, token, body)?;
+            return Ok(true);
         }
-        signal_of_token(token)
-            .map(|(name, _)| self.signal_ids.contains_key(name))
-            .unwrap_or(false)
+        if body.ends_with('+') || body.ends_with('-') {
+            let (name, _) = signal_of_token(token).ok_or_else(|| {
+                Self::err(line_no, format!("malformed transition token `{token}`"))
+            })?;
+            if !self.signal_ids.contains_key(name) {
+                return Err(StgError::UnknownSignal {
+                    name: name.to_owned(),
+                });
+            }
+            Self::check_instance_suffix(line_no, token, body)?;
+            return Ok(true);
+        }
+        if token.contains('/') {
+            return Err(Self::err(
+                line_no,
+                format!("`/` is transition-instance syntax, but `{token}` is not a transition"),
+            ));
+        }
+        Ok(false)
+    }
+
+    /// Validates an optional `/N` transition-instance suffix.
+    fn check_instance_suffix(line_no: usize, token: &str, body: &str) -> Result<(), StgError> {
+        let suffix = &token[body.len()..];
+        if !suffix.is_empty() {
+            let digits = &suffix[1..];
+            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(Self::err(
+                    line_no,
+                    format!("malformed transition instance suffix in `{token}`"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn parse_arc_line(&mut self, line_no: usize, line: &str) -> Result<(), StgError> {
@@ -215,7 +290,9 @@ impl Parser {
     }
 
     fn add_arc(&mut self, line_no: usize, src: &str, dst: &str) -> Result<(), StgError> {
-        match (self.is_transition_token(src), self.is_transition_token(dst)) {
+        let src_is_t = self.is_transition_token(line_no, src)?;
+        let dst_is_t = self.is_transition_token(line_no, dst)?;
+        match (src_is_t, dst_is_t) {
             (true, true) => {
                 let from = self.transition(src)?;
                 let to = self.transition(dst)?;
@@ -247,7 +324,11 @@ impl Parser {
         if let Some(&t) = self.transitions.get(token) {
             return Ok(t);
         }
-        let t = if self.dummies.contains(token) {
+        let body = match token.find('/') {
+            Some(pos) => &token[..pos],
+            None => token,
+        };
+        let t = if self.dummies.contains(body) {
             self.builder.dummy(token)
         } else {
             let (name, polarity) =
@@ -290,9 +371,13 @@ impl Parser {
                     .find('>')
                     .ok_or_else(|| Self::err(line_no, "unterminated `<t1,t2>` marking token"))?;
                 let inner = &stripped[..end];
-                let mut parts = inner.splitn(2, ',');
-                let a = parts.next().unwrap_or("").trim();
-                let b = parts.next().unwrap_or("").trim();
+                let (a, b) = inner.split_once(',').ok_or_else(|| {
+                    Self::err(
+                        line_no,
+                        format!("marking token `<{inner}>` needs two comma-separated transitions"),
+                    )
+                })?;
+                let (a, b) = (a.trim(), b.trim());
                 let key = (a.to_owned(), b.to_owned());
                 let place = self.implicit.get(&key).copied().ok_or_else(|| {
                     Self::err(
@@ -336,7 +421,17 @@ impl Parser {
                     ))
                 }
             };
-            self.initial.insert(name.to_owned(), value);
+            if !self.signal_ids.contains_key(name) {
+                return Err(StgError::UnknownSignal {
+                    name: name.to_owned(),
+                });
+            }
+            if self.initial.insert(name.to_owned(), value).is_some() {
+                return Err(Self::err(
+                    line_no,
+                    format!("duplicate initial value for `{name}`"),
+                ));
+            }
         }
         Ok(())
     }
@@ -602,6 +697,156 @@ a- a+
         assert_eq!(signal_of_token("a+/2"), Some(("a", Polarity::Rise)));
         assert_eq!(signal_of_token("p0"), None);
         assert_eq!(signal_of_token("+"), None);
+    }
+
+    #[test]
+    fn error_duplicate_signal_declarations() {
+        for decls in [
+            ".inputs a\n.outputs a",
+            ".inputs a a",
+            ".inputs a\n.internal a",
+            ".inputs a\n.dummy a",
+            ".dummy e e",
+        ] {
+            let text = format!("{decls}\n.graph\na+ a-\na- a+\n.marking {{ <a-,a+> }}\n.end\n");
+            assert!(
+                matches!(parse_g(&text), Err(StgError::DuplicateSignal { .. })),
+                "accepted {decls:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_invalid_signal_names() {
+        for name in ["a+", "x/2", "<p>", "a=b", ".x"] {
+            let text = format!(".inputs {name}\n.graph\n.marking {{ }}\n.end\n");
+            assert!(
+                matches!(parse_g(&text), Err(StgError::Parse { .. })),
+                "accepted name {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_undeclared_transition_in_arc() {
+        // `z+` uses transition syntax for an undeclared signal: a structured
+        // error, not a silently created place named `z+`.
+        let text = "
+.model bad
+.inputs a
+.graph
+a+ z+
+z+ a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::UnknownSignal { name }) if name == "z"
+        ));
+    }
+
+    #[test]
+    fn error_malformed_instance_suffixes() {
+        for token in ["a+/", "a+/x", "a+/2b", "a-/ 2"] {
+            let text = format!(".model bad\n.inputs a\n.graph\na+ {token}\n.marking {{ }}\n.end\n");
+            assert!(parse_g(&text).is_err(), "accepted suffix {token:?}");
+        }
+        // A slash on a place-shaped token is instance syntax misuse.
+        let text = ".model bad\n.inputs a\n.graph\na+ p/0\n.marking { }\n.end\n";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::Parse { message, .. }) if message.contains("instance syntax")
+        ));
+    }
+
+    #[test]
+    fn dummy_instance_suffixes_are_distinct_transitions() {
+        let text = "
+.model dum2
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- eps/2
+eps/2 a+
+.marking { <eps/2,a+> }
+.end
+";
+        let stg = parse_g(text).expect("parses");
+        // Two distinct dummy instances plus a+/a-.
+        assert_eq!(stg.net().transition_count(), 4);
+        assert!(!stg.is_fully_labelled());
+        // A malformed dummy instance suffix is still rejected.
+        let bad = text.replace("eps/2", "eps/x");
+        assert!(matches!(
+            parse_g(&bad),
+            Err(StgError::Parse { message, .. }) if message.contains("instance suffix")
+        ));
+    }
+
+    #[test]
+    fn error_bare_polarity_token() {
+        let text = ".model bad\n.inputs a\n.graph\na+ +\n.marking { }\n.end\n";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::Parse { message, .. }) if message.contains("malformed transition")
+        ));
+    }
+
+    #[test]
+    fn error_marking_token_without_comma() {
+        let text = "
+.model bad
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-a+> }
+.end
+";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::Parse { message, .. }) if message.contains("comma")
+        ));
+    }
+
+    #[test]
+    fn error_initial_value_for_undeclared_signal() {
+        let text = "
+.model bad
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.initial { a=0 z=1 }
+.end
+";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::UnknownSignal { name }) if name == "z"
+        ));
+    }
+
+    #[test]
+    fn error_duplicate_initial_value() {
+        let text = "
+.model bad
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.initial { a=0 a=1 }
+.end
+";
+        assert!(matches!(
+            parse_g(text),
+            Err(StgError::Parse { message, .. }) if message.contains("duplicate initial")
+        ));
     }
 
     #[test]

@@ -109,6 +109,40 @@ fn three_flows_implement_the_same_functions() {
 }
 
 #[test]
+fn implicit_covers_are_byte_identical_to_explicit_minterms_across_the_suite() {
+    // The tentpole acceptance criterion: the implicit-cover SG baseline
+    // must produce gate equations byte-identical to the explicit-minterm
+    // path on the full suite plus the scalable generators.
+    let mut specs = synthesisable();
+    specs.push(generators::muller_pipeline(8));
+    specs.push(generators::counterflow_pipeline(3));
+    specs.push(generators::parallelizer(3));
+    specs.push(generators::independent_cycles(8));
+    specs.push(generators::sequencer(9));
+    for stg in specs {
+        let implicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{}: implicit failed: {e}", stg.name()));
+        let explicit = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                implicit_covers: false,
+                ..SgSynthesisOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: explicit failed: {e}", stg.name()));
+        assert_eq!(implicit.gates.len(), explicit.gates.len());
+        for (a, b) in implicit.gates.iter().zip(&explicit.gates) {
+            assert_eq!(
+                a.equation(&stg),
+                b.equation(&stg),
+                "{}: implicit and explicit covers disagree",
+                stg.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn csc_verdicts_agree_between_flows() {
     let stg = vme_read_no_csc();
     let unf_err = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).unwrap_err();

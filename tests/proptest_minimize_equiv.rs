@@ -18,8 +18,12 @@
 //!   single-block fast path and the multi-block generic path.
 
 use proptest::prelude::*;
+use si_synth::cubes::implicit::ImplicitPool;
 use si_synth::cubes::internals::{canonical_order, expand, irredundant, reduce};
-use si_synth::cubes::{Cover, Cube, Literal};
+use si_synth::cubes::{
+    minimize, minimize_exact, minimize_exact_implicit, minimize_implicit, Cover, Cube, Literal,
+    QmBudget,
+};
 
 /// Strategy: a random cube over `width` variables as a `{0,1,-}` string.
 fn cube_strategy(width: usize) -> impl Strategy<Value = Cube> {
@@ -257,6 +261,66 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn minimize_implicit_matches_explicit_on_partitions(seed in any::<u64>()) {
+        // The implicit-cover minimiser must be byte-identical to the
+        // explicit minimiser on the canonically ordered minterm covers of
+        // the same point sets — the contract the implicit SG baseline
+        // rests on.
+        let width = 6;
+        let (mut on, mut off) = partition_from_seed(seed, width);
+        canonical_order(&mut on);
+        canonical_order(&mut off);
+        let mut pool = ImplicitPool::new(width);
+        let on_set = pool.cover_set(&on);
+        let off_set = pool.cover_set(&off);
+        let implicit = minimize_implicit(&mut pool, on_set, off_set);
+        let explicit = if on.is_empty() { on.clone() } else { minimize(&on, &off) };
+        prop_assert!(
+            covers_equal(&implicit, &explicit),
+            "{implicit} vs {explicit}"
+        );
+    }
+
+    #[test]
+    fn minimize_exact_implicit_matches_explicit(seed in any::<u64>()) {
+        let width = 5;
+        let (mut on, mut off) = partition_from_seed(seed, width);
+        canonical_order(&mut on);
+        canonical_order(&mut off);
+        let mut pool = ImplicitPool::new(width);
+        let on_set = pool.cover_set(&on);
+        let off_set = pool.cover_set(&off);
+        let budget = QmBudget::default();
+        let implicit = minimize_exact_implicit(&mut pool, on_set, off_set, &budget);
+        let explicit = if on.is_empty() {
+            Some(Cover::empty(width))
+        } else {
+            minimize_exact(&on, &off, &budget)
+        };
+        match (implicit, explicit) {
+            (Some(a), Some(b)) => prop_assert!(covers_equal(&a, &b), "{a} vs {b}"),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "give-up verdicts differ: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn implicit_set_roundtrips_through_minterms(f in cover_strategy(6, 6)) {
+        // cover → implicit set → materialised minterms must preserve the
+        // point set exactly, and the minterm cover must come back sorted.
+        let mut pool = ImplicitPool::new(6);
+        let set = pool.cover_set(&f);
+        let minterms = pool.minterms_cover(set);
+        for bits in assignments(6) {
+            prop_assert_eq!(minterms.covers_bits(&bits), f.covers_bits(&bits));
+        }
+        let mut sorted = minterms.clone();
+        canonical_order(&mut sorted);
+        prop_assert!(covers_equal(&minterms, &sorted));
+        prop_assert_eq!(pool.count(set), minterms.len() as u128);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Property-based round-trip and robustness suite for the `.g` front door:
+//! `parse_g(write_g(stg))` must reproduce the STG structurally, and *no*
+//! input text — however malformed — may make `parse_g` panic (every failure
+//! is a structured [`StgError`]).
+//!
+//! Structural equality is up to place identity: the writer collapses
+//! one-producer/one-consumer places into the `t1 t2` shorthand and renames
+//! places with non-token names, so places are compared by their (sorted)
+//! preset/postset label sets and marking, not by id or name. The generated
+//! STGs keep one transition instance per (signal, polarity), which makes
+//! label tokens canonical.
+
+use proptest::prelude::*;
+use si_synth::stg::{parse_g, write_g, Polarity, SignalKind, Stg, StgBuilder, StgError};
+
+/// Blueprint for one random specification (same ring-composition family as
+/// the flow proptests, plus explicit-place and initial-code variation).
+#[derive(Debug, Clone)]
+struct Blueprint {
+    rings: Vec<usize>,
+    couple: Vec<bool>,
+    kind_offset: usize,
+    with_initial: bool,
+    merge_place: bool,
+}
+
+fn blueprint() -> impl Strategy<Value = Blueprint> {
+    (
+        proptest::collection::vec(1usize..4, 1..4),
+        proptest::collection::vec(any::<bool>(), 3),
+        0usize..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(rings, couple, kind_offset, with_initial, merge_place)| Blueprint {
+                rings,
+                couple,
+                kind_offset,
+                with_initial,
+                merge_place,
+            },
+        )
+}
+
+fn build(bp: &Blueprint) -> Stg {
+    let mut b = StgBuilder::new();
+    b.set_name("roundtrip");
+    let mut ring_transitions = Vec::new();
+    for (r, &len) in bp.rings.iter().enumerate() {
+        let mut rises = Vec::new();
+        let mut falls = Vec::new();
+        for i in 0..len {
+            let kind = match (r + i + bp.kind_offset) % 3 {
+                0 => SignalKind::Input,
+                1 => SignalKind::Output,
+                _ => SignalKind::Internal,
+            };
+            let s = b.signal(format!("r{r}s{i}"), kind);
+            rises.push(b.transition(s, Polarity::Rise));
+            falls.push(b.transition(s, Polarity::Fall));
+        }
+        let mut order = rises.clone();
+        order.extend(falls.iter().copied());
+        for w in order.windows(2) {
+            b.arc_tt(w[0], w[1]);
+        }
+        let back = b.arc_tt(order[order.len() - 1], order[0]);
+        b.mark(back);
+        ring_transitions.push((rises, falls));
+    }
+    for r in 0..bp.rings.len().saturating_sub(1) {
+        if !bp.couple.get(r).copied().unwrap_or(false) {
+            continue;
+        }
+        let (x_rises, x_falls) = &ring_transitions[r];
+        let (y_rises, y_falls) = &ring_transitions[r + 1];
+        b.arc_tt(x_rises[0], y_rises[0]);
+        b.arc_tt(y_rises[0], x_falls[0]);
+        b.arc_tt(x_falls[0], y_falls[0]);
+        let idle = b.arc_tt(y_falls[0], x_rises[0]);
+        b.mark(idle);
+    }
+    if bp.merge_place {
+        // A multi-producer explicit place, so the writer's explicit-place
+        // path is exercised (1-in/1-out places become implicit arcs).
+        let merge = b.place("merge0");
+        for (rises, falls) in &ring_transitions {
+            b.arc_tp(falls[0], merge);
+            let _ = rises;
+        }
+        b.arc_pt(merge, ring_transitions[0].0[0]);
+    }
+    if bp.with_initial {
+        b.initial_all_zero();
+    }
+    b.build()
+        .expect("blueprint yields a structurally valid STG")
+}
+
+/// Canonical structural summary: signals with kinds and initial values
+/// (compared *by name*: the `.g` format groups declarations by kind, so an
+/// STG with interleaved kinds legitimately reparses with permuted signal
+/// ids), one entry per place (sorted preset/postset label tokens +
+/// marking). Place names and ids are intentionally excluded (see module
+/// docs).
+type SignalSummary = (String, String, Option<bool>);
+
+fn summary(stg: &Stg) -> (Vec<SignalSummary>, Vec<String>, String) {
+    let mut signals: Vec<SignalSummary> = stg
+        .signals()
+        .map(|s| {
+            (
+                stg.signal_name(s).to_owned(),
+                format!("{:?}", stg.signal_kind(s)),
+                stg.initial_code().map(|c| c.get(s)),
+            )
+        })
+        .collect();
+    signals.sort();
+    let net = stg.net();
+    let mut places: Vec<String> = net
+        .places()
+        .map(|p| {
+            let mut pre: Vec<String> = net
+                .place_preset(p)
+                .iter()
+                .map(|&t| stg.transition_label_string(t))
+                .collect();
+            let mut post: Vec<String> = net
+                .place_postset(p)
+                .iter()
+                .map(|&t| stg.transition_label_string(t))
+                .collect();
+            pre.sort();
+            post.sort();
+            format!(
+                "pre={pre:?} post={post:?} marked={}",
+                net.initial_marking().contains(p)
+            )
+        })
+        .collect();
+    places.sort();
+    (signals, places, stg.name().to_owned())
+}
+
+/// A mutation to apply to valid `.g` text.
+#[derive(Debug, Clone)]
+enum Mutation {
+    DeleteByte(usize),
+    InsertChar(usize, char),
+    Truncate(usize),
+    DuplicateLine(usize),
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    let special = prop_oneof![
+        Just('+'),
+        Just('-'),
+        Just('/'),
+        Just('<'),
+        Just('>'),
+        Just('{'),
+        Just('}'),
+        Just('.'),
+        Just('='),
+        Just(','),
+        Just(' '),
+        Just('\n'),
+        Just('a'),
+        Just('0'),
+    ];
+    prop_oneof![
+        (any::<u16>()).prop_map(|i| Mutation::DeleteByte(i as usize)),
+        (any::<u16>(), special).prop_map(|(i, c)| Mutation::InsertChar(i as usize, c)),
+        (any::<u16>()).prop_map(|i| Mutation::Truncate(i as usize)),
+        (any::<u8>()).prop_map(|i| Mutation::DuplicateLine(i as usize)),
+    ]
+}
+
+fn apply_mutation(text: &str, m: &Mutation) -> String {
+    let mut s = text.to_owned();
+    match m {
+        Mutation::DeleteByte(i) => {
+            if !s.is_empty() {
+                let i = i % s.len();
+                if s.is_char_boundary(i) {
+                    s.remove(i);
+                }
+            }
+        }
+        Mutation::InsertChar(i, c) => {
+            let i = i % (s.len() + 1);
+            if s.is_char_boundary(i) {
+                s.insert(i, *c);
+            }
+        }
+        Mutation::Truncate(i) => {
+            let i = i % (s.len() + 1);
+            if s.is_char_boundary(i) {
+                s.truncate(i);
+            }
+        }
+        Mutation::DuplicateLine(i) => {
+            let lines: Vec<&str> = s.lines().collect();
+            if !lines.is_empty() {
+                let line = lines[i % lines.len()].to_owned();
+                s.push('\n');
+                s.push_str(&line);
+                s.push('\n');
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_roundtrip_preserves_structure(bp in blueprint()) {
+        let stg = build(&bp);
+        let text = write_g(&stg);
+        let reparsed = parse_g(&text)
+            .unwrap_or_else(|e| panic!("own output rejected: {e}\n{text}"));
+        prop_assert_eq!(summary(&stg), summary(&reparsed), "round trip changed the STG");
+        // And the round trip is a fixpoint: writing the reparsed STG and
+        // parsing again changes nothing further.
+        let again = parse_g(&write_g(&reparsed)).expect("second round trip");
+        prop_assert_eq!(summary(&reparsed), summary(&again));
+    }
+
+    #[test]
+    fn mutated_inputs_never_panic(bp in blueprint(), muts in proptest::collection::vec(mutation(), 1..5)) {
+        let mut text = write_g(&build(&bp));
+        for m in &muts {
+            text = apply_mutation(&text, m);
+            // Ok or structured Err — a panic fails the test.
+            let _ = parse_g(&text);
+        }
+    }
+
+    #[test]
+    fn arbitrary_token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just(".model"), Just(".inputs"), Just(".outputs"), Just(".internal"),
+                Just(".dummy"), Just(".graph"), Just(".marking"), Just(".initial"),
+                Just(".end"), Just("a"), Just("b"), Just("a+"), Just("b-"), Just("a+/2"),
+                Just("a+/"), Just("p0"), Just("{"), Just("}"), Just("<a+,b->"), Just("<"),
+                Just(">"), Just("="), Just("a=1"), Just("a=2"), Just("#"), Just("\n"),
+            ],
+            0..40,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse_g(&text);
+    }
+}
+
+/// The hardened parser must reject every malformed fixture with a
+/// structured error — and the error kinds must be stable.
+#[test]
+fn malformed_fixture_catalogue() {
+    type ErrorCheck = fn(&StgError) -> bool;
+    let cases: &[(&str, ErrorCheck)] = &[
+        ("", |e| matches!(e, StgError::Parse { .. })), // missing .marking
+        (".inputs a a\n.marking { }\n", |e| {
+            matches!(e, StgError::DuplicateSignal { .. })
+        }),
+        (".inputs a\n.graph\na+ z-\n.marking { }\n", |e| {
+            matches!(e, StgError::UnknownSignal { .. })
+        }),
+        (".inputs a\n.graph\na+ a-/x\n.marking { }\n", |e| {
+            matches!(e, StgError::Parse { .. })
+        }),
+        (".inputs a\n.graph\np0 p1\n.marking { p0 }\n", |e| {
+            matches!(e, StgError::Parse { .. })
+        }),
+        (".inputs a\n.graph\na+ a-\n.marking { <a+ }\n", |e| {
+            matches!(e, StgError::Parse { .. })
+        }),
+        (".inputs a\n.graph\na+ a-\n.marking { <a+a-> }\n", |e| {
+            matches!(e, StgError::Parse { .. })
+        }),
+        (
+            ".inputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.initial { b=1 }\n",
+            |e| matches!(e, StgError::UnknownSignal { .. }),
+        ),
+    ];
+    for (text, check) in cases {
+        match parse_g(text) {
+            Err(e) => assert!(check(&e), "unexpected error kind for {text:?}: {e}"),
+            Ok(_) => panic!("malformed input accepted: {text:?}"),
+        }
+    }
+}
