@@ -1,0 +1,51 @@
+.model muller-pipeline-20
+.inputs r a
+.outputs c1 c2 c3 c4 c5 c6 c7 c8 c9 c10 c11 c12 c13 c14 c15 c16 c17 c18 c19 c20
+.graph
+r+ c1+
+c1+ r- c2+
+c2+ c1- c3+
+c3+ c2- c4+
+c4+ c3- c5+
+c5+ c4- c6+
+c6+ c5- c7+
+c7+ c6- c8+
+c8+ c7- c9+
+c9+ c8- c10+
+c10+ c9- c11+
+c11+ c10- c12+
+c12+ c11- c13+
+c13+ c12- c14+
+c14+ c13- c15+
+c15+ c14- c16+
+c16+ c15- c17+
+c17+ c16- c18+
+c18+ c17- c19+
+c19+ c18- c20+
+c20+ c19- a+
+a+ c20-
+r- c1-
+c1- r+ c2-
+c2- c1+ c3-
+c3- c2+ c4-
+c4- c3+ c5-
+c5- c4+ c6-
+c6- c5+ c7-
+c7- c6+ c8-
+c8- c7+ c9-
+c9- c8+ c10-
+c10- c9+ c11-
+c11- c10+ c12-
+c12- c11+ c13-
+c13- c12+ c14-
+c14- c13+ c15-
+c15- c14+ c16-
+c16- c15+ c17-
+c17- c16+ c18-
+c18- c17+ c19-
+c19- c18+ c20-
+c20- c19+ a-
+a- c20+
+.marking { <c1-,r+> <c2-,c1+> <c3-,c2+> <c4-,c3+> <c5-,c4+> <c6-,c5+> <c7-,c6+> <c8-,c7+> <c9-,c8+> <c10-,c9+> <c11-,c10+> <c12-,c11+> <c13-,c12+> <c14-,c13+> <c15-,c14+> <c16-,c15+> <c17-,c16+> <c18-,c17+> <c19-,c18+> <c20-,c19+> <a-,c20+> }
+.initial { r=0 c1=0 c2=0 c3=0 c4=0 c5=0 c6=0 c7=0 c8=0 c9=0 c10=0 c11=0 c12=0 c13=0 c14=0 c15=0 c16=0 c17=0 c18=0 c19=0 c20=0 a=0 }
+.end

@@ -1,0 +1,282 @@
+//! Conversions between [`Bdd`] functions and
+//! [`si_cubes::implicit::ImplicitCover`] point sets.
+//!
+//! The two representations are both canonical DAGs over Boolean point sets,
+//! but they live in different pools with (possibly) different variable
+//! orders, so conversion goes through semantics rather than structure
+//! sharing: implicit → BDD enumerates the canonical disjoint-cube cover and
+//! rebuilds it as a disjunction of cubes; BDD → implicit walks the diagram
+//! once with a per-node memo, recombining children through the implicit
+//! pool's cached set algebra. A bulk minterm build
+//! ([`BddManager::from_minterms`]) mirrors
+//! `ImplicitPool::from_minterms` for loading explicit state sets.
+
+use std::collections::HashMap;
+
+use si_cubes::implicit::{ImplicitCover, ImplicitPool};
+use si_cubes::{Cube, Literal};
+
+use crate::manager::{Bdd, BddManager};
+
+impl BddManager {
+    /// Builds the BDD of an implicit point set by enumerating its canonical
+    /// disjoint-cube cover. `var_map[implicit_var]` names the manager
+    /// variable carrying that implicit variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_map.len() != pool.width()` or any mapped variable is
+    /// out of range.
+    pub fn from_implicit(
+        &mut self,
+        pool: &ImplicitPool,
+        set: ImplicitCover,
+        var_map: &[usize],
+    ) -> Bdd {
+        assert_eq!(var_map.len(), pool.width(), "variable map width mismatch");
+        let cover = pool.to_cover(set);
+        let mut acc = self.zero();
+        let mut literals: Vec<(usize, bool)> = Vec::new();
+        for cube in cover.cubes() {
+            literals.clear();
+            for (v, &mapped) in var_map.iter().enumerate() {
+                match cube.get(v) {
+                    Literal::DontCare => {}
+                    Literal::Zero => literals.push((mapped, false)),
+                    Literal::One => literals.push((mapped, true)),
+                }
+            }
+            let c = self.cube(&literals);
+            acc = self.or(acc, c);
+        }
+        acc
+    }
+
+    /// Converts a BDD into an implicit point set over `pool`.
+    /// `var_map[manager_var]` names the implicit variable carrying that
+    /// manager variable (`None` for variables the function must not depend
+    /// on — e.g. quantified-out state bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_map.len() != num_vars`, if `f` depends on an unmapped
+    /// variable, or if a mapped index is `>= pool.width()`.
+    pub fn to_implicit(
+        &self,
+        f: Bdd,
+        pool: &mut ImplicitPool,
+        var_map: &[Option<usize>],
+    ) -> ImplicitCover {
+        assert_eq!(
+            var_map.len(),
+            self.num_vars(),
+            "variable map width mismatch"
+        );
+        let mut memo: HashMap<u32, ImplicitCover> = HashMap::new();
+        self.to_implicit_rec(f.0, pool, var_map, &mut memo)
+    }
+
+    fn to_implicit_rec(
+        &self,
+        n: u32,
+        pool: &mut ImplicitPool,
+        var_map: &[Option<usize>],
+        memo: &mut HashMap<u32, ImplicitCover>,
+    ) -> ImplicitCover {
+        if Bdd(n).is_false() {
+            return pool.empty();
+        }
+        if Bdd(n).is_true() {
+            return pool.full();
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let (level, lo, hi) = self.node(n);
+        let var = self.var_at(level as usize);
+        let iv =
+            var_map[var].unwrap_or_else(|| panic!("function depends on unmapped variable {var}"));
+        let l = self.to_implicit_rec(lo, pool, var_map, memo);
+        let h = self.to_implicit_rec(hi, pool, var_map, memo);
+        let mut cube0 = Cube::full(pool.width());
+        cube0.set(iv, Literal::Zero);
+        let mut cube1 = Cube::full(pool.width());
+        cube1.set(iv, Literal::One);
+        let c0 = pool.cube_set(&cube0);
+        let c1 = pool.cube_set(&cube1);
+        let left = pool.intersect(c0, l);
+        let right = pool.intersect(c1, h);
+        let r = pool.union(left, right);
+        memo.insert(n, r);
+        r
+    }
+
+    /// Bulk-builds the BDD of a batch of complete minterms, merging shared
+    /// structure as it recurses (the rows are reordered in place; duplicate
+    /// rows collapse). Row `i` gives the value of logical variable `i`;
+    /// `var_map[i]` names the manager variable carrying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows disagree with `var_map.len()` in width, or a mapped
+    /// variable is out of range or repeated.
+    pub fn from_minterms(&mut self, rows: &mut [Vec<bool>], var_map: &[usize]) -> Bdd {
+        // Logical variables sorted topmost-level first, so the recursion
+        // emits nodes in diagram order.
+        let mut by_level: Vec<(u32, usize)> = var_map
+            .iter()
+            .enumerate()
+            .map(|(logical, &var)| {
+                assert!(var < self.num_vars(), "variable {var} out of range");
+                (self.level_of(var) as u32, logical)
+            })
+            .collect();
+        by_level.sort_unstable();
+        for w in by_level.windows(2) {
+            assert!(w[0].0 != w[1].0, "variable map repeats a manager variable");
+        }
+        for row in rows.iter() {
+            assert_eq!(row.len(), var_map.len(), "minterm width mismatch");
+        }
+        Bdd(self.build_sorted(rows, &by_level, 0))
+    }
+
+    fn build_sorted(
+        &mut self,
+        rows: &mut [Vec<bool>],
+        by_level: &[(u32, usize)],
+        depth: usize,
+    ) -> u32 {
+        if rows.is_empty() {
+            return self.zero().0;
+        }
+        let Some(&(level, logical)) = by_level.get(depth) else {
+            return self.one().0;
+        };
+        // In-place partition: rows with bit 0 first.
+        let mut lo_end = 0usize;
+        for i in 0..rows.len() {
+            if !rows[i][logical] {
+                rows.swap(lo_end, i);
+                lo_end += 1;
+            }
+        }
+        let (lo_rows, hi_rows) = rows.split_at_mut(lo_end);
+        let lo = self.build_sorted(lo_rows, by_level, depth + 1);
+        let hi = self.build_sorted(hi_rows, by_level, depth + 1);
+        self.mk_pub(level, lo, hi)
+    }
+
+    /// Thin crate-internal bridge so the builder above can hash-cons.
+    fn mk_pub(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
+        // `cube`-style construction through ITE keeps this allocation-free:
+        // ite(var_at_level, hi, lo) builds exactly mk(level, lo, hi).
+        let var = self.var_at(level as usize);
+        let v = self.var(var);
+        self.ite(v, Bdd(hi), Bdd(lo)).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cubes::Cover;
+
+    fn cover(cubes: &[&str]) -> Cover {
+        cubes.iter().map(|s| Cube::from_str_cube(s)).collect()
+    }
+
+    /// All assignments over `width` variables.
+    fn assignments(width: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1u32 << width)).map(move |x| (0..width).map(|i| (x >> i) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn implicit_roundtrip_identity_map() {
+        let mut pool = ImplicitPool::new(4);
+        let c = cover(&["1--0", "01--", "--11"]);
+        let set = pool.cover_set(&c);
+        let mut mgr = BddManager::new(4);
+        let map: Vec<usize> = (0..4).collect();
+        let f = mgr.from_implicit(&pool, set, &map);
+        for bits in assignments(4) {
+            assert_eq!(mgr.eval(f, &bits), c.covers_bits(&bits), "{bits:?}");
+        }
+        let back_map: Vec<Option<usize>> = (0..4).map(Some).collect();
+        let back = mgr.to_implicit(f, &mut pool, &back_map);
+        assert_eq!(back, set, "roundtrip lands on the same canonical set");
+    }
+
+    #[test]
+    fn implicit_roundtrip_permuted_map() {
+        // Implicit variable i lives on manager variable map[i], and the
+        // manager itself uses a scrambled level order.
+        let mut pool = ImplicitPool::new(3);
+        let c = cover(&["10-", "-01"]);
+        let set = pool.cover_set(&c);
+        let mut mgr = BddManager::with_order(vec![4, 0, 2, 1, 3]);
+        let map = [3usize, 0, 4];
+        let f = mgr.from_implicit(&pool, set, &map);
+        let mut back_map = vec![None; 5];
+        for (iv, &mv) in map.iter().enumerate() {
+            back_map[mv] = Some(iv);
+        }
+        let back = mgr.to_implicit(f, &mut pool, &back_map);
+        assert_eq!(back, set);
+        // Pointwise: manager assignment bits pull from implicit vars.
+        for bits in assignments(3) {
+            let mut mbits = vec![false; 5];
+            for (iv, &mv) in map.iter().enumerate() {
+                mbits[mv] = bits[iv];
+            }
+            assert_eq!(mgr.eval(f, &mbits), c.covers_bits(&bits), "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn from_minterms_matches_per_point_or() {
+        let points = [0b0000u32, 0b1010, 0b0110, 0b1111, 0b1010];
+        let mut rows: Vec<Vec<bool>> = points
+            .iter()
+            .map(|&p| (0..4).map(|i| (p >> i) & 1 == 1).collect())
+            .collect();
+        let mut mgr = BddManager::with_order(vec![2, 0, 3, 1]);
+        let map: Vec<usize> = (0..4).collect();
+        let bulk = mgr.from_minterms(&mut rows, &map);
+        let mut one_by_one = mgr.zero();
+        for &p in &points {
+            let lits: Vec<(usize, bool)> = (0..4).map(|i| (i, (p >> i) & 1 == 1)).collect();
+            let c = mgr.cube(&lits);
+            one_by_one = mgr.or(one_by_one, c);
+        }
+        assert_eq!(bulk, one_by_one);
+        assert_eq!(mgr.sat_count(bulk), 4, "duplicate rows collapse");
+    }
+
+    #[test]
+    fn empty_and_full_sets_convert() {
+        let mut pool = ImplicitPool::new(2);
+        let mut mgr = BddManager::new(2);
+        let map: Vec<usize> = (0..2).collect();
+        let back_map: Vec<Option<usize>> = (0..2).map(Some).collect();
+        let empty = pool.empty();
+        let full = pool.full();
+        assert!(mgr.from_implicit(&pool, empty, &map).is_false());
+        assert!(mgr.from_implicit(&pool, full, &map).is_true());
+        let zero = mgr.zero();
+        let one = mgr.one();
+        assert!(mgr.to_implicit(zero, &mut pool, &back_map).is_empty());
+        assert_eq!(mgr.to_implicit(one, &mut pool, &back_map), pool.full());
+        let mut no_rows: Vec<Vec<bool>> = Vec::new();
+        assert!(mgr.from_minterms(&mut no_rows, &map).is_false());
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped variable")]
+    fn unmapped_support_variable_panics() {
+        let mut mgr = BddManager::new(2);
+        let f = mgr.var(1);
+        let mut pool = ImplicitPool::new(1);
+        mgr.to_implicit(f, &mut pool, &[Some(0), None]);
+    }
+}

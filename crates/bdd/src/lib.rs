@@ -1,0 +1,44 @@
+//! # si-bdd — reduced ordered binary decision diagrams
+//!
+//! The symbolic substrate for BDD-based state traversal: a classic ROBDD
+//! engine with a hash-consed unique table (the same canonicity discipline as
+//! `si_cubes::implicit`), a memoised complement-edge-free [`ite`] kernel,
+//! existential quantification ([`exists`]) and the relational product
+//! ([`and_exists`]) that image computation is built from, a variable-order
+//! heuristic seeded from adjacency ([`order_from_adjacency`]), and lossless
+//! conversion both ways between [`Bdd`] functions and
+//! [`si_cubes::implicit::ImplicitCover`] point sets.
+//!
+//! Functions are identified by node handles inside a [`BddManager`]; two
+//! handles from the same manager are equal iff the functions are equal, so
+//! equality, emptiness and fixpoint-convergence tests are O(1).
+//!
+//! ## Example
+//!
+//! ```
+//! use si_bdd::BddManager;
+//!
+//! let mut mgr = BddManager::new(3);
+//! let (a, b, c) = (mgr.var(0), mgr.var(1), mgr.var(2));
+//! let f = mgr.and(a, b);
+//! let g = mgr.or(f, c); // a·b + c
+//! // ∃b. (a·b + c) = a + c
+//! let q = mgr.cube_vars(&[1]);
+//! let h = mgr.exists(g, q);
+//! let expect = mgr.or(a, c);
+//! assert_eq!(h, expect);
+//! ```
+//!
+//! [`ite`]: BddManager::ite
+//! [`exists`]: BddManager::exists
+//! [`and_exists`]: BddManager::and_exists
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod manager;
+mod order;
+
+pub use manager::{Bdd, BddManager};
+pub use order::order_from_adjacency;

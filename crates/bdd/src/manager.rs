@@ -1,0 +1,648 @@
+//! The node manager: hash-consed unique table, ITE kernel, quantification.
+
+use std::collections::HashMap;
+
+/// Terminal node id for the constant 0 function.
+const ZERO: u32 = 0;
+/// Terminal node id for the constant 1 function.
+const ONE: u32 = 1;
+
+/// A handle to a Boolean function owned by a [`BddManager`].
+///
+/// Copyable and cheap; all operations go through the manager. Two handles
+/// from the same manager are equal iff they denote the same function (the
+/// diagram is reduced and ordered, hence canonical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// Returns `true` if this is the constant-0 function.
+    pub fn is_false(self) -> bool {
+        self.0 == ZERO
+    }
+
+    /// Returns `true` if this is the constant-1 function.
+    pub fn is_true(self) -> bool {
+        self.0 == ONE
+    }
+}
+
+/// A reduced ordered BDD node pool over a fixed variable count, with a
+/// unique table (hash-consing) and memoised operation caches.
+///
+/// Nodes branch on *levels*; the variable order maps external variable
+/// indices to levels, so callers always speak in variable indices and the
+/// order is an internal layout decision fixed at construction
+/// ([`BddManager::with_order`]).
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    num_vars: usize,
+    /// `level_of[var]` = position of `var` in the order (0 = topmost).
+    level_of: Vec<u32>,
+    /// `var_at[level]` = variable placed at that level.
+    var_at: Vec<u32>,
+    /// `(level, lo, hi)`; entries 0/1 are terminal placeholders.
+    nodes: Vec<(u32, u32, u32)>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    exists_cache: HashMap<(u32, u32), u32>,
+    and_exists_cache: HashMap<(u32, u32, u32), u32>,
+}
+
+impl BddManager {
+    /// Creates a manager over `num_vars` variables in natural order
+    /// (variable `i` at level `i`).
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_order((0..num_vars).collect())
+    }
+
+    /// Creates a manager whose variable order is `order` — `order[level]`
+    /// is the variable placed at that level (level 0 is the topmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_order(order: Vec<usize>) -> Self {
+        let n = order.len();
+        let mut level_of = vec![u32::MAX; n];
+        let mut var_at = vec![0u32; n];
+        for (level, &var) in order.iter().enumerate() {
+            assert!(var < n, "variable {var} out of range in order");
+            assert!(
+                level_of[var] == u32::MAX,
+                "variable {var} appears twice in order"
+            );
+            level_of[var] = level as u32;
+            var_at[level] = var as u32;
+        }
+        BddManager {
+            num_vars: n,
+            level_of,
+            var_at,
+            nodes: vec![(u32::MAX, 0, 0), (u32::MAX, 1, 1)],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            and_exists_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The level (order position) of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn level_of(&self, var: usize) -> usize {
+        self.level_of[var] as usize
+    }
+
+    /// The variable placed at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= num_vars`.
+    pub fn var_at(&self, level: usize) -> usize {
+        self.var_at[level] as usize
+    }
+
+    /// The constant-0 function.
+    pub fn zero(&self) -> Bdd {
+        Bdd(ZERO)
+    }
+
+    /// The constant-1 function.
+    pub fn one(&self) -> Bdd {
+        Bdd(ONE)
+    }
+
+    /// Total number of live non-terminal nodes in the pool (monotone: nodes
+    /// are never garbage-collected).
+    pub fn pool_size(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    fn level(&self, n: u32) -> u32 {
+        if n <= ONE {
+            self.num_vars as u32
+        } else {
+            self.nodes[n as usize].0
+        }
+    }
+
+    /// Hash-consed node constructor with the `lo == hi` reduction.
+    fn mk(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let key = (level, lo, hi);
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(key);
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// Splits `n` at `level`: its children if it branches there, `(n, n)`
+    /// if the level is unconstrained.
+    fn children_at(&self, n: u32, level: u32) -> (u32, u32) {
+        if n > ONE && self.nodes[n as usize].0 == level {
+            let (_, lo, hi) = self.nodes[n as usize];
+            (lo, hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    /// The function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let level = self.level_of[var];
+        Bdd(self.mk(level, ZERO, ONE))
+    }
+
+    /// The function of the negated variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn nvar(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let level = self.level_of[var];
+        Bdd(self.mk(level, ONE, ZERO))
+    }
+
+    /// If-then-else: the function `f·g + f̅·h` — the complete kernel every
+    /// binary operation reduces to (memoised).
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        Bdd(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        // Terminal short-circuits.
+        if f == ONE {
+            return g;
+        }
+        if f == ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == ONE && h == ZERO {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.children_at(f, level);
+        let (g0, g1) = self.children_at(g, level);
+        let (h0, h1) = self.children_at(h, level);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
+        let r = self.mk(level, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction `f · g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd(ZERO))
+    }
+
+    /// Disjunction `f + g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd(ONE), g)
+    }
+
+    /// Negation `f̅`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd(ZERO), Bdd(ONE))
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Difference `f · g̅` — one ITE, no materialised complement.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(g, Bdd(ZERO), f)
+    }
+
+    /// The conjunction of positive literals of `vars`, used as the
+    /// quantification set of [`exists`](Self::exists) /
+    /// [`and_exists`](Self::and_exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range.
+    pub fn cube_vars(&mut self, vars: &[usize]) -> Bdd {
+        self.cube(&vars.iter().map(|&v| (v, true)).collect::<Vec<_>>())
+    }
+
+    /// The conjunction of the given `(variable, value)` literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range or appears twice with
+    /// conflicting values (same-value duplicates collapse).
+    pub fn cube(&mut self, literals: &[(usize, bool)]) -> Bdd {
+        let mut lits: Vec<(u32, bool)> = literals
+            .iter()
+            .map(|&(v, b)| {
+                assert!(v < self.num_vars, "variable {v} out of range");
+                (self.level_of[v], b)
+            })
+            .collect();
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            assert!(
+                w[0].0 != w[1].0,
+                "conflicting literals for variable {}",
+                self.var_at[w[0].0 as usize]
+            );
+        }
+        let mut acc = ONE;
+        for &(level, value) in lits.iter().rev() {
+            acc = if value {
+                self.mk(level, ZERO, acc)
+            } else {
+                self.mk(level, acc, ZERO)
+            };
+        }
+        Bdd(acc)
+    }
+
+    /// Existential quantification `∃ vars. f`, where `vars` is a positive
+    /// cube from [`cube_vars`](Self::cube_vars) (memoised).
+    pub fn exists(&mut self, f: Bdd, vars: Bdd) -> Bdd {
+        Bdd(self.exists_rec(f.0, vars.0))
+    }
+
+    fn exists_rec(&mut self, f: u32, mut cube: u32) -> u32 {
+        if f <= ONE {
+            return f;
+        }
+        // Quantifying a variable above f's support is the identity.
+        while cube > ONE && self.level(cube) < self.level(f) {
+            cube = self.nodes[cube as usize].2;
+        }
+        if cube == ONE {
+            return f;
+        }
+        let key = (f, cube);
+        if let Some(&r) = self.exists_cache.get(&key) {
+            return r;
+        }
+        let level = self.level(f);
+        let (f0, f1) = self.children_at(f, level);
+        let r = if self.level(cube) == level {
+            let rest = self.nodes[cube as usize].2;
+            let lo = self.exists_rec(f0, rest);
+            if lo == ONE {
+                ONE
+            } else {
+                let hi = self.exists_rec(f1, rest);
+                self.ite_rec(lo, ONE, hi)
+            }
+        } else {
+            let lo = self.exists_rec(f0, cube);
+            let hi = self.exists_rec(f1, cube);
+            self.mk(level, lo, hi)
+        };
+        self.exists_cache.insert(key, r);
+        r
+    }
+
+    /// The relational product `∃ vars. f · g` computed in one pass, without
+    /// materialising the conjunction (memoised) — the workhorse of symbolic
+    /// image computation.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: Bdd) -> Bdd {
+        Bdd(self.and_exists_rec(f.0, g.0, vars.0))
+    }
+
+    fn and_exists_rec(&mut self, f: u32, g: u32, mut cube: u32) -> u32 {
+        if f == ZERO || g == ZERO {
+            return ZERO;
+        }
+        if f == ONE {
+            return self.exists_rec(g, cube);
+        }
+        if g == ONE || f == g {
+            return self.exists_rec(f, cube);
+        }
+        let top = self.level(f).min(self.level(g));
+        while cube > ONE && self.level(cube) < top {
+            cube = self.nodes[cube as usize].2;
+        }
+        if cube == ONE {
+            return self.ite_rec(f, g, ZERO);
+        }
+        // Conjunction is commutative: normalise the key.
+        let key = if f > g { (g, f, cube) } else { (f, g, cube) };
+        if let Some(&r) = self.and_exists_cache.get(&key) {
+            return r;
+        }
+        let (f0, f1) = self.children_at(f, top);
+        let (g0, g1) = self.children_at(g, top);
+        let r = if self.level(cube) == top {
+            let rest = self.nodes[cube as usize].2;
+            let lo = self.and_exists_rec(f0, g0, rest);
+            if lo == ONE {
+                ONE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, rest);
+                self.ite_rec(lo, ONE, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, cube);
+            let hi = self.and_exists_rec(f1, g1, cube);
+            self.mk(top, lo, hi)
+        };
+        self.and_exists_cache.insert(key, r);
+        r
+    }
+
+    /// Number of satisfying assignments over the full `2^num_vars` space,
+    /// saturating at `u128::MAX`.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        let c = self.sat_count_rec(f.0, &mut memo);
+        shl_sat(c, self.level(f.0))
+    }
+
+    fn sat_count_rec(&self, n: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if n == ZERO {
+            return 0;
+        }
+        if n == ONE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&n) {
+            return c;
+        }
+        let (level, lo, hi) = self.nodes[n as usize];
+        let cl = self.sat_count_rec(lo, memo);
+        let ch = self.sat_count_rec(hi, memo);
+        let c = shl_sat(cl, self.level(lo) - level - 1)
+            .saturating_add(shl_sat(ch, self.level(hi) - level - 1));
+        memo.insert(n, c);
+        c
+    }
+
+    /// Number of diagram nodes reachable from `f`.
+    pub fn node_count(&self, f: Bdd) -> usize {
+        if f.0 <= ONE {
+            return 0;
+        }
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        seen.insert(f.0);
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            let (_, lo, hi) = self.nodes[n as usize];
+            for c in [lo, hi] {
+                if c > ONE && seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// The variables `f` depends on, in index order.
+    pub fn support(&self, f: Bdd) -> Vec<usize> {
+        let mut on_level = vec![false; self.num_vars];
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= ONE || !seen.insert(n) {
+                continue;
+            }
+            let (level, lo, hi) = self.nodes[n as usize];
+            on_level[level as usize] = true;
+            stack.push(lo);
+            stack.push(hi);
+        }
+        let mut vars: Vec<usize> = (0..self.num_vars)
+            .filter(|&l| on_level[l])
+            .map(|l| self.var_at[l] as usize)
+            .collect();
+        vars.sort_unstable();
+        vars
+    }
+
+    /// Evaluates `f` at a complete assignment given in *variable index*
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != num_vars`.
+    pub fn eval(&self, f: Bdd, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.num_vars, "assignment width mismatch");
+        let mut n = f.0;
+        while n > ONE {
+            let (level, lo, hi) = self.nodes[n as usize];
+            n = if bits[self.var_at[level as usize] as usize] {
+                hi
+            } else {
+                lo
+            };
+        }
+        n == ONE
+    }
+
+    /// Internal node accessor for the conversion module: `(level, lo, hi)`.
+    pub(crate) fn node(&self, n: u32) -> (u32, u32, u32) {
+        self.nodes[n as usize]
+    }
+}
+
+/// Saturating left shift for satisfying-assignment counts.
+fn shl_sat(x: u128, k: u32) -> u128 {
+    if x == 0 {
+        0
+    } else if k >= 128 || x.leading_zeros() < k {
+        u128::MAX
+    } else {
+        x << k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All assignments over `width` variables, variable-index order.
+    fn assignments(width: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1u32 << width)).map(move |x| (0..width).map(|i| (x >> i) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn boolean_ops_match_pointwise() {
+        for order in [vec![0, 1, 2, 3], vec![3, 1, 0, 2]] {
+            let mut mgr = BddManager::with_order(order);
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            let c = mgr.var(2);
+            let d = mgr.nvar(3);
+            let ab = mgr.and(a, b);
+            let f = mgr.or(ab, c);
+            let g = mgr.xor(f, d);
+            let h = mgr.diff(f, c);
+            let nf = mgr.not(f);
+            for bits in assignments(4) {
+                let (va, vb, vc, vd) = (bits[0], bits[1], bits[2], !bits[3]);
+                let vf = (va && vb) || vc;
+                assert_eq!(mgr.eval(f, &bits), vf, "{bits:?}");
+                assert_eq!(mgr.eval(g, &bits), vf ^ vd, "{bits:?}");
+                assert_eq!(mgr.eval(h, &bits), vf && !vc, "{bits:?}");
+                assert_eq!(mgr.eval(nf, &bits), !vf, "{bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_share_handles() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let ab = mgr.and(a, b);
+        let ba = mgr.and(b, a);
+        assert_eq!(ab, ba);
+        // De Morgan: ¬(a·b) == ¬a + ¬b.
+        let left = mgr.not(ab);
+        let na = mgr.not(a);
+        let nb = mgr.not(b);
+        let right = mgr.or(na, nb);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn ite_matches_truth_table() {
+        let mut mgr = BddManager::new(3);
+        let f = mgr.var(0);
+        let g = mgr.var(1);
+        let h = mgr.var(2);
+        let r = mgr.ite(f, g, h);
+        for bits in assignments(3) {
+            let expect = if bits[0] { bits[1] } else { bits[2] };
+            assert_eq!(mgr.eval(r, &bits), expect, "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn exists_quantifies_out_variables() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b);
+        let f = mgr.or(ab, c);
+        let q = mgr.cube_vars(&[1]);
+        let e = mgr.exists(f, q);
+        let expect = mgr.or(a, c);
+        assert_eq!(e, expect);
+        // Quantifying the whole support collapses to a constant.
+        let all = mgr.cube_vars(&[0, 1, 2]);
+        assert!(mgr.exists(f, all).is_true());
+        let zero = mgr.zero();
+        assert!(mgr.exists(zero, all).is_false());
+    }
+
+    #[test]
+    fn exists_over_unsupported_vars_is_identity() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let c = mgr.var(2);
+        let f = mgr.and(a, c);
+        let q = mgr.cube_vars(&[1, 3]);
+        assert_eq!(mgr.exists(f, q), f);
+    }
+
+    #[test]
+    fn and_exists_equals_and_then_exists() {
+        for order in [vec![0, 1, 2, 3, 4], vec![4, 2, 0, 3, 1]] {
+            let mut mgr = BddManager::with_order(order);
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            let c = mgr.var(2);
+            let d = mgr.var(3);
+            let e = mgr.var(4);
+            let nb = mgr.not(b);
+            let t1 = mgr.or(a, nb);
+            let t2 = mgr.and(c, d);
+            let f = mgr.xor(t1, t2);
+            let de = mgr.and(d, e);
+            let g = mgr.or(b, de);
+            for q_vars in [vec![1], vec![1, 3], vec![0, 1, 2, 3, 4], vec![]] {
+                let q = mgr.cube_vars(&q_vars);
+                let direct = mgr.and_exists(f, g, q);
+                let conj = mgr.and(f, g);
+                let two_step = mgr.exists(conj, q);
+                assert_eq!(direct, two_step, "vars {q_vars:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cube_builds_the_expected_minterm_set() {
+        let mut mgr = BddManager::new(3);
+        let c = mgr.cube(&[(0, true), (2, false)]);
+        for bits in assignments(3) {
+            assert_eq!(mgr.eval(c, &bits), bits[0] && !bits[2], "{bits:?}");
+        }
+        assert_eq!(mgr.sat_count(c), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting literals")]
+    fn conflicting_cube_literals_panic() {
+        let mut mgr = BddManager::new(2);
+        mgr.cube(&[(0, true), (0, false)]);
+    }
+
+    #[test]
+    fn sat_count_counts_minterms() {
+        let mut mgr = BddManager::new(10);
+        assert_eq!(mgr.sat_count(mgr.one()), 1024);
+        assert_eq!(mgr.sat_count(mgr.zero()), 0);
+        let a = mgr.var(0);
+        assert_eq!(mgr.sat_count(a), 512);
+        let b = mgr.var(9);
+        let ab = mgr.and(a, b);
+        assert_eq!(mgr.sat_count(ab), 256);
+        let aob = mgr.or(a, b);
+        assert_eq!(mgr.sat_count(aob), 768);
+    }
+
+    #[test]
+    fn support_reports_dependent_variables() {
+        let mut mgr = BddManager::with_order(vec![2, 0, 1]);
+        let a = mgr.var(0);
+        let c = mgr.var(2);
+        let f = mgr.xor(a, c);
+        assert_eq!(mgr.support(f), vec![0, 2]);
+        assert!(mgr.support(mgr.one()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_order_rejected() {
+        BddManager::with_order(vec![0, 0, 1]);
+    }
+}

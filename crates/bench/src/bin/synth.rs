@@ -6,11 +6,19 @@
 //! Usage: synth <spec.g> [options]
 //!
 //!   --flow sg|unfolding    synthesis flow (default: unfolding)
+//!   --engine explicit|symbolic
+//!                          (sg flow) state-traversal engine: explicit
+//!                          enumeration or the BDD-based symbolic engine
+//!                          (default: explicit; rejected with --flow
+//!                          unfolding, which has no state graph)
 //!   --cover exact|approx   cover derivation / minimisation mode
 //!                          (default: approx; for --flow sg, `exact`
 //!                          selects exact Quine–McCluskey minimisation)
 //!   --workers N            worker threads (default: one per CPU)
-//!   --budget N             state/slice budget (default: 2000000)
+//!   --budget N             traversal budget: max states (explicit sg),
+//!                          max BDD nodes (symbolic sg) or slice budget
+//!                          (unfolding); defaults: 2000000 states /
+//!                          16000000 nodes / 2000000 slices
 //!   --invert               (sg flow) allow implementing the complemented
 //!                          function when it is cheaper
 //! ```
@@ -25,7 +33,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use si_bench::secs;
-use si_stategraph::{synthesize_from_built_sg, SgSynthesisOptions, StateGraph};
+use si_stategraph::{
+    synthesize_from_built_sg, synthesize_from_symbolic_sg, SgEngine, SgSynthesis,
+    SgSynthesisOptions, StateGraph, SymbolicSg,
+};
 use si_stg::{parse_g, Stg};
 use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
 
@@ -38,24 +49,26 @@ enum Flow {
 struct Args {
     path: String,
     flow: Flow,
+    engine: SgEngine,
     exact: bool,
     workers: Option<usize>,
-    budget: usize,
+    budget: Option<usize>,
     invert: bool,
 }
 
 fn usage() -> &'static str {
-    "Usage: synth <spec.g> [--flow sg|unfolding] [--cover exact|approx] \
-     [--workers N] [--budget N] [--invert]"
+    "Usage: synth <spec.g> [--flow sg|unfolding] [--engine explicit|symbolic] \
+     [--cover exact|approx] [--workers N] [--budget N] [--invert]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut flow = Flow::Unfolding;
+    let mut engine = None;
     let mut exact = false;
     let mut workers = None;
-    let mut budget = 2_000_000usize;
+    let mut budget = None;
     let mut invert = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +77,15 @@ fn parse_args() -> Result<Args, String> {
                     Some("sg") => Flow::Sg,
                     Some("unfolding") => Flow::Unfolding,
                     other => return Err(format!("--flow needs sg|unfolding, got {other:?}")),
+                }
+            }
+            "--engine" => {
+                engine = match args.next().as_deref() {
+                    Some("explicit") => Some(SgEngine::Explicit),
+                    Some("symbolic") => Some(SgEngine::Symbolic),
+                    other => {
+                        return Err(format!("--engine needs explicit|symbolic, got {other:?}"))
+                    }
                 }
             }
             "--cover" => {
@@ -82,11 +104,12 @@ fn parse_args() -> Result<Args, String> {
                 workers = Some(n);
             }
             "--budget" => {
-                budget = args
+                let n = args
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
                     .filter(|&n| n > 0)
                     .ok_or("--budget needs a positive integer")?;
+                budget = Some(n);
             }
             "--invert" => invert = true,
             "--help" | "-h" => return Err(usage().to_owned()),
@@ -95,9 +118,17 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let path = path.ok_or_else(|| usage().to_owned())?;
+    if flow == Flow::Unfolding && engine == Some(SgEngine::Symbolic) {
+        return Err(format!(
+            "--engine symbolic requires --flow sg: the unfolding flow never builds a \
+             state graph, so there is no state-traversal engine to choose\n{}",
+            usage()
+        ));
+    }
     Ok(Args {
         path,
         flow,
+        engine: engine.unwrap_or_default(),
         exact,
         workers,
         budget,
@@ -135,46 +166,82 @@ fn main() -> ExitCode {
 }
 
 fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
-    let start = Instant::now();
-    let sg = match StateGraph::build(stg, args.budget) {
-        Ok(sg) => sg,
-        Err(e) => {
-            eprintln!("state graph construction failed: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let sg_time = start.elapsed();
+    let defaults = SgSynthesisOptions::default();
     let options = SgSynthesisOptions {
-        state_budget: args.budget,
+        engine: args.engine,
+        state_budget: args.budget.unwrap_or(defaults.state_budget),
+        symbolic_node_budget: args.budget.unwrap_or(defaults.symbolic_node_budget),
         exact_minimization: args.exact,
         allow_inversion: args.invert,
         workers: args.workers,
-        ..SgSynthesisOptions::default()
+        ..defaults
     };
-    let syn_start = Instant::now();
-    let result = match synthesize_from_built_sg(stg, &sg, &options) {
+    // Phase 1 ("reach"): state-space traversal — explicit enumeration or
+    // the symbolic BDD fixpoint. Phase 2 ("synth"): per-signal on/off set
+    // derivation, CSC check and minimisation.
+    let reach_start = Instant::now();
+    let (states, reach_time, result): (String, _, Result<SgSynthesis, _>) = match args.engine {
+        SgEngine::Explicit => {
+            let sg = match StateGraph::build(stg, options.state_budget) {
+                Ok(sg) => sg,
+                Err(e) => {
+                    // `SgError::Net` already carries the construction
+                    // context in its message.
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let reach_time = reach_start.elapsed();
+            (
+                sg.len().to_string(),
+                reach_time,
+                synthesize_from_built_sg(stg, &sg, &options),
+            )
+        }
+        SgEngine::Symbolic => {
+            let sym = match SymbolicSg::build(stg, options.symbolic_node_budget) {
+                Ok(sym) => sym,
+                Err(e) => {
+                    eprintln!("symbolic reachability failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let reach_time = reach_start.elapsed();
+            (
+                sym.state_count().to_string(),
+                reach_time,
+                synthesize_from_symbolic_sg(stg, &sym, &options),
+            )
+        }
+    };
+    let syn_time = reach_start.elapsed() - reach_time;
+    let result = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("synthesis failed: {e}");
             return ExitCode::from(2);
         }
     };
-    let syn_time = syn_start.elapsed();
-    println!("\nGate equations (SG baseline, implicit covers):");
+    let engine_name = match args.engine {
+        SgEngine::Explicit => "explicit engine",
+        SgEngine::Symbolic => "symbolic engine",
+    };
+    println!("\nGate equations (SG baseline, {engine_name}):");
     for gate in &result.gates {
         println!("  {}", gate.equation(stg));
     }
     println!("\nTiming breakdown (seconds):");
+    println!("{:>10} {:>10}", "Phase", "Time");
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>8}",
-        "States", "SgTim", "SynTim", "TotTim", "LitCnt"
+        "{:>10} {:>10}   ({states} states)",
+        "reach",
+        secs(reach_time)
     );
+    println!("{:>10} {:>10}", "synth", secs(syn_time));
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>8}",
-        sg.len(),
-        secs(sg_time),
-        secs(syn_time),
-        secs(sg_time + syn_time),
+        "{:>10} {:>10}   ({} literals)",
+        "total",
+        secs(reach_time + syn_time),
         result.literal_count()
     );
     ExitCode::SUCCESS
@@ -187,7 +254,9 @@ fn run_unfolding(stg: &Stg, args: &Args) -> ExitCode {
         } else {
             CoverMode::Approximate
         },
-        slice_budget: args.budget,
+        slice_budget: args
+            .budget
+            .unwrap_or(SynthesisOptions::default().slice_budget),
         workers: args.workers,
         ..SynthesisOptions::default()
     };

@@ -12,7 +12,7 @@ use si_synthesis::CoverMode;
 
 fn main() {
     println!(
-        "{:<24} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>9} {:>7} {:>8}",
+        "{:<24} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>9} {:>7} {:>8} {:>8}",
         "Benchmark",
         "Sigs",
         "UnfTim",
@@ -22,15 +22,16 @@ fn main() {
         "LitCnt",
         "SG-Tim",
         "SG-Lit",
-        "States"
+        "States",
+        "SymTim"
     );
-    println!("{}", "-".repeat(112));
+    println!("{}", "-".repeat(121));
 
     let mut totals = Totals::default();
     for stg in synthesisable() {
         let row = measure(&stg, CoverMode::Approximate, 2_000_000);
         println!(
-            "{:<24} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>9} {:>7} {:>8}",
+            "{:<24} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>9} {:>7} {:>8} {:>8}",
             row.name,
             row.signals,
             secs(row.unf_time),
@@ -45,11 +46,12 @@ fn main() {
             row.states
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "-".into()),
+            secs_opt(row.symbolic_time),
         );
         totals.add(&row);
     }
 
-    println!("{}", "-".repeat(112));
+    println!("{}", "-".repeat(121));
     println!(
         "{:<24} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>9} {:>7}",
         "Total",

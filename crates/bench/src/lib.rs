@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use si_stategraph::{synthesize_from_sg, SgSynthesisOptions};
+use si_stategraph::{synthesize_from_sg, SgEngine, SgSynthesisOptions};
 use si_stg::Stg;
 use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
 
@@ -45,6 +45,10 @@ pub struct TableRow {
     pub baseline_literals: Option<usize>,
     /// Reachable state count of the SG baseline.
     pub states: Option<usize>,
+    /// Symbolic-engine SG total time (`None` when the node budget blew).
+    /// Gate equations are byte-identical to the explicit baseline's, so no
+    /// separate literal column is needed.
+    pub symbolic_time: Option<Duration>,
 }
 
 impl TableRow {
@@ -82,6 +86,24 @@ pub fn measure(stg: &Stg, mode: CoverMode, state_budget: usize) -> TableRow {
         .ok()
         .map(|sg| sg.len());
 
+    let start = Instant::now();
+    let symbolic = synthesize_from_sg(
+        stg,
+        &SgSynthesisOptions {
+            engine: SgEngine::Symbolic,
+            ..SgSynthesisOptions::default()
+        },
+    );
+    let symbolic_time = symbolic.is_ok().then(|| start.elapsed());
+    if let (Ok(a), Ok(b)) = (&baseline, &symbolic) {
+        assert_eq!(
+            a.literal_count(),
+            b.literal_count(),
+            "{}: engines disagree on literal count",
+            stg.name()
+        );
+    }
+
     TableRow {
         name: stg.name().to_owned(),
         signals: stg.signal_count(),
@@ -93,6 +115,7 @@ pub fn measure(stg: &Stg, mode: CoverMode, state_budget: usize) -> TableRow {
         baseline_time: baseline.as_ref().ok().map(|_| baseline_time),
         baseline_literals: baseline.ok().map(|b| b.literal_count()),
         states,
+        symbolic_time,
     }
 }
 
@@ -120,6 +143,7 @@ mod tests {
         assert_eq!(row.literals, 2);
         assert_eq!(row.baseline_literals, Some(2));
         assert_eq!(row.states, Some(8));
+        assert!(row.symbolic_time.is_some());
         assert!(row.total_time() >= row.unf_time);
     }
 

@@ -59,4 +59,4 @@ pub use synth::{
     synthesize_from_unfolding, CorrectnessCondition, CoverMode, SignalGate, SynthesisOptions,
     TimingBreakdown, UnfoldingSynthesis,
 };
-pub use verify::{verify_against_sg, VerifyError};
+pub use verify::{verify_against_sg, verify_against_sg_with, VerifyError};

@@ -9,7 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
-use si_stategraph::{SgError, StateGraph};
+use si_stategraph::{SgEngine, SgError, StateGraph};
 use si_stg::Stg;
 
 use crate::synth::UnfoldingSynthesis;
@@ -94,38 +94,92 @@ pub fn verify_against_sg(
     synthesis: &UnfoldingSynthesis,
     state_budget: usize,
 ) -> Result<(), VerifyError> {
-    let sg = StateGraph::build(stg, state_budget)?;
+    verify_against_sg_with(stg, synthesis, state_budget, SgEngine::Explicit)
+}
+
+/// Like [`verify_against_sg`], but with an explicit choice of
+/// state-traversal engine for the oracle. `budget` is the engine's own
+/// budget: a maximum state count for [`SgEngine::Explicit`], a maximum BDD
+/// node count for [`SgEngine::Symbolic`] — the symbolic oracle verifies
+/// specifications whose state count is far beyond anything enumerable.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError::Mismatch`] found, or
+/// [`VerifyError::StateGraph`] if the oracle cannot be built.
+///
+/// # Examples
+///
+/// ```
+/// use si_stategraph::SgEngine;
+/// use si_stg::generators::muller_pipeline;
+/// use si_synthesis::{synthesize_from_unfolding, verify_against_sg_with, SynthesisOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stg = muller_pipeline(4);
+/// let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())?;
+/// verify_against_sg_with(&stg, &result, 1_000_000, SgEngine::Symbolic)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_against_sg_with(
+    stg: &Stg,
+    synthesis: &UnfoldingSynthesis,
+    budget: usize,
+    engine: SgEngine,
+) -> Result<(), VerifyError> {
     // The oracle compares point sets, not states: the gate cover must
     // contain the signal's implicit on-set and miss its implicit off-set.
     // Checking through the implicit representation makes the oracle's cost
     // track the diagram size instead of states × gates × cubes; a reported
     // mismatch is the canonically smallest offending code (the explicit
-    // sweep reported the first in BFS order instead). The per-state
-    // classification sweep is shared across all gates.
-    let class = si_stategraph::SgClassification::new(stg, &sg);
-    for gate in &synthesis.gates {
-        let mut sets = class.on_off_sets(gate.signal);
-        let (on, off) = (sets.on(), sets.off());
-        let pool = sets.pool_mut();
-        let gate_set = pool.cover_set(&gate.gate);
-        let missed = pool.diff(on, gate_set);
-        if let Some(bits) = pool.first_minterm(missed) {
-            return Err(VerifyError::Mismatch {
-                signal: stg.signal_name(gate.signal).to_owned(),
-                code: bits_to_code_string(&bits),
-                expected: true,
-                got: false,
-            });
+    // sweep reported the first in BFS order instead). Both engines produce
+    // the same implicit point sets, so the verdict — and the witness — is
+    // engine-independent.
+    match engine {
+        SgEngine::Explicit => {
+            let sg = StateGraph::build(stg, budget)?;
+            let class = si_stategraph::SgClassification::new(stg, &sg);
+            for gate in &synthesis.gates {
+                check_gate(stg, gate, class.on_off_sets(gate.signal))?;
+            }
         }
-        let wrong = pool.intersect(gate_set, off);
-        if let Some(bits) = pool.first_minterm(wrong) {
-            return Err(VerifyError::Mismatch {
-                signal: stg.signal_name(gate.signal).to_owned(),
-                code: bits_to_code_string(&bits),
-                expected: false,
-                got: true,
-            });
+        SgEngine::Symbolic => {
+            let sym = si_stategraph::SymbolicSg::build(stg, budget)?;
+            for gate in &synthesis.gates {
+                check_gate(stg, gate, sym.on_off_sets(gate.signal))?;
+            }
         }
+    }
+    Ok(())
+}
+
+/// Checks one gate cover against its signal's implicit on/off sets.
+fn check_gate(
+    stg: &Stg,
+    gate: &crate::synth::SignalGate,
+    mut sets: si_stategraph::ImplicitOnOffSets,
+) -> Result<(), VerifyError> {
+    let (on, off) = (sets.on(), sets.off());
+    let pool = sets.pool_mut();
+    let gate_set = pool.cover_set(&gate.gate);
+    let missed = pool.diff(on, gate_set);
+    if let Some(bits) = pool.first_minterm(missed) {
+        return Err(VerifyError::Mismatch {
+            signal: stg.signal_name(gate.signal).to_owned(),
+            code: bits_to_code_string(&bits),
+            expected: true,
+            got: false,
+        });
+    }
+    let wrong = pool.intersect(gate_set, off);
+    if let Some(bits) = pool.first_minterm(wrong) {
+        return Err(VerifyError::Mismatch {
+            signal: stg.signal_name(gate.signal).to_owned(),
+            code: bits_to_code_string(&bits),
+            expected: false,
+            got: true,
+        });
     }
     Ok(())
 }
@@ -185,5 +239,27 @@ mod tests {
         result.gates[0].gate = [Cube::full(3)].into_iter().collect::<Cover>();
         let err = verify_against_sg(&stg, &result, 10_000).unwrap_err();
         assert!(matches!(err, VerifyError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn symbolic_oracle_agrees_with_explicit() {
+        for stg in synthesisable() {
+            let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed to synthesise: {e}", stg.name()));
+            verify_against_sg_with(&stg, &result, 8_000_000, SgEngine::Symbolic)
+                .unwrap_or_else(|e| panic!("{} failed symbolic verification: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn symbolic_oracle_catches_tampering_with_the_same_witness() {
+        use si_cubes::{Cover, Cube};
+        let stg = si_stg::suite::paper_fig1();
+        let mut result = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
+        result.gates[0].gate = [Cube::full(3)].into_iter().collect::<Cover>();
+        let explicit = verify_against_sg(&stg, &result, 10_000).unwrap_err();
+        let symbolic =
+            verify_against_sg_with(&stg, &result, 1_000_000, SgEngine::Symbolic).unwrap_err();
+        assert_eq!(symbolic, explicit, "witness differs between oracles");
     }
 }

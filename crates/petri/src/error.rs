@@ -40,6 +40,11 @@ pub enum NetError {
         /// The budget that was exceeded.
         budget: usize,
     },
+    /// Symbolic reachability outgrew its BDD node budget.
+    NodeBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -62,6 +67,12 @@ impl fmt::Display for NetError {
             }
             NetError::StateBudgetExceeded { budget } => {
                 write!(f, "reachability exploration exceeded {budget} states")
+            }
+            NetError::NodeBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "symbolic reachability exceeded {budget} decision-diagram nodes"
+                )
             }
         }
     }
@@ -90,5 +101,8 @@ mod tests {
         assert!(NetError::StateBudgetExceeded { budget: 7 }
             .to_string()
             .contains('7'));
+        assert!(NetError::NodeBudgetExceeded { budget: 9 }
+            .to_string()
+            .contains("9 decision-diagram nodes"));
     }
 }

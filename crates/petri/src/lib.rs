@@ -2,8 +2,8 @@
 //!
 //! The bottom-most substrate of the `si-synth` workspace: marked place/
 //! transition nets `N = ⟨P, T, F, m₀⟩` with unit arc weights, the firing
-//! rule, explicit reachability exploration, and the [`BitSet`] utility shared
-//! by the state-graph and unfolding crates.
+//! rule, explicit and symbolic (BDD-based) reachability exploration, and the
+//! [`BitSet`] utility shared by the state-graph and unfolding crates.
 //!
 //! Signal Transition Graphs (crate `si-stg`) are labelled 1-safe nets; the
 //! STG-unfolding segment (crate `si-unfolding`) is a partial-order run of
@@ -43,6 +43,7 @@ mod error;
 mod marking;
 mod net;
 mod reach;
+mod symbolic;
 
 pub use bitset::{BitSet, Iter as BitSetIter};
 pub use dot::to_dot;
@@ -50,3 +51,4 @@ pub use error::NetError;
 pub use marking::Marking;
 pub use net::{PetriNet, PlaceId, TransitionId};
 pub use reach::ReachabilityGraph;
+pub use symbolic::{AuxAction, SymbolicOptions, SymbolicReach};

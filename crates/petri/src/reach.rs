@@ -24,14 +24,19 @@ pub struct ReachabilityGraph {
 impl ReachabilityGraph {
     /// Explores all markings reachable from `net`'s initial marking.
     ///
-    /// `budget` bounds the number of distinct states visited, protecting the
-    /// caller from state explosion.
+    /// `budget` is the maximum number of states **stored**: exploration
+    /// succeeds iff the net has at most `budget` reachable markings
+    /// (the initial marking counts as the first stored state, so a net with
+    /// exactly `budget` reachable markings still explores). This protects
+    /// the caller from state explosion; the symbolic engine
+    /// ([`crate::SymbolicReach`]) goes where this budget cannot.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Unsafe`] if a firing violates 1-safeness and
-    /// [`NetError::StateBudgetExceeded`] if more than `budget` states are
-    /// reachable.
+    /// [`NetError::StateBudgetExceeded`] if storing one more state would
+    /// exceed `budget` — including `budget == 0`, where even the initial
+    /// marking does not fit.
     ///
     /// # Examples
     ///
@@ -186,6 +191,19 @@ mod tests {
         assert!(matches!(
             ReachabilityGraph::explore(&net, 2),
             Err(NetError::StateBudgetExceeded { budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn budget_is_max_states_stored_boundary() {
+        // two_cycles has exactly 4 reachable markings: a budget of exactly 4
+        // (max states stored) must succeed, one less must fail.
+        let net = two_cycles();
+        let rg = ReachabilityGraph::explore(&net, 4).expect("exactly-budget explores");
+        assert_eq!(rg.len(), 4);
+        assert!(matches!(
+            ReachabilityGraph::explore(&net, 3),
+            Err(NetError::StateBudgetExceeded { budget: 3 })
         ));
     }
 

@@ -1,0 +1,616 @@
+//! Symbolic (BDD-based) reachability for 1-safe nets.
+//!
+//! The explicit [`ReachabilityGraph`](crate::ReachabilityGraph) materialises
+//! one marking at a time and hits its state budget around a few million
+//! states. This module encodes markings as BDD variables — one variable per
+//! place — and computes the reachable set as a fixpoint of per-transition
+//! image computations ([`SymbolicReach::explore`]), so the cost tracks the
+//! *diagram size* of the state set instead of its cardinality: concurrent
+//! sections multiply the state count but only add to the diagram.
+//!
+//! The encoding is deliberately wider than bare markings: callers may attach
+//! **auxiliary state variables** updated by transitions
+//! ([`SymbolicOptions::aux_vars`] / [`AuxAction`]). The state-graph layer
+//! uses this to carry one binary-code bit per signal, giving a relation over
+//! `(marking, code)` pairs whose projections answer every question SG-based
+//! synthesis asks — without ever enumerating states.
+//!
+//! Transitions are kept as **partitioned relations**: each transition owns a
+//! small guard cube (preset places marked, aux preconditions), a
+//! quantification cube (the variables it touches) and a result cube (the
+//! values it writes). An image step is one relational product plus one cube
+//! conjunction per transition, so locality in the net translates directly
+//! into cheap BDD operations.
+//!
+//! ## Example
+//!
+//! ```
+//! use si_petri::{PetriNet, SymbolicOptions, SymbolicReach};
+//!
+//! # fn main() -> Result<(), si_petri::NetError> {
+//! let mut net = PetriNet::new();
+//! let p0 = net.add_place("p0");
+//! let p1 = net.add_place("p1");
+//! let t = net.add_transition("t");
+//! net.add_arc_pt(p0, t);
+//! net.add_arc_tp(t, p1);
+//! net.mark_initially(p0);
+//! let reach = SymbolicReach::explore(&net, &SymbolicOptions::default())?;
+//! assert_eq!(reach.state_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use si_bdd::{Bdd, BddManager};
+
+use crate::error::NetError;
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// One auxiliary-variable effect of a transition: firing requires the
+/// variable to hold `from` and rewrites it to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxAction {
+    /// The auxiliary variable (index into `0..aux_vars`).
+    pub var: usize,
+    /// Required value before the firing (a guard on the relation).
+    pub from: bool,
+    /// Value after the firing.
+    pub to: bool,
+}
+
+/// Options for [`SymbolicReach::explore`].
+#[derive(Debug, Clone)]
+pub struct SymbolicOptions {
+    /// Number of auxiliary state variables tracked alongside the places.
+    pub aux_vars: usize,
+    /// Initial values of the auxiliary variables (`len == aux_vars`).
+    pub aux_initial: Vec<bool>,
+    /// Per-transition auxiliary effects, indexed by transition id. May be
+    /// empty (no transition touches the auxiliary state) or have exactly one
+    /// entry per transition.
+    pub aux_actions: Vec<Vec<AuxAction>>,
+    /// Variable order over the *logical* variables — places first
+    /// (`0..place_count`), then auxiliaries (`place_count..place_count +
+    /// aux_vars`): `order[level]` is the logical variable at that level.
+    /// `None` uses the natural order. See
+    /// [`si_bdd::order_from_adjacency`] for a good seed.
+    pub order: Option<Vec<usize>>,
+    /// Transitions excluded from the transition relation. They still get
+    /// enabling sets, so callers can ask "where *would* this fire" over the
+    /// restricted reachable set — the state-graph layer uses this to infer
+    /// initial signal values.
+    pub frozen: Vec<TransitionId>,
+    /// Upper bound on live BDD nodes across the whole fixpoint; exceeded
+    /// means [`NetError::NodeBudgetExceeded`] instead of thrashing.
+    pub node_budget: usize,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions {
+            aux_vars: 0,
+            aux_initial: Vec::new(),
+            aux_actions: Vec::new(),
+            order: None,
+            frozen: Vec::new(),
+            node_budget: 16_000_000,
+        }
+    }
+}
+
+/// Per-transition partitioned relation: everything an image step needs.
+struct TransitionRelation {
+    /// Guard: preset places marked ∧ aux preconditions.
+    guard: Bdd,
+    /// Quantification cube over the variables the firing rewrites.
+    changed: Bdd,
+    /// Values written: postset marked, consumed places cleared, aux results.
+    result: Bdd,
+    /// Postset places not in the preset — marked ones expose 1-safety
+    /// violations.
+    fresh_places: Vec<PlaceId>,
+    /// Excluded from the relation ([`SymbolicOptions::frozen`]).
+    frozen: bool,
+}
+
+/// The symbolically represented reachable state space of a 1-safe net:
+/// the reachable set plus per-transition enabling sets, all over one BDD
+/// manager whose variables are the places followed by the auxiliaries.
+pub struct SymbolicReach {
+    mgr: BddManager,
+    reachable: Bdd,
+    /// `enabling[t]` = reachable states whose *marking* enables `t`
+    /// (auxiliary guards deliberately not applied — callers compare the two
+    /// notions to detect guard violations).
+    enabling: Vec<Bdd>,
+    place_count: usize,
+    aux_vars: usize,
+    steps: usize,
+}
+
+impl SymbolicReach {
+    /// Computes the reachable set of `net` (plus auxiliary state) as a
+    /// least fixpoint of the per-transition image relations.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Unsafe`] if a reachable firing would put a second
+    ///   token on a place;
+    /// * [`NetError::NodeBudgetExceeded`] if the diagram outgrows
+    ///   [`SymbolicOptions::node_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are malformed: `aux_initial` or a non-empty
+    /// `aux_actions` of the wrong length, an out-of-range [`AuxAction`]
+    /// variable, or an `order` that is not a permutation of the logical
+    /// variables.
+    pub fn explore(net: &PetriNet, options: &SymbolicOptions) -> Result<Self, NetError> {
+        let place_count = net.place_count();
+        let aux_vars = options.aux_vars;
+        let n = place_count + aux_vars;
+        assert_eq!(
+            options.aux_initial.len(),
+            aux_vars,
+            "aux_initial must cover every auxiliary variable"
+        );
+        assert!(
+            options.aux_actions.is_empty() || options.aux_actions.len() == net.transition_count(),
+            "aux_actions must be empty or cover every transition"
+        );
+        let order = options
+            .order
+            .clone()
+            .unwrap_or_else(|| (0..n).collect::<Vec<_>>());
+        assert_eq!(order.len(), n, "order must cover every logical variable");
+        let mut mgr = BddManager::with_order(order);
+
+        // Initial state: one complete minterm over places and auxiliaries.
+        let mut literals: Vec<(usize, bool)> = Vec::with_capacity(n);
+        for p in net.places() {
+            literals.push((p.index(), net.initial_marking().contains(p)));
+        }
+        for (k, &v) in options.aux_initial.iter().enumerate() {
+            literals.push((place_count + k, v));
+        }
+        let init = mgr.cube(&literals);
+
+        let relations = Self::build_relations(net, options, place_count, &mut mgr);
+
+        let mut reachable = init;
+        let mut frontier = init;
+        let mut steps = 0usize;
+        while !frontier.is_false() {
+            steps += 1;
+            let mut next = mgr.zero();
+            for (ti, rel) in relations.iter().enumerate() {
+                if rel.frozen {
+                    continue;
+                }
+                let firing = mgr.and(frontier, rel.guard);
+                if firing.is_false() {
+                    continue;
+                }
+                // 1-safety: a postset place outside the preset must be free.
+                for &p in &rel.fresh_places {
+                    let occupied = mgr.var(p.index());
+                    if !mgr.and(firing, occupied).is_false() {
+                        return Err(NetError::Unsafe {
+                            place: p,
+                            name: net.place_name(p).to_owned(),
+                            transition: TransitionId(ti as u32),
+                        });
+                    }
+                }
+                let freed = mgr.exists(firing, rel.changed);
+                let image = mgr.and(freed, rel.result);
+                next = mgr.or(next, image);
+            }
+            frontier = mgr.diff(next, reachable);
+            reachable = mgr.or(reachable, frontier);
+            if mgr.pool_size() > options.node_budget {
+                return Err(NetError::NodeBudgetExceeded {
+                    budget: options.node_budget,
+                });
+            }
+        }
+
+        // Marking-level enabling sets, for every transition (frozen ones
+        // included).
+        let enabling = net
+            .transitions()
+            .map(|t| {
+                let lits: Vec<(usize, bool)> =
+                    net.preset(t).iter().map(|p| (p.index(), true)).collect();
+                let preset = mgr.cube(&lits);
+                mgr.and(reachable, preset)
+            })
+            .collect();
+
+        Ok(SymbolicReach {
+            mgr,
+            reachable,
+            enabling,
+            place_count,
+            aux_vars,
+            steps,
+        })
+    }
+
+    fn build_relations(
+        net: &PetriNet,
+        options: &SymbolicOptions,
+        place_count: usize,
+        mgr: &mut BddManager,
+    ) -> Vec<TransitionRelation> {
+        let mut frozen = vec![false; net.transition_count()];
+        for &t in &options.frozen {
+            frozen[t.index()] = true;
+        }
+        net.transitions()
+            .map(|t| {
+                let actions: &[AuxAction] = options
+                    .aux_actions
+                    .get(t.index())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                for a in actions {
+                    assert!(
+                        a.var < options.aux_vars,
+                        "aux action variable {} out of range",
+                        a.var
+                    );
+                }
+                let mut guard_lits: Vec<(usize, bool)> =
+                    net.preset(t).iter().map(|p| (p.index(), true)).collect();
+                guard_lits.extend(actions.iter().map(|a| (place_count + a.var, a.from)));
+                let guard = mgr.cube(&guard_lits);
+
+                // Variables the firing rewrites: preset ∪ postset places and
+                // acted-on auxiliaries.
+                let mut changed_vars: Vec<usize> =
+                    net.preset(t).iter().map(|p| p.index()).collect();
+                changed_vars.extend(net.postset(t).iter().map(|p| p.index()));
+                changed_vars.extend(actions.iter().map(|a| place_count + a.var));
+                changed_vars.sort_unstable();
+                changed_vars.dedup();
+                let changed = mgr.cube_vars(&changed_vars);
+
+                let mut result_lits: Vec<(usize, bool)> = Vec::new();
+                for &p in net.postset(t) {
+                    result_lits.push((p.index(), true));
+                }
+                for &p in net.preset(t) {
+                    if !net.postset(t).contains(&p) {
+                        result_lits.push((p.index(), false));
+                    }
+                }
+                result_lits.extend(actions.iter().map(|a| (place_count + a.var, a.to)));
+                let result = mgr.cube(&result_lits);
+
+                let fresh_places: Vec<PlaceId> = net
+                    .postset(t)
+                    .iter()
+                    .copied()
+                    .filter(|p| !net.preset(t).contains(p))
+                    .collect();
+
+                TransitionRelation {
+                    guard,
+                    changed,
+                    result,
+                    fresh_places,
+                    frozen: frozen[t.index()],
+                }
+            })
+            .collect()
+    }
+
+    /// The BDD manager owning every set below. Variable `p` is place `p`;
+    /// variable `place_count + k` is auxiliary `k`.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Mutable manager access (set algebra needs it).
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.mgr
+    }
+
+    /// The reachable set over `(marking, aux)` states.
+    pub fn reachable(&self) -> Bdd {
+        self.reachable
+    }
+
+    /// Reachable states whose marking enables `transition` (auxiliary
+    /// guards not applied; frozen transitions included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition id is out of range.
+    pub fn enabling(&self, transition: TransitionId) -> Bdd {
+        self.enabling[transition.index()]
+    }
+
+    /// Number of places (and the index of the first auxiliary variable).
+    pub fn place_count(&self) -> usize {
+        self.place_count
+    }
+
+    /// Number of auxiliary variables.
+    pub fn aux_vars(&self) -> usize {
+        self.aux_vars
+    }
+
+    /// The manager variable of `place`.
+    pub fn place_var(&self, place: PlaceId) -> usize {
+        place.index()
+    }
+
+    /// The manager variable of auxiliary `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= aux_vars`.
+    pub fn aux_var(&self, k: usize) -> usize {
+        assert!(k < self.aux_vars, "auxiliary variable {k} out of range");
+        self.place_count + k
+    }
+
+    /// Number of reachable `(marking, aux)` states, saturating at
+    /// `u128::MAX`.
+    pub fn state_count(&self) -> u128 {
+        self.mgr.sat_count(self.reachable)
+    }
+
+    /// Number of frontier iterations the fixpoint took.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Returns `true` if `marking` (with the given auxiliary values, which
+    /// may be empty when `aux_vars == 0`) is reachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux.len() != aux_vars`.
+    pub fn contains(&self, marking: &Marking, aux: &[bool]) -> bool {
+        assert_eq!(aux.len(), self.aux_vars, "auxiliary width mismatch");
+        let mut bits = vec![false; self.place_count + self.aux_vars];
+        for p in marking.iter() {
+            bits[p.index()] = true;
+        }
+        bits[self.place_count..].copy_from_slice(aux);
+        self.mgr.eval(self.reachable, &bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachabilityGraph;
+
+    /// Two independent 2-cycles: 4 reachable markings.
+    fn two_cycles() -> PetriNet {
+        let mut net = PetriNet::new();
+        let a0 = net.add_place("a0");
+        let a1 = net.add_place("a1");
+        let b0 = net.add_place("b0");
+        let b1 = net.add_place("b1");
+        for (x0, x1, n) in [(a0, a1, "a"), (b0, b1, "b")] {
+            let fwd = net.add_transition(format!("{n}+"));
+            let bwd = net.add_transition(format!("{n}-"));
+            net.add_arc_pt(x0, fwd);
+            net.add_arc_tp(fwd, x1);
+            net.add_arc_pt(x1, bwd);
+            net.add_arc_tp(bwd, x0);
+        }
+        net.mark_initially(a0);
+        net.mark_initially(b0);
+        net
+    }
+
+    /// `k` independent 2-cycles: `2^k` markings from `2k` places.
+    fn independent_cycles(k: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        for i in 0..k {
+            let p0 = net.add_place(format!("c{i}_0"));
+            let p1 = net.add_place(format!("c{i}_1"));
+            let fwd = net.add_transition(format!("t{i}+"));
+            let bwd = net.add_transition(format!("t{i}-"));
+            net.add_arc_pt(p0, fwd);
+            net.add_arc_tp(fwd, p1);
+            net.add_arc_pt(p1, bwd);
+            net.add_arc_tp(bwd, p0);
+            net.mark_initially(p0);
+        }
+        net
+    }
+
+    #[test]
+    fn matches_explicit_exploration() {
+        let net = two_cycles();
+        let explicit = ReachabilityGraph::explore(&net, 100).expect("explores");
+        let symbolic = SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        assert_eq!(symbolic.state_count(), explicit.len() as u128);
+        for (_, m) in explicit.iter() {
+            assert!(symbolic.contains(m, &[]), "{m:?} missing symbolically");
+        }
+    }
+
+    #[test]
+    fn enabling_sets_match_explicit_edges() {
+        let net = two_cycles();
+        let explicit = ReachabilityGraph::explore(&net, 100).expect("explores");
+        let symbolic = SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        for t in net.transitions() {
+            let expected = explicit
+                .iter()
+                .filter(|(_, m)| net.is_enabled(t, m))
+                .count() as u128;
+            let e = symbolic.enabling(t);
+            assert_eq!(symbolic.manager().sat_count(e), expected, "{t}");
+        }
+    }
+
+    #[test]
+    fn exponential_state_spaces_stay_small_symbolically() {
+        let net = independent_cycles(40);
+        let reach = SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        assert_eq!(reach.state_count(), 1u128 << 40);
+        // The diagram is linear in the cycle count even though the state
+        // count is 2^40 (three nodes per place-pair XOR constraint).
+        assert!(
+            reach.manager().node_count(reach.reachable()) <= 4 * 40,
+            "diagram blew up: {} nodes",
+            reach.manager().node_count(reach.reachable())
+        );
+    }
+
+    #[test]
+    fn unsafe_net_reported() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_tp(t0, p2);
+        net.add_arc_pt(p1, t1);
+        net.add_arc_tp(t1, p2);
+        net.mark_initially(p0);
+        net.mark_initially(p1);
+        assert!(matches!(
+            SymbolicReach::explore(&net, &SymbolicOptions::default()),
+            Err(NetError::Unsafe { place, .. }) if place == p2
+        ));
+    }
+
+    #[test]
+    fn node_budget_enforced() {
+        let net = independent_cycles(20);
+        let options = SymbolicOptions {
+            node_budget: 8,
+            ..SymbolicOptions::default()
+        };
+        assert!(matches!(
+            SymbolicReach::explore(&net, &options),
+            Err(NetError::NodeBudgetExceeded { budget: 8 })
+        ));
+    }
+
+    #[test]
+    fn aux_variables_track_transition_parity() {
+        // One 2-cycle with an aux bit toggled by the forward transition and
+        // required back by the backward transition: the aux bit mirrors
+        // "token in p1".
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let fwd = net.add_transition("fwd");
+        let bwd = net.add_transition("bwd");
+        net.add_arc_pt(p0, fwd);
+        net.add_arc_tp(fwd, p1);
+        net.add_arc_pt(p1, bwd);
+        net.add_arc_tp(bwd, p0);
+        net.mark_initially(p0);
+        let options = SymbolicOptions {
+            aux_vars: 1,
+            aux_initial: vec![false],
+            aux_actions: vec![
+                vec![AuxAction {
+                    var: 0,
+                    from: false,
+                    to: true,
+                }],
+                vec![AuxAction {
+                    var: 0,
+                    from: true,
+                    to: false,
+                }],
+            ],
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &options).expect("explores");
+        assert_eq!(reach.state_count(), 2);
+        let m0: Marking = [p0].into_iter().collect();
+        let m1: Marking = [p1].into_iter().collect();
+        assert!(reach.contains(&m0, &[false]));
+        assert!(reach.contains(&m1, &[true]));
+        assert!(!reach.contains(&m0, &[true]));
+        assert!(!reach.contains(&m1, &[false]));
+    }
+
+    #[test]
+    fn aux_guard_blocks_the_relation() {
+        // Same cycle, but the backward transition demands an aux value that
+        // never holds: only the forward firing happens.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let fwd = net.add_transition("fwd");
+        let bwd = net.add_transition("bwd");
+        net.add_arc_pt(p0, fwd);
+        net.add_arc_tp(fwd, p1);
+        net.add_arc_pt(p1, bwd);
+        net.add_arc_tp(bwd, p0);
+        net.mark_initially(p0);
+        let options = SymbolicOptions {
+            aux_vars: 1,
+            aux_initial: vec![false],
+            aux_actions: vec![
+                Vec::new(),
+                vec![AuxAction {
+                    var: 0,
+                    from: true,
+                    to: true,
+                }],
+            ],
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &options).expect("explores");
+        assert_eq!(reach.state_count(), 2);
+        // bwd is marking-enabled at p1 but its aux guard never holds there.
+        let e = reach.enabling(TransitionId(1));
+        let m1: Marking = [p1].into_iter().collect();
+        assert!(reach.contains(&m1, &[false]));
+        assert_eq!(reach.manager().sat_count(e), 1);
+    }
+
+    #[test]
+    fn frozen_transitions_are_skipped_but_still_get_enabling_sets() {
+        let net = two_cycles();
+        let options = SymbolicOptions {
+            frozen: vec![TransitionId(2)], // b+ frozen: the b-cycle never moves
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &options).expect("explores");
+        assert_eq!(reach.state_count(), 2);
+        // b+ is still marking-enabled everywhere (b0 stays marked).
+        let e = reach.enabling(TransitionId(2));
+        assert_eq!(reach.manager().sat_count(e), 2);
+    }
+
+    #[test]
+    fn custom_order_changes_layout_not_semantics() {
+        let net = two_cycles();
+        let options = SymbolicOptions {
+            order: Some(vec![3, 1, 2, 0]),
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &options).expect("explores");
+        assert_eq!(reach.state_count(), 4);
+    }
+
+    #[test]
+    fn no_transitions_reaches_only_the_initial_state() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        net.mark_initially(p);
+        let reach = SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        assert_eq!(reach.state_count(), 1);
+        assert_eq!(reach.steps(), 1);
+    }
+}

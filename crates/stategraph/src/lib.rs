@@ -7,8 +7,12 @@
 //! ([`synthesize_from_sg`]) used as the comparison baseline in the paper's
 //! Table 1 and Figure 6.
 //!
-//! This path deliberately suffers from state explosion — building it is what
-//! makes the unfolding-based method (crate `si-synthesis`) worthwhile.
+//! The explicit path deliberately suffers from state explosion — building
+//! it is what makes the unfolding-based method (crate `si-synthesis`)
+//! worthwhile. The [`SgEngine::Symbolic`] engine ([`SymbolicSg`]) instead
+//! computes the reachable state set as a BDD fixpoint and derives the same
+//! gate equations without enumerating a single state, pushing the SG
+//! baseline far past the explicit state budget.
 //!
 //! ## Example
 //!
@@ -30,13 +34,15 @@
 mod error;
 mod graph;
 mod props;
+mod symbolic;
 mod synth;
 
 pub use error::SgError;
 pub use graph::StateGraph;
 pub use props::{check_csc, check_persistency, check_usc, CscConflict, PersistencyViolation};
+pub use symbolic::SymbolicSg;
 pub use synth::{
     on_off_sets, on_off_sets_implicit, synthesize_from_built_sg, synthesize_from_sg,
-    GateImplementation, ImplicitOnOffSets, OnOffSets, SgClassification, SgSynthesis,
-    SgSynthesisOptions,
+    synthesize_from_symbolic_sg, GateImplementation, ImplicitOnOffSets, OnOffSets,
+    SgClassification, SgEngine, SgSynthesis, SgSynthesisOptions,
 };

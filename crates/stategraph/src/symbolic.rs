@@ -1,0 +1,503 @@
+//! The symbolic SG engine: everything SG-based synthesis needs, derived
+//! from a BDD fixpoint instead of an explicit [`StateGraph`].
+//!
+//! [`SymbolicSg::build`] encodes the STG's net with one BDD variable per
+//! place plus one auxiliary variable per signal (the binary code bit), runs
+//! [`si_petri::SymbolicReach`] over per-transition partitioned relations,
+//! checks the consistent-state-assignment criterion symbolically, and
+//! projects the reachable `(marking, code)` relation into each signal's
+//! on/off code sets. The sets come back as
+//! [`ImplicitOnOffSets`] — the exact representation the implicit-cover
+//! minimiser already consumes — so gate equations are **byte-identical** to
+//! the explicit engine's (pinned by the equivalence suites) while the cost
+//! tracks diagram sizes instead of the state count.
+//!
+//! The variable order is seeded from STG signal adjacency
+//! ([`si_bdd::order_from_adjacency`]): signals that talk to each other sit
+//! at neighbouring levels, with each signal's surrounding places interleaved
+//! right below its code bit. On pipeline-style specifications this keeps
+//! the reachable set near-linear where the state count is exponential.
+//!
+//! [`StateGraph`]: crate::StateGraph
+
+use si_bdd::{order_from_adjacency, Bdd};
+use si_cubes::implicit::ImplicitPool;
+use si_petri::{AuxAction, SymbolicOptions, SymbolicReach};
+use si_stg::{BinaryCode, Polarity, SignalId, SignalTransition, Stg};
+
+use crate::error::SgError;
+use crate::synth::ImplicitOnOffSets;
+
+/// The symbolically represented state graph of an STG: the reachable
+/// `(marking, code)` relation plus the per-signal on/off code sets, ready
+/// for CSC checking and two-level minimisation.
+pub struct SymbolicSg {
+    reach: SymbolicReach,
+    width: usize,
+    initial_code: BinaryCode,
+    /// Per signal: the reachable codes whose implied signal value is 1 / 0,
+    /// projected onto the code variables.
+    on_codes: Vec<Bdd>,
+    off_codes: Vec<Bdd>,
+    /// Manager variable → implicit variable (code bits only).
+    code_map: Vec<Option<usize>>,
+}
+
+impl SymbolicSg {
+    /// Builds the symbolic state graph of `stg`, bounded by `node_budget`
+    /// BDD nodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgError::Net`] if the net is unsafe or the diagram outgrows the
+    ///   node budget;
+    /// * [`SgError::Inconsistent`] if no consistent binary state assignment
+    ///   exists (same criterion as [`StateGraph::build`], checked
+    ///   symbolically).
+    ///
+    /// [`StateGraph::build`]: crate::StateGraph::build
+    pub fn build(stg: &Stg, node_budget: usize) -> Result<Self, SgError> {
+        let net = stg.net();
+        let width = stg.signal_count();
+        let place_count = net.place_count();
+
+        let initial_code = match stg.initial_code() {
+            Some(code) => code.clone(),
+            None => infer_initial_code(stg, node_budget)?,
+        };
+
+        let aux_actions: Vec<Vec<AuxAction>> = net
+            .transitions()
+            .map(|t| match stg.label(t) {
+                Some(SignalTransition { signal, polarity }) => vec![AuxAction {
+                    var: signal.index(),
+                    from: polarity.source_value(),
+                    to: polarity.target_value(),
+                }],
+                None => Vec::new(),
+            })
+            .collect();
+
+        let options = SymbolicOptions {
+            aux_vars: width,
+            aux_initial: (0..width)
+                .map(|i| initial_code.get(SignalId(i as u32)))
+                .collect(),
+            aux_actions,
+            order: Some(variable_order(stg)),
+            node_budget,
+            ..SymbolicOptions::default()
+        };
+        let mut reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
+
+        // Consistency, part 1: wherever a labelled transition is
+        // marking-enabled, the signal's code bit must sit at the polarity's
+        // source value — the symbolic form of "along every a+ edge the bit
+        // goes 0 → 1".
+        for t in net.transitions() {
+            if let Some(SignalTransition { signal, polarity }) = stg.label(t) {
+                let enabled = reach.enabling(t);
+                let var = reach.aux_var(signal.index());
+                let mgr = reach.manager_mut();
+                let wrong = if polarity.source_value() {
+                    mgr.nvar(var)
+                } else {
+                    mgr.var(var)
+                };
+                if !mgr.and(enabled, wrong).is_false() {
+                    return Err(SgError::Inconsistent {
+                        signal: stg.signal_name(signal).to_owned(),
+                        detail: format!(
+                            "transition {} is reachable with `{}` already at {}",
+                            stg.transition_label_string(t),
+                            stg.signal_name(signal),
+                            u8::from(polarity.target_value())
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Consistency, part 2: the code must be a *function* of the marking
+        // — no marking may be reachable under two different codes (the
+        // symbolic form of "signal-change parity agrees on every path").
+        let code_vars: Vec<usize> = (0..width).map(|k| reach.aux_var(k)).collect();
+        {
+            let reached = reach.reachable();
+            let mgr = reach.manager_mut();
+            let all_codes = mgr.cube_vars(&code_vars);
+            for (k, &var) in code_vars.iter().enumerate() {
+                let v = mgr.var(var);
+                let nv = mgr.nvar(var);
+                let markings_at_1 = mgr.and_exists(reached, v, all_codes);
+                let markings_at_0 = mgr.and_exists(reached, nv, all_codes);
+                if !mgr.and(markings_at_1, markings_at_0).is_false() {
+                    return Err(SgError::Inconsistent {
+                        signal: stg.signal_name(SignalId(k as u32)).to_owned(),
+                        detail: "signal-change parity differs between two paths to the \
+                                 same marking"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+
+        // Per-signal implied-value partition, projected onto the code bits:
+        // a state sits in On(a) iff a rise of `a` is excited there, or no
+        // fall is excited and the stable bit is 1 — exactly the explicit
+        // classification sweep, evaluated on sets.
+        let mut rise_excited = vec![reach.manager().zero(); width];
+        let mut fall_excited = vec![reach.manager().zero(); width];
+        for t in net.transitions() {
+            if let Some(SignalTransition { signal, polarity }) = stg.label(t) {
+                let enabled = reach.enabling(t);
+                let slot = signal.index();
+                let mgr = reach.manager_mut();
+                match polarity {
+                    Polarity::Rise => rise_excited[slot] = mgr.or(rise_excited[slot], enabled),
+                    Polarity::Fall => fall_excited[slot] = mgr.or(fall_excited[slot], enabled),
+                }
+            }
+        }
+        let place_vars: Vec<usize> = (0..place_count).collect();
+        let reached = reach.reachable();
+        let mut on_codes = Vec::with_capacity(width);
+        let mut off_codes = Vec::with_capacity(width);
+        {
+            let mgr = reach.manager_mut();
+            let places_cube = mgr.cube_vars(&place_vars);
+            for k in 0..width {
+                let bit = mgr.var(code_vars[k]);
+                let not_falling = mgr.diff(reached, fall_excited[k]);
+                let stable_on = mgr.and(not_falling, bit);
+                let on_states = mgr.or(rise_excited[k], stable_on);
+                let off_states = mgr.diff(reached, on_states);
+                on_codes.push(mgr.exists(on_states, places_cube));
+                off_codes.push(mgr.exists(off_states, places_cube));
+            }
+        }
+
+        let mut code_map = vec![None; place_count + width];
+        for (k, &var) in code_vars.iter().enumerate() {
+            code_map[var] = Some(k);
+        }
+
+        Ok(SymbolicSg {
+            reach,
+            width,
+            initial_code,
+            on_codes,
+            off_codes,
+            code_map,
+        })
+    }
+
+    /// Number of reachable states, saturating at `u128::MAX`. Codes are a
+    /// function of markings (checked during [`build`](Self::build)), so
+    /// this equals the explicit state-graph size.
+    pub fn state_count(&self) -> u128 {
+        self.reach.state_count()
+    }
+
+    /// The initial binary code `v₀` (declared or inferred).
+    pub fn initial_code(&self) -> &BinaryCode {
+        &self.initial_code
+    }
+
+    /// The underlying symbolic reachability result.
+    pub fn reach(&self) -> &SymbolicReach {
+        &self.reach
+    }
+
+    /// The exact on/off code sets of `signal` as implicit covers — the same
+    /// point sets the explicit classification sweep produces (pinned by the
+    /// equivalence tests), converted out of the reachable BDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal id is out of range.
+    pub fn on_off_sets(&self, signal: SignalId) -> ImplicitOnOffSets {
+        let mut pool = ImplicitPool::new(self.width);
+        let mgr = self.reach.manager();
+        let on = mgr.to_implicit(self.on_codes[signal.index()], &mut pool, &self.code_map);
+        let off = mgr.to_implicit(self.off_codes[signal.index()], &mut pool, &self.code_map);
+        ImplicitOnOffSets::from_parts(signal, pool, on, off)
+    }
+}
+
+/// The places-only projection of [`variable_order`], for marking-only
+/// passes (`aux_vars == 0`): same relative place layout, so the
+/// initial-code inference fixpoints stay as cheap as the main traversal.
+fn place_order(stg: &Stg) -> Vec<usize> {
+    let place_count = stg.net().place_count();
+    variable_order(stg)
+        .into_iter()
+        .filter(|&v| v < place_count)
+        .collect()
+}
+
+/// Lays the state variables out for locality: signals ordered by the
+/// adjacency heuristic, each immediately followed by the not-yet-placed
+/// places around its transitions, leftovers at the end.
+fn variable_order(stg: &Stg) -> Vec<usize> {
+    let net = stg.net();
+    let width = stg.signal_count();
+    let place_count = net.place_count();
+
+    // Signal adjacency: two signals are adjacent when a place connects
+    // transitions labelled with them.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for p in net.places() {
+        for &tin in net.place_preset(p) {
+            for &tout in net.place_postset(p) {
+                if let (Some(a), Some(b)) = (stg.label(tin), stg.label(tout)) {
+                    if a.signal != b.signal {
+                        edges.push((a.signal.index(), b.signal.index()));
+                    }
+                }
+            }
+        }
+    }
+    let signal_order = order_from_adjacency(width, &edges);
+
+    let mut order = Vec::with_capacity(place_count + width);
+    let mut place_done = vec![false; place_count];
+    for &s in &signal_order {
+        order.push(place_count + s);
+        for t in stg.transitions_of(SignalId(s as u32)) {
+            for &p in net.preset(t).iter().chain(net.postset(t)) {
+                if !place_done[p.index()] {
+                    place_done[p.index()] = true;
+                    order.push(p.index());
+                }
+            }
+        }
+    }
+    for (p, &done) in place_done.iter().enumerate() {
+        if !done {
+            order.push(p);
+        }
+    }
+    order
+}
+
+/// Infers the initial code the way the explicit builder does, but without
+/// enumerating states: `v₀[a]` is the source value of whichever polarity of
+/// `a` can fire first — read off the enabling sets of a reachability pass
+/// with `a`'s transitions frozen. Signals that never fire default to 0.
+fn infer_initial_code(stg: &Stg, node_budget: usize) -> Result<BinaryCode, SgError> {
+    let net = stg.net();
+    let order = place_order(stg);
+    let mut code = BinaryCode::zeros(stg.signal_count());
+    for signal in stg.signals() {
+        let transitions = stg.transitions_of(signal);
+        if transitions.is_empty() {
+            continue;
+        }
+        let options = SymbolicOptions {
+            frozen: transitions.clone(),
+            order: Some(order.clone()),
+            node_budget,
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
+        let mut can_rise = false;
+        let mut can_fall = false;
+        for t in transitions {
+            if !reach.enabling(t).is_false() {
+                match stg
+                    .label(t)
+                    .expect("transitions_of yields labelled")
+                    .polarity
+                {
+                    Polarity::Rise => can_rise = true,
+                    Polarity::Fall => can_fall = true,
+                }
+            }
+        }
+        match (can_rise, can_fall) {
+            (true, true) => {
+                return Err(SgError::Inconsistent {
+                    signal: stg.signal_name(signal).to_owned(),
+                    detail: format!(
+                        "conflicting initial-value constraints for `{}` (both polarities \
+                         can fire first)",
+                        stg.signal_name(signal)
+                    ),
+                });
+            }
+            (false, true) => code.set(signal, true),
+            // Rise first, or the signal never fires: starts at 0.
+            (true, false) | (false, false) => {}
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StateGraph;
+    use crate::synth::on_off_sets_implicit;
+    use si_stg::generators::{muller_pipeline, parallelizer, sequencer};
+    use si_stg::suite::{paper_fig1, synthesisable, vme_read_csc};
+    use si_stg::StgBuilder;
+
+    const BUDGET: usize = 4_000_000;
+
+    #[test]
+    fn state_count_matches_explicit() {
+        for stg in [
+            paper_fig1(),
+            vme_read_csc(),
+            muller_pipeline(5),
+            sequencer(7),
+            parallelizer(3),
+        ] {
+            let sg = StateGraph::build(&stg, 1_000_000).expect("explicit builds");
+            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            assert_eq!(
+                sym.state_count(),
+                sg.len() as u128,
+                "{} state counts differ",
+                stg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn on_off_sets_match_explicit_point_sets() {
+        for stg in [paper_fig1(), vme_read_csc(), muller_pipeline(4)] {
+            let sg = StateGraph::build(&stg, 1_000_000).expect("explicit builds");
+            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            for signal in stg.implementable_signals() {
+                let explicit = on_off_sets_implicit(&stg, &sg, signal).to_on_off_sets();
+                let symbolic = sym.on_off_sets(signal).to_on_off_sets();
+                assert_eq!(
+                    explicit.on.cubes(),
+                    symbolic.on.cubes(),
+                    "{}: on-sets differ for {}",
+                    stg.name(),
+                    stg.signal_name(signal)
+                );
+                assert_eq!(
+                    explicit.off.cubes(),
+                    symbolic.off.cubes(),
+                    "{}: off-sets differ for {}",
+                    stg.name(),
+                    stg.signal_name(signal)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_suite_state_counts_match() {
+        for stg in synthesisable() {
+            let sg = StateGraph::build(&stg, 5_000_000).expect("explicit builds");
+            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            assert_eq!(
+                sym.state_count(),
+                sg.len() as u128,
+                "{} state counts differ",
+                stg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn initial_code_is_inferred_when_undeclared() {
+        // A two-signal handshake built without declared initial values:
+        // the explicit builder infers v0; the symbolic engine must agree.
+        let mut b = StgBuilder::new();
+        let req = b.input("req");
+        let ack = b.output("ack");
+        let req_p = b.rise(req);
+        let ack_p = b.rise(ack);
+        let req_m = b.fall(req);
+        let ack_m = b.fall(ack);
+        b.arc_tt(req_p, ack_p);
+        b.arc_tt(ack_p, req_m);
+        b.arc_tt(req_m, ack_m);
+        let back = b.arc_tt(ack_m, req_p);
+        b.mark(back);
+        let stg = b.build().expect("valid");
+        assert!(stg.initial_code().is_none());
+        let sg = StateGraph::build(&stg, 1_000).expect("explicit builds");
+        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        assert_eq!(sym.initial_code(), sg.initial_code());
+        assert_eq!(sym.state_count(), sg.len() as u128);
+    }
+
+    #[test]
+    fn inferred_code_with_initially_high_signal() {
+        // A signal whose first transition is a fall must be inferred high.
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let a_m = b.fall(a);
+        let a_p = b.rise(a);
+        b.arc_tt(a_m, a_p);
+        let back = b.arc_tt(a_p, a_m);
+        b.mark(back);
+        let stg = b.build().expect("valid");
+        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        assert_eq!(sym.initial_code().to_string(), "1");
+        let sg = StateGraph::build(&stg, 100).expect("explicit builds");
+        assert_eq!(sym.initial_code(), sg.initial_code());
+    }
+
+    #[test]
+    fn inconsistent_stg_rejected() {
+        // a+ fires twice in a row: no consistent assignment.
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let t1 = b.rise(a);
+        let t2 = b.rise(a);
+        b.arc_tt(t1, t2);
+        let back = b.arc_tt(t2, t1);
+        b.mark(back);
+        let stg = b.build().expect("structurally fine");
+        assert!(matches!(
+            SymbolicSg::build(&stg, BUDGET),
+            Err(SgError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_code_contradiction_detected() {
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let t1 = b.rise(a);
+        let t2 = b.fall(a);
+        b.arc_tt(t1, t2);
+        let back = b.arc_tt(t2, t1);
+        b.mark(back);
+        b.initial_value(a, true); // contradicts a+ firing first
+        let stg = b.build().expect("builds");
+        assert!(matches!(
+            SymbolicSg::build(&stg, BUDGET),
+            Err(SgError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn node_budget_propagates() {
+        let stg = muller_pipeline(8);
+        assert!(matches!(
+            SymbolicSg::build(&stg, 10),
+            Err(SgError::Net(si_petri::NetError::NodeBudgetExceeded {
+                budget: 10
+            }))
+        ));
+    }
+
+    #[test]
+    fn pipelines_beyond_the_explicit_budget_build() {
+        // 18 stages ≈ 1 M explicit states: a 100 k explicit budget fails
+        // where the symbolic engine sails through.
+        let stg = muller_pipeline(18);
+        assert!(StateGraph::build(&stg, 100_000).is_err());
+        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        assert_eq!(sym.state_count(), 1_048_576); // 2^20
+    }
+}

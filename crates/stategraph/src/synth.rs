@@ -22,6 +22,7 @@ use si_stg::{Polarity, SignalId, SignalTransition, Stg};
 
 use crate::error::SgError;
 use crate::graph::StateGraph;
+use crate::symbolic::SymbolicSg;
 
 /// The exact on-set/off-set partition of the reachable states for one
 /// signal, as minterm covers over the signal vector.
@@ -112,6 +113,22 @@ pub struct ImplicitOnOffSets {
 }
 
 impl ImplicitOnOffSets {
+    /// Assembles a set pair computed elsewhere (the symbolic engine derives
+    /// the same point sets from the reachable BDD).
+    pub(crate) fn from_parts(
+        signal: SignalId,
+        pool: ImplicitPool,
+        on: ImplicitCover,
+        off: ImplicitCover,
+    ) -> Self {
+        ImplicitOnOffSets {
+            signal,
+            pool,
+            on,
+            off,
+        }
+    }
+
     /// The pool owning both sets.
     pub fn pool(&self) -> &ImplicitPool {
         &self.pool
@@ -306,11 +323,37 @@ impl GateImplementation {
     }
 }
 
+/// The state-traversal engine behind SG-based synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SgEngine {
+    /// Explicit enumeration: build the full [`StateGraph`] one marking at a
+    /// time (bounded by [`SgSynthesisOptions::state_budget`]). The
+    /// historical baseline; cost is linear in the state count.
+    #[default]
+    Explicit,
+    /// Symbolic traversal: compute the reachable set as a BDD fixpoint
+    /// ([`crate::SymbolicSg`], bounded by
+    /// [`SgSynthesisOptions::symbolic_node_budget`]) and derive each
+    /// signal's on/off sets from the reachable BDD, bypassing
+    /// [`StateGraph`] construction entirely. Gate equations are
+    /// byte-identical to the explicit engine's; the cost tracks diagram
+    /// sizes, so pipelines far beyond the explicit state budget synthesise
+    /// in seconds.
+    Symbolic,
+}
+
 /// Options for SG-based synthesis.
 #[derive(Debug, Clone)]
 pub struct SgSynthesisOptions {
-    /// State budget for reachability exploration.
+    /// State-traversal engine (explicit enumeration vs symbolic BDD
+    /// fixpoint). Both produce identical gate equations.
+    pub engine: SgEngine,
+    /// State budget for explicit reachability exploration (the maximum
+    /// number of states stored; ignored by the symbolic engine).
     pub state_budget: usize,
+    /// BDD node budget for the symbolic engine (ignored by the explicit
+    /// engine).
+    pub symbolic_node_budget: usize,
     /// Allow implementing the complemented function when the off-set cover
     /// is cheaper (both SIS and Petrify do this); the paper's examples
     /// implement the on-set, so the default is `false`.
@@ -337,7 +380,9 @@ pub struct SgSynthesisOptions {
 impl Default for SgSynthesisOptions {
     fn default() -> Self {
         SgSynthesisOptions {
+            engine: SgEngine::Explicit,
             state_budget: 2_000_000,
+            symbolic_node_budget: 16_000_000,
             allow_inversion: false,
             exact_minimization: false,
             workers: None,
@@ -388,8 +433,32 @@ impl SgSynthesis {
 /// # }
 /// ```
 pub fn synthesize_from_sg(stg: &Stg, options: &SgSynthesisOptions) -> Result<SgSynthesis, SgError> {
-    let sg = StateGraph::build(stg, options.state_budget)?;
-    synthesize_from_built_sg(stg, &sg, options)
+    match options.engine {
+        SgEngine::Explicit => {
+            let sg = StateGraph::build(stg, options.state_budget)?;
+            synthesize_from_built_sg(stg, &sg, options)
+        }
+        SgEngine::Symbolic => {
+            // No pre-check here: `synthesize_from_symbolic_sg` validates
+            // after the traversal, mirroring the explicit arm's error
+            // precedence (net/traversal errors before `ConstantSignal`).
+            let sym = SymbolicSg::build(stg, options.symbolic_node_budget)?;
+            synthesize_from_symbolic_sg(stg, &sym, options)
+        }
+    }
+}
+
+/// Every implementable signal must actually change somewhere.
+fn check_implementable(stg: &Stg) -> Result<Vec<SignalId>, SgError> {
+    let signals = stg.implementable_signals();
+    for &signal in &signals {
+        if stg.transitions_of(signal).is_empty() {
+            return Err(SgError::ConstantSignal {
+                signal: stg.signal_name(signal).to_owned(),
+            });
+        }
+    }
+    Ok(signals)
 }
 
 /// Like [`synthesize_from_sg`] but reuses an already built state graph
@@ -399,14 +468,7 @@ pub fn synthesize_from_built_sg(
     sg: &StateGraph,
     options: &SgSynthesisOptions,
 ) -> Result<SgSynthesis, SgError> {
-    let signals = stg.implementable_signals();
-    for &signal in &signals {
-        if stg.transitions_of(signal).is_empty() {
-            return Err(SgError::ConstantSignal {
-                signal: stg.signal_name(signal).to_owned(),
-            });
-        }
-    }
+    let signals = check_implementable(stg)?;
     if options.implicit_covers {
         return synthesize_implicit(stg, sg, &signals, options);
     }
@@ -470,44 +532,84 @@ fn synthesize_implicit(
 ) -> Result<SgSynthesis, SgError> {
     let class = SgClassification::build(stg, sg);
     let results = par_map(signals, options.workers, |_, &signal| {
-        let (mut pool, on, off) = class.sets_for(signal);
-        let shared = pool.intersect(on, off);
-        if !shared.is_empty() {
-            // Same witness as the explicit path: the canonically smallest
-            // code present in both sets.
-            let bits = pool.first_minterm(shared).expect("non-empty");
-            return Err(SgError::CscViolation {
-                signal: stg.signal_name(signal).to_owned(),
-                code: Cube::minterm(bits).to_string(),
-            });
-        }
-        let run_minimize = |pool: &mut ImplicitPool, on, off| {
-            if options.exact_minimization {
-                minimize_exact_implicit(pool, on, off, &QmBudget::default())
-                    .unwrap_or_else(|| minimize_implicit(pool, on, off))
-            } else {
-                minimize_implicit(pool, on, off)
-            }
-        };
-        let on_impl = run_minimize(&mut pool, on, off);
-        let (cover, inverted) = if options.allow_inversion {
-            let off_impl = run_minimize(&mut pool, off, on);
-            if off_impl.literal_count() < on_impl.literal_count() {
-                (off_impl, true)
-            } else {
-                (on_impl, false)
-            }
-        } else {
-            (on_impl, false)
-        };
-        Ok(GateImplementation {
-            signal,
-            cover,
-            inverted,
-        })
+        let (pool, on, off) = class.sets_for(signal);
+        implement_implicit(
+            stg,
+            ImplicitOnOffSets::from_parts(signal, pool, on, off),
+            options,
+        )
     });
     let gates = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SgSynthesis { gates })
+}
+
+/// Synthesises all implementable signals from an already built
+/// [`SymbolicSg`] — the engine-split counterpart of
+/// [`synthesize_from_built_sg`], exposing the intermediate reachability
+/// result so callers (the `synth` CLI, the benches) can time the phases
+/// separately. Gate equations are byte-identical to the explicit engine's.
+///
+/// # Errors
+///
+/// * [`SgError::CscViolation`] if some signal's on- and off-sets share a
+///   code;
+/// * [`SgError::ConstantSignal`] if an implementable signal never changes.
+pub fn synthesize_from_symbolic_sg(
+    stg: &Stg,
+    sym: &SymbolicSg,
+    options: &SgSynthesisOptions,
+) -> Result<SgSynthesis, SgError> {
+    let signals = check_implementable(stg)?;
+    let results = par_map(&signals, options.workers, |_, &signal| {
+        implement_implicit(stg, sym.on_off_sets(signal), options)
+    });
+    let gates = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SgSynthesis { gates })
+}
+
+/// The shared per-signal tail of both implicit-set engines: CSC check on
+/// the implicit sets (canonically smallest shared code as the witness),
+/// then minimisation, optionally of the complemented function.
+fn implement_implicit(
+    stg: &Stg,
+    sets: ImplicitOnOffSets,
+    options: &SgSynthesisOptions,
+) -> Result<GateImplementation, SgError> {
+    let signal = sets.signal;
+    let (on, off) = (sets.on, sets.off);
+    let mut pool = sets.pool;
+    let shared = pool.intersect(on, off);
+    if !shared.is_empty() {
+        let bits = pool.first_minterm(shared).expect("non-empty");
+        return Err(SgError::CscViolation {
+            signal: stg.signal_name(signal).to_owned(),
+            code: Cube::minterm(bits).to_string(),
+        });
+    }
+    let run_minimize = |pool: &mut ImplicitPool, on, off| {
+        if options.exact_minimization {
+            minimize_exact_implicit(pool, on, off, &QmBudget::default())
+                .unwrap_or_else(|| minimize_implicit(pool, on, off))
+        } else {
+            minimize_implicit(pool, on, off)
+        }
+    };
+    let on_impl = run_minimize(&mut pool, on, off);
+    let (cover, inverted) = if options.allow_inversion {
+        let off_impl = run_minimize(&mut pool, off, on);
+        if off_impl.literal_count() < on_impl.literal_count() {
+            (off_impl, true)
+        } else {
+            (on_impl, false)
+        }
+    } else {
+        (on_impl, false)
+    };
+    Ok(GateImplementation {
+        signal,
+        cover,
+        inverted,
+    })
 }
 
 #[cfg(test)]
@@ -515,6 +617,11 @@ mod tests {
     use super::*;
     use si_stg::generators::{muller_pipeline, sequencer};
     use si_stg::suite::{paper_fig1, vme_read_csc, vme_read_no_csc};
+
+    #[test]
+    fn engine_default_is_explicit() {
+        assert_eq!(SgSynthesisOptions::default().engine, SgEngine::Explicit);
+    }
 
     #[test]
     fn fig1_baseline_matches_paper() {
@@ -684,6 +791,100 @@ mod tests {
                 "got {err}"
             );
         }
+    }
+
+    #[test]
+    fn symbolic_engine_agrees_byte_for_byte() {
+        for stg in [
+            paper_fig1(),
+            vme_read_csc(),
+            muller_pipeline(5),
+            sequencer(6),
+        ] {
+            for exact_minimization in [false, true] {
+                for allow_inversion in [false, true] {
+                    let explicit = synthesize_from_sg(
+                        &stg,
+                        &SgSynthesisOptions {
+                            exact_minimization,
+                            allow_inversion,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("explicit ok");
+                    let symbolic = synthesize_from_sg(
+                        &stg,
+                        &SgSynthesisOptions {
+                            engine: SgEngine::Symbolic,
+                            exact_minimization,
+                            allow_inversion,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("symbolic ok");
+                    assert_eq!(explicit.gates.len(), symbolic.gates.len());
+                    for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
+                        assert_eq!(
+                            a.equation(&stg),
+                            b.equation(&stg),
+                            "{} (exact={exact_minimization}, invert={allow_inversion})",
+                            stg.name()
+                        );
+                        assert_eq!(a.inverted, b.inverted);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_csc_witness_identical_to_explicit() {
+        let stg = vme_read_no_csc();
+        let explicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).unwrap_err();
+        let symbolic = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                engine: SgEngine::Symbolic,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(symbolic, explicit, "witness code or signal differs");
+    }
+
+    #[test]
+    fn symbolic_engine_ignores_the_state_budget() {
+        // A state budget far below the state count only binds the explicit
+        // engine; the symbolic engine has its own node budget.
+        let stg = muller_pipeline(8);
+        let options = SgSynthesisOptions {
+            engine: SgEngine::Symbolic,
+            state_budget: 10,
+            ..Default::default()
+        };
+        let symbolic = synthesize_from_sg(&stg, &options).expect("symbolic ok");
+        let explicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).expect("ok");
+        for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
+            assert_eq!(a.equation(&stg), b.equation(&stg));
+        }
+    }
+
+    #[test]
+    fn symbolic_node_budget_exhaustion_is_an_error() {
+        let stg = muller_pipeline(8);
+        let err = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                engine: SgEngine::Symbolic,
+                symbolic_node_budget: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SgError::Net(si_petri::NetError::NodeBudgetExceeded { budget: 10 })
+        ));
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`petri`] | 1-safe Petri net kernel, markings, reachability |
+//! | [`bdd`] | Reduced ordered BDD engine: ITE, quantification, relational product |
+//! | [`petri`] | 1-safe Petri net kernel, markings, explicit & symbolic reachability |
 //! | [`stg`] | Signal Transition Graphs, `.g` parser/writer, generators, benchmark suite |
 //! | [`cubes`] | Ternary cube/cover algebra, Espresso-style minimiser |
-//! | [`stategraph`] | Explicit state graphs, CSC/persistency checks, SG-based baseline synthesis |
+//! | [`stategraph`] | State graphs (explicit & symbolic engines), CSC/persistency checks, SG-based baseline synthesis |
 //! | [`unfolding`] | STG-unfolding segments: occurrence nets, cutoffs, cuts, concurrency |
 //! | [`synthesis`] | The paper's contribution: slices, exact & approximate covers, refinement, architectures |
 //!
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use si_bdd as bdd;
 pub use si_cubes as cubes;
 pub use si_petri as petri;
 pub use si_stategraph as stategraph;

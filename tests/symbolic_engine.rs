@@ -1,0 +1,51 @@
+//! Suite-wide pinning of the symbolic SG engine: on every STG in
+//! `si_stg::suite` the symbolic path must produce byte-identical gate
+//! equations to the explicit path, and it must keep synthesising where the
+//! explicit engine's state budget ends.
+
+use si_synth::stategraph::{synthesize_from_sg, SgEngine, SgSynthesisOptions, StateGraph};
+use si_synth::stg::generators::muller_pipeline;
+use si_synth::stg::suite::synthesisable;
+
+#[test]
+fn whole_suite_engines_agree_byte_for_byte() {
+    for stg in synthesisable() {
+        let explicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{} failed explicitly: {e}", stg.name()));
+        let symbolic = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                engine: SgEngine::Symbolic,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} failed symbolically: {e}", stg.name()));
+        assert_eq!(explicit.gates.len(), symbolic.gates.len(), "{}", stg.name());
+        for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
+            assert_eq!(a.equation(&stg), b.equation(&stg), "{}", stg.name());
+            assert_eq!(a.inverted, b.inverted, "{}", stg.name());
+        }
+    }
+}
+
+#[test]
+fn symbolic_engine_crosses_the_explicit_budget_wall() {
+    // 14 stages ≈ 65 k states: an explicit budget of 10 k states dies, the
+    // symbolic engine synthesises the pipeline's C-element equations
+    // unbothered.
+    let stg = muller_pipeline(14);
+    assert!(StateGraph::build(&stg, 10_000).is_err());
+    let symbolic = synthesize_from_sg(
+        &stg,
+        &SgSynthesisOptions {
+            engine: SgEngine::Symbolic,
+            state_budget: 10_000, // ignored by the symbolic engine
+            ..Default::default()
+        },
+    )
+    .expect("symbolic engine is not bounded by states");
+    assert_eq!(symbolic.gates.len(), 14);
+    // Every stage is a C-element: c_i = c_{i-1} c_i + c_{i-1} c_{i+1}' +
+    // c_i c_{i+1}' (3 cubes, 6 literals).
+    assert_eq!(symbolic.literal_count(), 14 * 6);
+}
