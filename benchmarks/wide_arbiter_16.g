@@ -1,0 +1,44 @@
+.model wide-arbiter-16
+.inputs x0 x17
+.outputs x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 x16
+.graph
+x0+ x9+ bus
+x1+ x9- x10+ bus
+x2+ x10- x11+ bus
+x3+ x11- x12+ bus
+x4+ x12- x13+ bus
+x5+ x13- x14+ bus
+x6+ x14- x15+ bus
+x7+ x15- x16+ bus
+x8+ x16- x17+ bus
+x9+ x0- x1+ bus
+x10+ x1- x2+ bus
+x11+ x2- x3+ bus
+x12+ x3- x4+ bus
+x13+ x4- x5+ bus
+x14+ x5- x6+ bus
+x15+ x6- x7+ bus
+x16+ x7- x8+ bus
+x17+ x8- bus
+x0- x9-
+x1- x9+ x10-
+x2- x10+ x11-
+x3- x11+ x12-
+x4- x12+ x13-
+x5- x13+ x14-
+x6- x14+ x15-
+x7- x15+ x16-
+x8- x16+ x17-
+x9- x0+ x1-
+x10- x1+ x2-
+x11- x2+ x3-
+x12- x3+ x4-
+x13- x4+ x5-
+x14- x5+ x6-
+x15- x6+ x7-
+x16- x7+ x8-
+x17- x8+
+bus x0+ x1+ x2+ x3+ x4+ x5+ x6+ x7+ x8+ x9+ x10+ x11+ x12+ x13+ x14+ x15+ x16+ x17+
+.marking { <x9-,x0+> <x1-,x9+> <x10-,x1+> <x2-,x10+> <x11-,x2+> <x3-,x11+> <x12-,x3+> <x4-,x12+> <x13-,x4+> <x5-,x13+> <x14-,x5+> <x6-,x14+> <x15-,x6+> <x7-,x15+> <x16-,x7+> <x8-,x16+> <x17-,x8+> bus }
+.initial { x0=0 x1=0 x2=0 x3=0 x4=0 x5=0 x6=0 x7=0 x8=0 x9=0 x10=0 x11=0 x12=0 x13=0 x14=0 x15=0 x16=0 x17=0 }
+.end

@@ -1,0 +1,52 @@
+.model wide-arbiter-20
+.inputs x0 x21
+.outputs x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 x16 x17 x18 x19 x20
+.graph
+x0+ x11+ bus
+x1+ x11- x12+ bus
+x2+ x12- x13+ bus
+x3+ x13- x14+ bus
+x4+ x14- x15+ bus
+x5+ x15- x16+ bus
+x6+ x16- x17+ bus
+x7+ x17- x18+ bus
+x8+ x18- x19+ bus
+x9+ x19- x20+ bus
+x10+ x20- x21+ bus
+x11+ x0- x1+ bus
+x12+ x1- x2+ bus
+x13+ x2- x3+ bus
+x14+ x3- x4+ bus
+x15+ x4- x5+ bus
+x16+ x5- x6+ bus
+x17+ x6- x7+ bus
+x18+ x7- x8+ bus
+x19+ x8- x9+ bus
+x20+ x9- x10+ bus
+x21+ x10- bus
+x0- x11-
+x1- x11+ x12-
+x2- x12+ x13-
+x3- x13+ x14-
+x4- x14+ x15-
+x5- x15+ x16-
+x6- x16+ x17-
+x7- x17+ x18-
+x8- x18+ x19-
+x9- x19+ x20-
+x10- x20+ x21-
+x11- x0+ x1-
+x12- x1+ x2-
+x13- x2+ x3-
+x14- x3+ x4-
+x15- x4+ x5-
+x16- x5+ x6-
+x17- x6+ x7-
+x18- x7+ x8-
+x19- x8+ x9-
+x20- x9+ x10-
+x21- x10+
+bus x0+ x1+ x2+ x3+ x4+ x5+ x6+ x7+ x8+ x9+ x10+ x11+ x12+ x13+ x14+ x15+ x16+ x17+ x18+ x19+ x20+ x21+
+.marking { <x11-,x0+> <x1-,x11+> <x12-,x1+> <x2-,x12+> <x13-,x2+> <x3-,x13+> <x14-,x3+> <x4-,x14+> <x15-,x4+> <x5-,x15+> <x16-,x5+> <x6-,x16+> <x17-,x6+> <x7-,x17+> <x18-,x7+> <x8-,x18+> <x19-,x8+> <x9-,x19+> <x20-,x9+> <x10-,x20+> <x21-,x10+> bus }
+.initial { x0=0 x1=0 x2=0 x3=0 x4=0 x5=0 x6=0 x7=0 x8=0 x9=0 x10=0 x11=0 x12=0 x13=0 x14=0 x15=0 x16=0 x17=0 x18=0 x19=0 x20=0 x21=0 }
+.end

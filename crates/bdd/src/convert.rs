@@ -279,4 +279,43 @@ mod tests {
         let mut pool = ImplicitPool::new(1);
         mgr.to_implicit(f, &mut pool, &[Some(0), None]);
     }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "garbage-collected")]
+    fn converting_a_stale_handle_panics() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let stale = mgr.and(a, b);
+        mgr.protect(a); // keep the slot from being reused
+        mgr.gc();
+        let mut pool = ImplicitPool::new(3);
+        let map: Vec<Option<usize>> = (0..3).map(Some).collect();
+        mgr.to_implicit(stale, &mut pool, &map);
+    }
+
+    #[test]
+    fn conversions_are_reorder_safe() {
+        // `to_implicit`/`from_implicit`/`from_minterms` must query the
+        // *current* layout: after sifting, the same point set comes back.
+        let mut pool = ImplicitPool::new(4);
+        let c = cover(&["1--0", "01--", "--11"]);
+        let set = pool.cover_set(&c);
+        let mut mgr = BddManager::with_order(vec![3, 1, 0, 2]);
+        let map: Vec<usize> = (0..4).collect();
+        let f = mgr.from_implicit(&pool, set, &map);
+        mgr.protect(f);
+        mgr.swap_levels(1);
+        mgr.reorder_sift(BddManager::DEFAULT_MAX_GROWTH);
+        let back_map: Vec<Option<usize>> = (0..4).map(Some).collect();
+        assert_eq!(mgr.to_implicit(f, &mut pool, &back_map), set);
+        assert_eq!(mgr.from_implicit(&pool, set, &map), f);
+        let mut rows: Vec<Vec<bool>> = (0..16u32)
+            .filter(|&x| c.covers_bits(&(0..4).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>()))
+            .map(|x| (0..4).map(|i| (x >> i) & 1 == 1).collect())
+            .collect();
+        assert_eq!(mgr.from_minterms(&mut rows, &map), f);
+        mgr.unprotect(f);
+    }
 }

@@ -9,6 +9,14 @@
 //! conversion both ways between [`Bdd`] functions and
 //! [`si_cubes::implicit::ImplicitCover`] point sets.
 //!
+//! The pool is kept alive under memory pressure by two mechanisms built for
+//! long symbolic fixpoints: refcounted root protection with mark-and-sweep
+//! garbage collection ([`protect`] / [`gc`]), and Rudell-style dynamic
+//! variable reordering ([`reorder_sift`], [`swap_levels`]) with a
+//! growth-triggered [`AutoReorder`] policy for workloads whose static order
+//! is bad. Reordering rewrites nodes in place — ids and the functions they
+//! denote survive, so caller-held handles stay valid across any sift.
+//!
 //! Functions are identified by node handles inside a [`BddManager`]; two
 //! handles from the same manager are equal iff the functions are equal, so
 //! equality, emptiness and fixpoint-convergence tests are O(1).
@@ -32,6 +40,10 @@
 //! [`ite`]: BddManager::ite
 //! [`exists`]: BddManager::exists
 //! [`and_exists`]: BddManager::and_exists
+//! [`protect`]: BddManager::protect
+//! [`gc`]: BddManager::gc
+//! [`reorder_sift`]: BddManager::reorder_sift
+//! [`swap_levels`]: BddManager::swap_levels
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +51,8 @@
 mod convert;
 mod manager;
 mod order;
+mod sift;
 
 pub use manager::{Bdd, BddManager};
 pub use order::order_from_adjacency;
+pub use sift::{AutoReorder, ReorderPolicy};

@@ -1,17 +1,28 @@
-//! The node manager: hash-consed unique table, ITE kernel, quantification.
+//! The node manager: hash-consed unique table, ITE kernel, quantification,
+//! root protection and mark-and-sweep garbage collection.
 
 use std::collections::HashMap;
 
 /// Terminal node id for the constant 0 function.
-const ZERO: u32 = 0;
+pub(crate) const ZERO: u32 = 0;
 /// Terminal node id for the constant 1 function.
-const ONE: u32 = 1;
+pub(crate) const ONE: u32 = 1;
+/// Level sentinel marking a pool slot freed by [`BddManager::gc`] (terminal
+/// slots use `u32::MAX`, so the two are never confused).
+pub(crate) const FREE: u32 = u32::MAX - 1;
 
 /// A handle to a Boolean function owned by a [`BddManager`].
 ///
 /// Copyable and cheap; all operations go through the manager. Two handles
 /// from the same manager are equal iff they denote the same function (the
 /// diagram is reduced and ordered, hence canonical).
+///
+/// A handle stays valid across [`reorder_sift`](BddManager::reorder_sift)
+/// and level swaps (reordering rewrites nodes in place, preserving ids and
+/// the function each id denotes), but **not** across
+/// [`gc`](BddManager::gc) unless the handle was
+/// [`protect`](BddManager::protect)ed: using a collected handle is a logic
+/// error, caught by a debug assertion on every access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Bdd(pub(crate) u32);
 
@@ -28,25 +39,39 @@ impl Bdd {
 }
 
 /// A reduced ordered BDD node pool over a fixed variable count, with a
-/// unique table (hash-consing) and memoised operation caches.
+/// unique table (hash-consing), memoised operation caches, an external-root
+/// protection set and a mark-and-sweep collector.
 ///
 /// Nodes branch on *levels*; the variable order maps external variable
-/// indices to levels, so callers always speak in variable indices and the
-/// order is an internal layout decision fixed at construction
-/// ([`BddManager::with_order`]).
+/// indices to levels, so callers always speak in variable indices. The order
+/// is seeded at construction ([`BddManager::with_order`]) and may change at
+/// runtime through sifting ([`BddManager::reorder_sift`]) — every query goes
+/// through [`level_of`](Self::level_of) / [`var_at`](Self::var_at), which
+/// always reflect the current layout.
+///
+/// Dead nodes are reclaimed by [`gc`](Self::gc): callers pin the functions
+/// they still need with [`protect`](Self::protect) (a refcounted root set),
+/// everything unreachable from the roots is swept onto a free list and the
+/// slots are reused by later allocations.
 #[derive(Debug, Clone)]
 pub struct BddManager {
-    num_vars: usize,
+    pub(crate) num_vars: usize,
     /// `level_of[var]` = position of `var` in the order (0 = topmost).
-    level_of: Vec<u32>,
+    pub(crate) level_of: Vec<u32>,
     /// `var_at[level]` = variable placed at that level.
-    var_at: Vec<u32>,
-    /// `(level, lo, hi)`; entries 0/1 are terminal placeholders.
-    nodes: Vec<(u32, u32, u32)>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
-    exists_cache: HashMap<(u32, u32), u32>,
-    and_exists_cache: HashMap<(u32, u32, u32), u32>,
+    pub(crate) var_at: Vec<u32>,
+    /// `(level, lo, hi)`; entries 0/1 are terminal placeholders, freed
+    /// slots carry the [`FREE`] level sentinel.
+    pub(crate) nodes: Vec<(u32, u32, u32)>,
+    /// Per-level unique subtables: `unique[level][(lo, hi)]` = node id.
+    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
+    /// Slots freed by [`gc`](Self::gc), reused by later allocations.
+    pub(crate) free: Vec<u32>,
+    /// External root protection: node id → protect count.
+    pub(crate) roots: HashMap<u32, usize>,
+    pub(crate) ite_cache: HashMap<(u32, u32, u32), u32>,
+    pub(crate) exists_cache: HashMap<(u32, u32), u32>,
+    pub(crate) and_exists_cache: HashMap<(u32, u32, u32), u32>,
 }
 
 impl BddManager {
@@ -80,7 +105,9 @@ impl BddManager {
             level_of,
             var_at,
             nodes: vec![(u32::MAX, 0, 0), (u32::MAX, 1, 1)],
-            unique: HashMap::new(),
+            unique: vec![HashMap::new(); n],
+            free: Vec::new(),
+            roots: HashMap::new(),
             ite_cache: HashMap::new(),
             exists_cache: HashMap::new(),
             and_exists_cache: HashMap::new(),
@@ -92,7 +119,7 @@ impl BddManager {
         self.num_vars
     }
 
-    /// The level (order position) of `var`.
+    /// The level (order position) of `var` under the *current* order.
     ///
     /// # Panics
     ///
@@ -101,13 +128,20 @@ impl BddManager {
         self.level_of[var] as usize
     }
 
-    /// The variable placed at `level`.
+    /// The variable placed at `level` under the *current* order.
     ///
     /// # Panics
     ///
     /// Panics if `level >= num_vars`.
     pub fn var_at(&self, level: usize) -> usize {
         self.var_at[level] as usize
+    }
+
+    /// The current variable order as a permutation: `order()[level]` is the
+    /// variable at that level. Reordering changes it; reading it after
+    /// [`reorder_sift`](Self::reorder_sift) shows where sifting settled.
+    pub fn order(&self) -> Vec<usize> {
+        self.var_at.iter().map(|&v| v as usize).collect()
     }
 
     /// The constant-0 function.
@@ -120,44 +154,182 @@ impl BddManager {
         Bdd(ONE)
     }
 
-    /// Total number of live non-terminal nodes in the pool (monotone: nodes
-    /// are never garbage-collected).
+    /// Number of live non-terminal nodes in the pool. Grows with
+    /// allocations and shrinks when [`gc`](Self::gc) sweeps dead nodes;
+    /// nodes that became unreachable since the last collection still count
+    /// until the next one.
     pub fn pool_size(&self) -> usize {
+        self.nodes.len() - 2 - self.free.len()
+    }
+
+    /// Number of pool slots ever allocated (live or freed). Never shrinks;
+    /// the gap to [`pool_size`](Self::pool_size) is the reuse headroom the
+    /// collector has reclaimed.
+    pub fn allocated_size(&self) -> usize {
         self.nodes.len() - 2
     }
 
-    fn level(&self, n: u32) -> u32 {
+    /// Returns `true` if `f` is a terminal or a live (not collected) node.
+    pub fn is_live(&self, f: Bdd) -> bool {
+        f.0 <= ONE || self.nodes[f.0 as usize].0 != FREE
+    }
+
+    /// Checked node accessor: `(level, lo, hi)`. Every walk goes through
+    /// here so a stale handle trips the assertion instead of silently
+    /// reading a freed (possibly reused) slot.
+    #[inline]
+    pub(crate) fn node(&self, n: u32) -> (u32, u32, u32) {
+        debug_assert!(
+            self.nodes[n as usize].0 != FREE,
+            "stale Bdd handle: node {n} was garbage-collected"
+        );
+        self.nodes[n as usize]
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, n: u32) -> u32 {
         if n <= ONE {
             self.num_vars as u32
         } else {
-            self.nodes[n as usize].0
+            self.node(n).0
+        }
+    }
+
+    /// Allocates a pool slot (reusing the free list) without touching the
+    /// unique table — the caller registers the key.
+    pub(crate) fn alloc(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = (level, lo, hi);
+                slot
+            }
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push((level, lo, hi));
+                id
+            }
         }
     }
 
     /// Hash-consed node constructor with the `lo == hi` reduction.
     fn mk(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
+        debug_assert!(
+            self.is_live(Bdd(lo)) && self.is_live(Bdd(hi)),
+            "stale Bdd handle: child of a new node was garbage-collected"
+        );
         if lo == hi {
             return lo;
         }
-        let key = (level, lo, hi);
-        if let Some(&id) = self.unique.get(&key) {
+        let key = (lo, hi);
+        if let Some(&id) = self.unique[level as usize].get(&key) {
             return id;
         }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(key);
-        self.unique.insert(key, id);
+        let id = self.alloc(level, lo, hi);
+        self.unique[level as usize].insert(key, id);
         id
+    }
+
+    /// Pins `f` as an external root: it (and everything it reaches)
+    /// survives [`gc`](Self::gc). Protection is refcounted — every
+    /// `protect` needs a matching [`unprotect`](Self::unprotect).
+    pub fn protect(&mut self, f: Bdd) {
+        if f.0 > ONE {
+            debug_assert!(self.is_live(f), "cannot protect a collected handle");
+            *self.roots.entry(f.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one [`protect`](Self::protect) pin on `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not currently protected.
+    pub fn unprotect(&mut self, f: Bdd) {
+        if f.0 <= ONE {
+            return;
+        }
+        let count = self
+            .roots
+            .get_mut(&f.0)
+            .expect("unprotect without a matching protect");
+        *count -= 1;
+        if *count == 0 {
+            self.roots.remove(&f.0);
+        }
+    }
+
+    /// Number of distinct nodes currently pinned as external roots.
+    pub fn protected_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Mark-and-sweep garbage collection: every node unreachable from the
+    /// [`protect`](Self::protect)ed roots is unlinked from the unique table
+    /// and its slot pushed onto the free list for reuse. Operation-cache
+    /// entries touching a dead id are purged; entries over surviving nodes
+    /// are kept, so cross-call memoisation survives frequent collection
+    /// (the fixpoint drivers rely on this). Returns the number of nodes
+    /// collected.
+    ///
+    /// Handles to collected nodes become stale — touching one afterwards is
+    /// a logic error caught by a debug assertion.
+    pub fn gc(&mut self) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.roots.keys().copied().collect();
+        while let Some(n) = stack.pop() {
+            if marked[n as usize] {
+                continue;
+            }
+            marked[n as usize] = true;
+            let (_, lo, hi) = self.node(n);
+            for c in [lo, hi] {
+                if c > ONE && !marked[c as usize] {
+                    stack.push(c);
+                }
+            }
+        }
+        let alive = |n: u32| n <= ONE || marked[n as usize];
+        self.ite_cache
+            .retain(|&(f, g, h), r| alive(f) && alive(g) && alive(h) && alive(*r));
+        self.exists_cache
+            .retain(|&(f, cube), r| alive(f) && alive(cube) && alive(*r));
+        self.and_exists_cache
+            .retain(|&(f, g, cube), r| alive(f) && alive(g) && alive(cube) && alive(*r));
+        let mut collected = 0usize;
+        for (id, is_marked) in marked.iter().enumerate().skip(2) {
+            let (level, lo, hi) = self.nodes[id];
+            if level == FREE || *is_marked {
+                continue;
+            }
+            let removed = self.unique[level as usize].remove(&(lo, hi));
+            debug_assert_eq!(removed, Some(id as u32), "unique table out of sync");
+            self.nodes[id] = (FREE, 0, 0);
+            self.free.push(id as u32);
+            collected += 1;
+        }
+        collected
+    }
+
+    /// Drops every memoised operation result. Reordering calls this before
+    /// swapping: swaps preserve what every surviving id denotes, but they
+    /// kill nodes without mark information, so entries cannot be purged
+    /// selectively the way [`gc`](Self::gc) does.
+    pub(crate) fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.exists_cache.clear();
+        self.and_exists_cache.clear();
     }
 
     /// Splits `n` at `level`: its children if it branches there, `(n, n)`
     /// if the level is unconstrained.
     fn children_at(&self, n: u32, level: u32) -> (u32, u32) {
-        if n > ONE && self.nodes[n as usize].0 == level {
-            let (_, lo, hi) = self.nodes[n as usize];
-            (lo, hi)
-        } else {
-            (n, n)
+        if n > ONE {
+            let (l, lo, hi) = self.node(n);
+            if l == level {
+                return (lo, hi);
+            }
         }
+        (n, n)
     }
 
     /// The function of variable `var`.
@@ -188,7 +360,7 @@ impl BddManager {
         Bdd(self.ite_rec(f.0, g.0, h.0))
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+    pub(crate) fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
         // Terminal short-circuits.
         if f == ONE {
             return g;
@@ -300,7 +472,7 @@ impl BddManager {
         }
         // Quantifying a variable above f's support is the identity.
         while cube > ONE && self.level(cube) < self.level(f) {
-            cube = self.nodes[cube as usize].2;
+            cube = self.node(cube).2;
         }
         if cube == ONE {
             return f;
@@ -312,7 +484,7 @@ impl BddManager {
         let level = self.level(f);
         let (f0, f1) = self.children_at(f, level);
         let r = if self.level(cube) == level {
-            let rest = self.nodes[cube as usize].2;
+            let rest = self.node(cube).2;
             let lo = self.exists_rec(f0, rest);
             if lo == ONE {
                 ONE
@@ -348,7 +520,7 @@ impl BddManager {
         }
         let top = self.level(f).min(self.level(g));
         while cube > ONE && self.level(cube) < top {
-            cube = self.nodes[cube as usize].2;
+            cube = self.node(cube).2;
         }
         if cube == ONE {
             return self.ite_rec(f, g, ZERO);
@@ -361,7 +533,7 @@ impl BddManager {
         let (f0, f1) = self.children_at(f, top);
         let (g0, g1) = self.children_at(g, top);
         let r = if self.level(cube) == top {
-            let rest = self.nodes[cube as usize].2;
+            let rest = self.node(cube).2;
             let lo = self.and_exists_rec(f0, g0, rest);
             if lo == ONE {
                 ONE
@@ -396,7 +568,7 @@ impl BddManager {
         if let Some(&c) = memo.get(&n) {
             return c;
         }
-        let (level, lo, hi) = self.nodes[n as usize];
+        let (level, lo, hi) = self.node(n);
         let cl = self.sat_count_rec(lo, memo);
         let ch = self.sat_count_rec(hi, memo);
         let c = shl_sat(cl, self.level(lo) - level - 1)
@@ -414,7 +586,7 @@ impl BddManager {
         seen.insert(f.0);
         let mut stack = vec![f.0];
         while let Some(n) = stack.pop() {
-            let (_, lo, hi) = self.nodes[n as usize];
+            let (_, lo, hi) = self.node(n);
             for c in [lo, hi] {
                 if c > ONE && seen.insert(c) {
                     stack.push(c);
@@ -433,7 +605,7 @@ impl BddManager {
             if n <= ONE || !seen.insert(n) {
                 continue;
             }
-            let (level, lo, hi) = self.nodes[n as usize];
+            let (level, lo, hi) = self.node(n);
             on_level[level as usize] = true;
             stack.push(lo);
             stack.push(hi);
@@ -456,7 +628,7 @@ impl BddManager {
         assert_eq!(bits.len(), self.num_vars, "assignment width mismatch");
         let mut n = f.0;
         while n > ONE {
-            let (level, lo, hi) = self.nodes[n as usize];
+            let (level, lo, hi) = self.node(n);
             n = if bits[self.var_at[level as usize] as usize] {
                 hi
             } else {
@@ -466,9 +638,64 @@ impl BddManager {
         n == ONE
     }
 
-    /// Internal node accessor for the conversion module: `(level, lo, hi)`.
-    pub(crate) fn node(&self, n: u32) -> (u32, u32, u32) {
-        self.nodes[n as usize]
+    /// Checks every structural invariant of the pool, panicking with a
+    /// description on the first violation: live nodes are reduced
+    /// (`lo != hi`), reference only live strictly-deeper children, and are
+    /// registered exactly once in their level's unique subtable (so no two
+    /// live nodes share a `(level, lo, hi)` triple); the free list matches
+    /// the freed slots; the order arrays are a consistent permutation; and
+    /// every protected root is live. Intended for tests and debugging —
+    /// cost is a full pool scan.
+    pub fn assert_invariants(&self) {
+        let mut live = 0usize;
+        for (i, &(level, lo, hi)) in self.nodes.iter().enumerate().skip(2) {
+            if level == FREE {
+                continue;
+            }
+            live += 1;
+            assert!(
+                (level as usize) < self.num_vars,
+                "node {i}: level {level} out of range"
+            );
+            assert!(lo != hi, "node {i}: redundant (lo == hi == {lo})");
+            for c in [lo, hi] {
+                assert!(
+                    c <= ONE || self.nodes[c as usize].0 != FREE,
+                    "node {i}: references freed child {c}"
+                );
+                assert!(
+                    self.level(c) > level,
+                    "node {i}: child {c} not strictly below level {level}"
+                );
+            }
+            assert_eq!(
+                self.unique[level as usize].get(&(lo, hi)),
+                Some(&(i as u32)),
+                "node {i}: unique table misses it or maps its key elsewhere"
+            );
+        }
+        let table_total: usize = self.unique.iter().map(HashMap::len).sum();
+        assert_eq!(
+            table_total, live,
+            "unique table holds entries for dead nodes"
+        );
+        assert_eq!(
+            live + self.free.len(),
+            self.nodes.len() - 2,
+            "free list out of sync with freed slots"
+        );
+        for v in 0..self.num_vars {
+            assert_eq!(
+                self.var_at[self.level_of[v] as usize] as usize, v,
+                "level_of/var_at are not inverse permutations at variable {v}"
+            );
+        }
+        for &id in self.roots.keys() {
+            assert!(
+                id <= ONE || self.nodes[id as usize].0 != FREE,
+                "protected root {id} was collected"
+            );
+        }
     }
 }
 
@@ -644,5 +871,127 @@ mod tests {
     #[should_panic(expected = "appears twice")]
     fn duplicate_order_rejected() {
         BddManager::with_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn gc_sweeps_unprotected_nodes_and_reuses_slots() {
+        let mut mgr = BddManager::new(6);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.and(a, b);
+        // Garbage: a pile of intermediate results nothing pins.
+        for i in 2..6 {
+            let v = mgr.var(i);
+            let t = mgr.xor(keep, v);
+            let _ = mgr.or(t, a);
+        }
+        let before = mgr.pool_size();
+        mgr.protect(keep);
+        let collected = mgr.gc();
+        assert!(collected > 0, "expected dead nodes");
+        assert_eq!(mgr.pool_size(), before - collected);
+        assert!(mgr.is_live(keep));
+        mgr.assert_invariants();
+        // The protected function still evaluates correctly and freed slots
+        // are reused by new allocations.
+        assert_eq!(mgr.sat_count(keep), 16);
+        let allocated = mgr.allocated_size();
+        let c = mgr.var(2);
+        let f = mgr.or(keep, c);
+        assert_eq!(mgr.allocated_size(), allocated, "slots must be reused");
+        assert_eq!(mgr.sat_count(f), 40);
+        mgr.unprotect(keep);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn gc_without_roots_sweeps_everything() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _ = mgr.xor(a, b);
+        assert!(mgr.pool_size() > 0);
+        mgr.gc();
+        assert_eq!(mgr.pool_size(), 0);
+        mgr.assert_invariants();
+        // Terminals survive unconditionally.
+        assert!(mgr.one().is_true());
+        assert!(mgr.zero().is_false());
+    }
+
+    #[test]
+    fn protection_is_refcounted() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(0);
+        mgr.protect(a);
+        mgr.protect(a);
+        mgr.unprotect(a);
+        mgr.gc();
+        assert!(mgr.is_live(a), "still pinned once");
+        mgr.unprotect(a);
+        mgr.gc();
+        assert!(!mgr.is_live(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "unprotect without a matching protect")]
+    fn unbalanced_unprotect_panics() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(0);
+        mgr.unprotect(a);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "garbage-collected")]
+    fn stale_handle_after_gc_panics_in_sat_count() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let stale = mgr.and(a, b);
+        mgr.gc(); // nothing protected: `stale` is collected
+        let _ = mgr.sat_count(stale);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "garbage-collected")]
+    fn stale_handle_after_gc_panics_in_ops() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let stale = mgr.and(a, b);
+        // Keep `a` alive so the stale handle's slot is not immediately
+        // reused (reuse is the one case the guard cannot see).
+        mgr.protect(a);
+        mgr.gc();
+        let _ = mgr.and(stale, a);
+    }
+
+    #[test]
+    fn gc_preserves_semantics_of_protected_dag() {
+        let mut mgr = BddManager::with_order(vec![2, 0, 3, 1]);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let d = mgr.nvar(3);
+        let t1 = mgr.and(a, b);
+        let t2 = mgr.or(c, d);
+        let f = mgr.xor(t1, t2);
+        let expected: Vec<bool> = assignments(4).map(|bits| mgr.eval(f, &bits)).collect();
+        mgr.protect(f);
+        mgr.gc();
+        mgr.assert_invariants();
+        let after: Vec<bool> = assignments(4).map(|bits| mgr.eval(f, &bits)).collect();
+        assert_eq!(expected, after);
+        // Rebuilding the same function lands on the same (hash-consed) id.
+        let a2 = mgr.var(0);
+        let b2 = mgr.var(1);
+        let c2 = mgr.var(2);
+        let d2 = mgr.nvar(3);
+        let t1b = mgr.and(a2, b2);
+        let t2b = mgr.or(c2, d2);
+        assert_eq!(mgr.xor(t1b, t2b), f);
+        mgr.unprotect(f);
     }
 }

@@ -191,7 +191,7 @@ fn run_symbolic_baseline(spec: &si_stg::Stg) -> (Option<Duration>, Option<u128>)
         ..SgSynthesisOptions::default()
     };
     let start = Instant::now();
-    let Ok(sym) = SymbolicSg::build(spec, SYM_BUDGET) else {
+    let Ok(sym) = SymbolicSg::build(spec, &options.symbolic_tuning()) else {
         return (None, None);
     };
     let outcome = synthesize_from_symbolic_sg(spec, &sym, &options);

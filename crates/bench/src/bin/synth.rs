@@ -16,9 +16,16 @@
 //!                          selects exact Quine–McCluskey minimisation)
 //!   --workers N            worker threads (default: one per CPU)
 //!   --budget N             traversal budget: max states (explicit sg),
-//!                          max BDD nodes (symbolic sg) or slice budget
-//!                          (unfolding); defaults: 2000000 states /
+//!                          max live BDD nodes (symbolic sg) or slice
+//!                          budget (unfolding); defaults: 2000000 states /
 //!                          16000000 nodes / 2000000 slices
+//!   --reorder off|sift|auto
+//!                          (symbolic engine) dynamic variable reordering:
+//!                          off keeps the adjacency-seeded static order,
+//!                          sift reorders as a last resort under budget
+//!                          pressure, auto reorders on pool growth
+//!                          (default: auto — the front door should survive
+//!                          specifications with no good static order)
 //!   --invert               (sg flow) allow implementing the complemented
 //!                          function when it is cheaper
 //! ```
@@ -34,7 +41,7 @@ use std::time::Instant;
 
 use si_bench::secs;
 use si_stategraph::{
-    synthesize_from_built_sg, synthesize_from_symbolic_sg, SgEngine, SgSynthesis,
+    synthesize_from_built_sg, synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesis,
     SgSynthesisOptions, StateGraph, SymbolicSg,
 };
 use si_stg::{parse_g, Stg};
@@ -53,12 +60,13 @@ struct Args {
     exact: bool,
     workers: Option<usize>,
     budget: Option<usize>,
+    reorder: ReorderPolicy,
     invert: bool,
 }
 
 fn usage() -> &'static str {
     "Usage: synth <spec.g> [--flow sg|unfolding] [--engine explicit|symbolic] \
-     [--cover exact|approx] [--workers N] [--budget N] [--invert]"
+     [--cover exact|approx] [--workers N] [--budget N] [--reorder off|sift|auto] [--invert]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
     let mut exact = false;
     let mut workers = None;
     let mut budget = None;
+    let mut reorder = ReorderPolicy::Auto;
     let mut invert = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -111,6 +120,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--budget needs a positive integer")?;
                 budget = Some(n);
             }
+            "--reorder" => {
+                reorder = args
+                    .next()
+                    .as_deref()
+                    .and_then(ReorderPolicy::parse)
+                    .ok_or("--reorder needs off|sift|auto")?;
+            }
             "--invert" => invert = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
@@ -132,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
         exact,
         workers,
         budget,
+        reorder,
         invert,
     })
 }
@@ -171,6 +188,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
         engine: args.engine,
         state_budget: args.budget.unwrap_or(defaults.state_budget),
         symbolic_node_budget: args.budget.unwrap_or(defaults.symbolic_node_budget),
+        symbolic_reorder: args.reorder,
         exact_minimization: args.exact,
         allow_inversion: args.invert,
         workers: args.workers,
@@ -179,6 +197,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
     // Phase 1 ("reach"): state-space traversal — explicit enumeration or
     // the symbolic BDD fixpoint. Phase 2 ("synth"): per-signal on/off set
     // derivation, CSC check and minimisation.
+    let mut symbolic_stats = None;
     let reach_start = Instant::now();
     let (states, reach_time, result): (String, _, Result<SgSynthesis, _>) = match args.engine {
         SgEngine::Explicit => {
@@ -199,7 +218,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
             )
         }
         SgEngine::Symbolic => {
-            let sym = match SymbolicSg::build(stg, options.symbolic_node_budget) {
+            let sym = match SymbolicSg::build(stg, &options.symbolic_tuning()) {
                 Ok(sym) => sym,
                 Err(e) => {
                     eprintln!("symbolic reachability failed: {e}");
@@ -207,6 +226,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
                 }
             };
             let reach_time = reach_start.elapsed();
+            symbolic_stats = Some(sym.reach().stats().clone());
             (
                 sym.state_count().to_string(),
                 reach_time,
@@ -237,6 +257,24 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
         "reach",
         secs(reach_time)
     );
+    if let Some(stats) = &symbolic_stats {
+        // Pool-maintenance slices of the reach phase (already included in
+        // the reach row): how much of it went to keeping the pool small.
+        println!(
+            "{:>10} {:>10}   ({} runs, {} nodes freed)",
+            "gc",
+            secs(stats.gc_time),
+            stats.gc_runs,
+            stats.gc_collected
+        );
+        println!(
+            "{:>10} {:>10}   ({} runs, peak {} live nodes)",
+            "reorder",
+            secs(stats.reorder_time),
+            stats.reorder_runs,
+            stats.peak_live_nodes
+        );
+    }
     println!("{:>10} {:>10}", "synth", secs(syn_time));
     println!(
         "{:>10} {:>10}   ({} literals)",

@@ -145,7 +145,15 @@ pub fn verify_against_sg_with(
             }
         }
         SgEngine::Symbolic => {
-            let sym = si_stategraph::SymbolicSg::build(stg, budget)?;
+            // The oracle reorders automatically: sifting never changes the
+            // verdict (the point sets are order-independent), and a
+            // specification that only fits the budget under a good dynamic
+            // order must still be verifiable under the same budget.
+            let tuning = si_stategraph::SymbolicTuning {
+                reorder: si_stategraph::ReorderPolicy::Auto,
+                ..si_stategraph::SymbolicTuning::with_budget(budget)
+            };
+            let sym = si_stategraph::SymbolicSg::build(stg, &tuning)?;
             for gate in &synthesis.gates {
                 check_gate(stg, gate, sym.on_off_sets(gate.signal))?;
             }

@@ -51,4 +51,4 @@ pub use error::NetError;
 pub use marking::Marking;
 pub use net::{PetriNet, PlaceId, TransitionId};
 pub use reach::ReachabilityGraph;
-pub use symbolic::{AuxAction, SymbolicOptions, SymbolicReach};
+pub use symbolic::{AuxAction, SymbolicOptions, SymbolicReach, SymbolicStats};

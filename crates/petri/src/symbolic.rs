@@ -41,7 +41,9 @@
 //! # }
 //! ```
 
-use si_bdd::{Bdd, BddManager};
+use std::time::{Duration, Instant};
+
+use si_bdd::{AutoReorder, Bdd, BddManager, ReorderPolicy};
 
 use crate::error::NetError;
 use crate::marking::Marking;
@@ -81,9 +83,29 @@ pub struct SymbolicOptions {
     /// restricted reachable set — the state-graph layer uses this to infer
     /// initial signal values.
     pub frozen: Vec<TransitionId>,
-    /// Upper bound on live BDD nodes across the whole fixpoint; exceeded
-    /// means [`NetError::NodeBudgetExceeded`] instead of thrashing.
+    /// Upper bound on **live** BDD nodes across the fixpoint: checked
+    /// between iterations *after* garbage collection (and, when
+    /// [`reorder`](Self::reorder) allows, after a last-resort sift), so
+    /// only genuinely needed nodes count. Exceeded means
+    /// [`NetError::NodeBudgetExceeded`] instead of thrashing.
     pub node_budget: usize,
+    /// Dynamic variable reordering policy: `Off` keeps the static order,
+    /// `Sift` reorders only as a last resort under budget pressure, `Auto`
+    /// reorders proactively on pool growth (CUDD-style doubling
+    /// thresholds). All policies produce the same reachable set.
+    pub reorder: ReorderPolicy,
+    /// Pool size (live + not-yet-collected nodes) above which garbage is
+    /// collected between fixpoint iterations. `0` collects every
+    /// iteration — useful for stress tests.
+    pub gc_threshold: usize,
+    /// Initial live-node trigger of the `Auto` reordering policy,
+    /// evaluated at the checkpoints where a collection fired (pool past
+    /// [`gc_threshold`](Self::gc_threshold) or the node budget) — the only
+    /// points where the live size is exact. Forcing a collection every
+    /// iteration just to test this trigger would cost more than sifting
+    /// saves, so under a large `gc_threshold` the first sift can happen
+    /// well after the pool passes this value.
+    pub reorder_threshold: usize,
 }
 
 impl Default for SymbolicOptions {
@@ -95,8 +117,33 @@ impl Default for SymbolicOptions {
             order: None,
             frozen: Vec::new(),
             node_budget: 16_000_000,
+            reorder: ReorderPolicy::Off,
+            gc_threshold: 1 << 20,
+            reorder_threshold: AutoReorder::DEFAULT_THRESHOLD,
         }
     }
+}
+
+/// Collection/reordering telemetry of one [`SymbolicReach::explore`] run.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicStats {
+    /// Garbage-collection passes run between fixpoint iterations.
+    pub gc_runs: usize,
+    /// Total nodes reclaimed by those passes.
+    pub gc_collected: usize,
+    /// Sifting passes run (auto-triggered or budget-pressure).
+    pub reorder_runs: usize,
+    /// Wall-clock time spent collecting.
+    pub gc_time: Duration,
+    /// Wall-clock time spent sifting.
+    pub reorder_time: Duration,
+    /// Maximum pool size observed at the between-iteration checkpoints,
+    /// after any collection/reordering that round. Checkpoints where no
+    /// collection fired still count garbage, so with
+    /// [`SymbolicOptions::gc_threshold`] `== 0` (collect every iteration)
+    /// this is the exact live peak — the smallest
+    /// [`SymbolicOptions::node_budget`] the run fits in.
+    pub peak_live_nodes: usize,
 }
 
 /// Per-transition partitioned relation: everything an image step needs.
@@ -127,6 +174,7 @@ pub struct SymbolicReach {
     place_count: usize,
     aux_vars: usize,
     steps: usize,
+    stats: SymbolicStats,
 }
 
 impl SymbolicReach {
@@ -137,8 +185,9 @@ impl SymbolicReach {
     ///
     /// * [`NetError::Unsafe`] if a reachable firing would put a second
     ///   token on a place;
-    /// * [`NetError::NodeBudgetExceeded`] if the diagram outgrows
-    ///   [`SymbolicOptions::node_budget`].
+    /// * [`NetError::NodeBudgetExceeded`] if the *live* diagram still
+    ///   exceeds [`SymbolicOptions::node_budget`] after garbage collection
+    ///   (and, under the `Sift`/`Auto` policies, a last-resort reorder).
     ///
     /// # Panics
     ///
@@ -177,7 +226,16 @@ impl SymbolicReach {
         let init = mgr.cube(&literals);
 
         let relations = Self::build_relations(net, options, place_count, &mut mgr);
+        // The relation cubes are needed live for the whole fixpoint: pin
+        // them so the between-iteration collections cannot sweep them.
+        for rel in &relations {
+            for b in [rel.guard, rel.changed, rel.result] {
+                mgr.protect(b);
+            }
+        }
 
+        let mut auto = AutoReorder::new(options.reorder_threshold);
+        let mut stats = SymbolicStats::default();
         let mut reachable = init;
         let mut frontier = init;
         let mut steps = 0usize;
@@ -209,16 +267,18 @@ impl SymbolicReach {
             }
             frontier = mgr.diff(next, reachable);
             reachable = mgr.or(reachable, frontier);
-            if mgr.pool_size() > options.node_budget {
-                return Err(NetError::NodeBudgetExceeded {
-                    budget: options.node_budget,
-                });
-            }
+            Self::maintain(
+                &mut mgr,
+                &mut auto,
+                options,
+                &mut stats,
+                [reachable, frontier],
+            )?;
         }
 
         // Marking-level enabling sets, for every transition (frozen ones
         // included).
-        let enabling = net
+        let enabling: Vec<Bdd> = net
             .transitions()
             .map(|t| {
                 let lits: Vec<(usize, bool)> =
@@ -228,6 +288,19 @@ impl SymbolicReach {
             })
             .collect();
 
+        // The stored sets outlive explore: pin them (and release the
+        // relation cubes) so a caller-driven `gc` through `manager_mut`
+        // cannot free what the struct hands out.
+        for rel in &relations {
+            for b in [rel.guard, rel.changed, rel.result] {
+                mgr.unprotect(b);
+            }
+        }
+        mgr.protect(reachable);
+        for &e in &enabling {
+            mgr.protect(e);
+        }
+
         Ok(SymbolicReach {
             mgr,
             reachable,
@@ -235,7 +308,66 @@ impl SymbolicReach {
             place_count,
             aux_vars,
             steps,
+            stats,
         })
+    }
+
+    /// Between-iteration pool maintenance: collect on growth, sift when the
+    /// reordering policy says so, and enforce the node budget against the
+    /// *live* pool — garbage never kills a run, and under `Sift`/`Auto` a
+    /// bad variable order does not either unless sifting cannot fix it.
+    ///
+    /// Collection fires on pool pressure only (`gc_threshold` or the node
+    /// budget) — never on the reordering policy's account: the pool count
+    /// includes garbage, and forcing a collection every iteration just to
+    /// measure the live size costs more than it saves (memoised subresults
+    /// of the image relations die with their intermediates). The `Auto`
+    /// policy therefore evaluates its threshold at the checkpoints where a
+    /// collection happened anyway, when the live size is exact.
+    fn maintain(
+        mgr: &mut BddManager,
+        auto: &mut AutoReorder,
+        options: &SymbolicOptions,
+        stats: &mut SymbolicStats,
+        roots: [Bdd; 2],
+    ) -> Result<(), NetError> {
+        let over_gc = mgr.pool_size() > options.gc_threshold;
+        let over_budget = mgr.pool_size() > options.node_budget;
+        for r in roots {
+            mgr.protect(r);
+        }
+        if over_gc || over_budget {
+            let t = Instant::now();
+            stats.gc_collected += mgr.gc();
+            stats.gc_time += t.elapsed();
+            stats.gc_runs += 1;
+        }
+        let live = mgr.pool_size();
+        let want_sift = (over_gc || over_budget)
+            && match options.reorder {
+                ReorderPolicy::Off => false,
+                // Last resort: only when the budget would otherwise fail.
+                ReorderPolicy::Sift => live > options.node_budget,
+                // Proactive, plus the same last resort.
+                ReorderPolicy::Auto => auto.due(live) || live > options.node_budget,
+            };
+        if want_sift {
+            let t = Instant::now();
+            mgr.reorder_sift(BddManager::DEFAULT_MAX_GROWTH);
+            stats.reorder_time += t.elapsed();
+            stats.reorder_runs += 1;
+            auto.rearm(mgr.pool_size());
+        }
+        for r in roots {
+            mgr.unprotect(r);
+        }
+        if mgr.pool_size() > options.node_budget {
+            return Err(NetError::NodeBudgetExceeded {
+                budget: options.node_budget,
+            });
+        }
+        stats.peak_live_nodes = stats.peak_live_nodes.max(mgr.pool_size());
+        Ok(())
     }
 
     fn build_relations(
@@ -367,6 +499,11 @@ impl SymbolicReach {
     /// Number of frontier iterations the fixpoint took.
     pub fn steps(&self) -> usize {
         self.steps
+    }
+
+    /// Collection/reordering telemetry of the fixpoint run.
+    pub fn stats(&self) -> &SymbolicStats {
+        &self.stats
     }
 
     /// Returns `true` if `marking` (with the given auxiliary values, which
@@ -602,6 +739,122 @@ mod tests {
         };
         let reach = SymbolicReach::explore(&net, &options).expect("explores");
         assert_eq!(reach.state_count(), 4);
+    }
+
+    #[test]
+    fn node_budget_binds_live_nodes_exactly() {
+        // Mirror of the explicit `explore(budget)` boundary test: measure
+        // the peak live pool at the between-iteration checkpoints, then
+        // rerun with exactly that budget (must succeed) and one node less
+        // (must fail with the structured budget error).
+        let net = independent_cycles(12);
+        let tight_gc = SymbolicOptions {
+            gc_threshold: 0, // collect every iteration
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &tight_gc).expect("explores");
+        let peak = reach.stats().peak_live_nodes;
+        assert!(peak > 0);
+        assert!(reach.stats().gc_runs > 0, "gc must have fired every round");
+
+        let exact = SymbolicOptions {
+            node_budget: peak,
+            ..tight_gc.clone()
+        };
+        let at_budget = SymbolicReach::explore(&net, &exact).expect("peak live nodes fit exactly");
+        assert_eq!(at_budget.state_count(), 1u128 << 12);
+
+        let under = SymbolicOptions {
+            node_budget: peak - 1,
+            ..tight_gc
+        };
+        assert!(matches!(
+            SymbolicReach::explore(&net, &under),
+            Err(NetError::NodeBudgetExceeded { budget }) if budget == peak - 1
+        ));
+    }
+
+    #[test]
+    fn gc_alone_completes_a_run_that_cumulative_allocation_would_kill() {
+        // With per-iteration collection the live pool stays far below the
+        // total allocations, so a budget between the two completes — the
+        // pre-GC engine (budget == cumulative pool) died here.
+        let net = independent_cycles(16);
+        let unbounded = SymbolicOptions {
+            gc_threshold: 0,
+            ..SymbolicOptions::default()
+        };
+        let reference = SymbolicReach::explore(&net, &unbounded).expect("explores");
+        let peak = reference.stats().peak_live_nodes;
+        let allocated = reference.manager().allocated_size();
+        assert!(
+            allocated > peak,
+            "collection must have reclaimed something: {allocated} vs {peak}"
+        );
+        let options = SymbolicOptions {
+            gc_threshold: 0,
+            node_budget: peak,
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &options).expect("GC keeps the run alive");
+        assert_eq!(reach.state_count(), 1u128 << 16);
+        assert!(
+            reach.manager().allocated_size() > peak,
+            "the run allocated more than the budget overall — GC alone saved it"
+        );
+    }
+
+    #[test]
+    fn reorder_policies_reach_the_same_set() {
+        let net = two_cycles();
+        let baseline = SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        for reorder in [ReorderPolicy::Off, ReorderPolicy::Sift, ReorderPolicy::Auto] {
+            let options = SymbolicOptions {
+                reorder,
+                gc_threshold: 0,
+                reorder_threshold: 1, // sift at every opportunity under Auto
+                ..SymbolicOptions::default()
+            };
+            let reach = SymbolicReach::explore(&net, &options).expect("explores");
+            assert_eq!(reach.state_count(), baseline.state_count(), "{reorder:?}");
+            for (_, m) in ReachabilityGraph::explore(&net, 100)
+                .expect("explicit explores")
+                .iter()
+            {
+                assert!(reach.contains(m, &[]), "{reorder:?}: {m:?} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_reorder_shrinks_a_bad_static_order() {
+        // Reverse-interleaved order for a pipeline of cycles: the static
+        // layout separates each place pair; sifting pulls them together.
+        let net = independent_cycles(12);
+        let n = net.place_count();
+        let bad: Vec<usize> = (0..n / 2).flat_map(|i| [i, n - 1 - i]).collect();
+        let off = SymbolicOptions {
+            order: Some(bad.clone()),
+            gc_threshold: 0,
+            ..SymbolicOptions::default()
+        };
+        let auto = SymbolicOptions {
+            order: Some(bad),
+            gc_threshold: 0,
+            reorder: ReorderPolicy::Auto,
+            reorder_threshold: 8,
+            ..SymbolicOptions::default()
+        };
+        let r_off = SymbolicReach::explore(&net, &off).expect("explores");
+        let r_auto = SymbolicReach::explore(&net, &auto).expect("explores");
+        assert_eq!(r_off.state_count(), r_auto.state_count());
+        assert!(r_auto.stats().reorder_runs > 0, "auto policy must sift");
+        let n_off = r_off.manager().node_count(r_off.reachable());
+        let n_auto = r_auto.manager().node_count(r_auto.reachable());
+        assert!(
+            n_auto < n_off,
+            "sifting should shrink the reachable set: {n_auto} vs {n_off}"
+        );
     }
 
     #[test]

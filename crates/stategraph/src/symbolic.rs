@@ -20,13 +20,70 @@
 //!
 //! [`StateGraph`]: crate::StateGraph
 
-use si_bdd::{order_from_adjacency, Bdd};
+use si_bdd::{order_from_adjacency, Bdd, ReorderPolicy};
 use si_cubes::implicit::ImplicitPool;
 use si_petri::{AuxAction, SymbolicOptions, SymbolicReach};
 use si_stg::{BinaryCode, Polarity, SignalId, SignalTransition, Stg};
 
 use crate::error::SgError;
 use crate::synth::ImplicitOnOffSets;
+
+/// Pool-management knobs of the symbolic engine: the node budget plus the
+/// garbage-collection and dynamic-reordering policies passed through to
+/// [`si_petri::SymbolicReach`]. The choices affect memory and speed only —
+/// every combination produces identical gate equations (pinned by the
+/// equivalence suites).
+#[derive(Debug, Clone)]
+pub struct SymbolicTuning {
+    /// Upper bound on *live* BDD nodes (checked after collection and any
+    /// last-resort reorder).
+    pub node_budget: usize,
+    /// Dynamic variable reordering policy; `Auto` keeps specifications
+    /// alive whose adjacency-seeded static order is bad (wide arbitration,
+    /// many-way choice).
+    pub reorder: ReorderPolicy,
+    /// Pool size above which garbage is collected between fixpoint
+    /// iterations (`0` collects every iteration).
+    pub gc_threshold: usize,
+    /// Initial live-node trigger of the `Auto` reordering policy.
+    pub reorder_threshold: usize,
+}
+
+impl Default for SymbolicTuning {
+    fn default() -> Self {
+        let base = SymbolicOptions::default();
+        SymbolicTuning {
+            node_budget: base.node_budget,
+            reorder: base.reorder,
+            gc_threshold: base.gc_threshold,
+            reorder_threshold: base.reorder_threshold,
+        }
+    }
+}
+
+impl SymbolicTuning {
+    /// Default tuning with the given node budget.
+    pub fn with_budget(node_budget: usize) -> Self {
+        SymbolicTuning {
+            node_budget,
+            ..SymbolicTuning::default()
+        }
+    }
+
+    /// The [`SymbolicOptions`] these knobs select, with every non-tuning
+    /// field at its default — the single place the two structs are kept in
+    /// sync, so both reachability passes (the main fixpoint and the
+    /// initial-code inference) always run under identical tuning.
+    fn to_options(&self) -> SymbolicOptions {
+        SymbolicOptions {
+            node_budget: self.node_budget,
+            reorder: self.reorder,
+            gc_threshold: self.gc_threshold,
+            reorder_threshold: self.reorder_threshold,
+            ..SymbolicOptions::default()
+        }
+    }
+}
 
 /// The symbolically represented state graph of an STG: the reachable
 /// `(marking, code)` relation plus the per-signal on/off code sets, ready
@@ -44,26 +101,27 @@ pub struct SymbolicSg {
 }
 
 impl SymbolicSg {
-    /// Builds the symbolic state graph of `stg`, bounded by `node_budget`
-    /// BDD nodes.
+    /// Builds the symbolic state graph of `stg` under the given pool
+    /// tuning (node budget, garbage collection, dynamic reordering).
     ///
     /// # Errors
     ///
-    /// * [`SgError::Net`] if the net is unsafe or the diagram outgrows the
-    ///   node budget;
+    /// * [`SgError::Net`] if the net is unsafe or the *live* diagram still
+    ///   outgrows the node budget after collection (and, when the tuning
+    ///   allows, reordering);
     /// * [`SgError::Inconsistent`] if no consistent binary state assignment
     ///   exists (same criterion as [`StateGraph::build`], checked
     ///   symbolically).
     ///
     /// [`StateGraph::build`]: crate::StateGraph::build
-    pub fn build(stg: &Stg, node_budget: usize) -> Result<Self, SgError> {
+    pub fn build(stg: &Stg, tuning: &SymbolicTuning) -> Result<Self, SgError> {
         let net = stg.net();
         let width = stg.signal_count();
         let place_count = net.place_count();
 
         let initial_code = match stg.initial_code() {
             Some(code) => code.clone(),
-            None => infer_initial_code(stg, node_budget)?,
+            None => infer_initial_code(stg, tuning)?,
         };
 
         let aux_actions: Vec<Vec<AuxAction>> = net
@@ -85,8 +143,7 @@ impl SymbolicSg {
                 .collect(),
             aux_actions,
             order: Some(variable_order(stg)),
-            node_budget,
-            ..SymbolicOptions::default()
+            ..tuning.to_options()
         };
         let mut reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
 
@@ -180,6 +237,15 @@ impl SymbolicSg {
         let mut code_map = vec![None; place_count + width];
         for (k, &var) in code_vars.iter().enumerate() {
             code_map[var] = Some(k);
+        }
+
+        // The projected code sets are handed out for the lifetime of the
+        // struct: pin them against caller-driven collection.
+        {
+            let mgr = reach.manager_mut();
+            for &b in on_codes.iter().chain(&off_codes) {
+                mgr.protect(b);
+            }
         }
 
         Ok(SymbolicSg {
@@ -285,7 +351,7 @@ fn variable_order(stg: &Stg) -> Vec<usize> {
 /// enumerating states: `v₀[a]` is the source value of whichever polarity of
 /// `a` can fire first — read off the enabling sets of a reachability pass
 /// with `a`'s transitions frozen. Signals that never fire default to 0.
-fn infer_initial_code(stg: &Stg, node_budget: usize) -> Result<BinaryCode, SgError> {
+fn infer_initial_code(stg: &Stg, tuning: &SymbolicTuning) -> Result<BinaryCode, SgError> {
     let net = stg.net();
     let order = place_order(stg);
     let mut code = BinaryCode::zeros(stg.signal_count());
@@ -297,8 +363,7 @@ fn infer_initial_code(stg: &Stg, node_budget: usize) -> Result<BinaryCode, SgErr
         let options = SymbolicOptions {
             frozen: transitions.clone(),
             order: Some(order.clone()),
-            node_budget,
-            ..SymbolicOptions::default()
+            ..tuning.to_options()
         };
         let reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
         let mut can_rise = false;
@@ -345,6 +410,10 @@ mod tests {
 
     const BUDGET: usize = 4_000_000;
 
+    fn sym_build(stg: &si_stg::Stg, budget: usize) -> Result<SymbolicSg, SgError> {
+        SymbolicSg::build(stg, &SymbolicTuning::with_budget(budget))
+    }
+
     #[test]
     fn state_count_matches_explicit() {
         for stg in [
@@ -355,7 +424,7 @@ mod tests {
             parallelizer(3),
         ] {
             let sg = StateGraph::build(&stg, 1_000_000).expect("explicit builds");
-            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
             assert_eq!(
                 sym.state_count(),
                 sg.len() as u128,
@@ -369,7 +438,7 @@ mod tests {
     fn on_off_sets_match_explicit_point_sets() {
         for stg in [paper_fig1(), vme_read_csc(), muller_pipeline(4)] {
             let sg = StateGraph::build(&stg, 1_000_000).expect("explicit builds");
-            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
             for signal in stg.implementable_signals() {
                 let explicit = on_off_sets_implicit(&stg, &sg, signal).to_on_off_sets();
                 let symbolic = sym.on_off_sets(signal).to_on_off_sets();
@@ -395,7 +464,7 @@ mod tests {
     fn whole_suite_state_counts_match() {
         for stg in synthesisable() {
             let sg = StateGraph::build(&stg, 5_000_000).expect("explicit builds");
-            let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+            let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
             assert_eq!(
                 sym.state_count(),
                 sg.len() as u128,
@@ -424,7 +493,7 @@ mod tests {
         let stg = b.build().expect("valid");
         assert!(stg.initial_code().is_none());
         let sg = StateGraph::build(&stg, 1_000).expect("explicit builds");
-        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
         assert_eq!(sym.initial_code(), sg.initial_code());
         assert_eq!(sym.state_count(), sg.len() as u128);
     }
@@ -440,7 +509,7 @@ mod tests {
         let back = b.arc_tt(a_p, a_m);
         b.mark(back);
         let stg = b.build().expect("valid");
-        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
         assert_eq!(sym.initial_code().to_string(), "1");
         let sg = StateGraph::build(&stg, 100).expect("explicit builds");
         assert_eq!(sym.initial_code(), sg.initial_code());
@@ -458,7 +527,7 @@ mod tests {
         b.mark(back);
         let stg = b.build().expect("structurally fine");
         assert!(matches!(
-            SymbolicSg::build(&stg, BUDGET),
+            sym_build(&stg, BUDGET),
             Err(SgError::Inconsistent { .. })
         ));
     }
@@ -475,7 +544,7 @@ mod tests {
         b.initial_value(a, true); // contradicts a+ firing first
         let stg = b.build().expect("builds");
         assert!(matches!(
-            SymbolicSg::build(&stg, BUDGET),
+            sym_build(&stg, BUDGET),
             Err(SgError::Inconsistent { .. })
         ));
     }
@@ -484,7 +553,7 @@ mod tests {
     fn node_budget_propagates() {
         let stg = muller_pipeline(8);
         assert!(matches!(
-            SymbolicSg::build(&stg, 10),
+            sym_build(&stg, 10),
             Err(SgError::Net(si_petri::NetError::NodeBudgetExceeded {
                 budget: 10
             }))
@@ -497,7 +566,7 @@ mod tests {
         // where the symbolic engine sails through.
         let stg = muller_pipeline(18);
         assert!(StateGraph::build(&stg, 100_000).is_err());
-        let sym = SymbolicSg::build(&stg, BUDGET).expect("symbolic builds");
+        let sym = sym_build(&stg, BUDGET).expect("symbolic builds");
         assert_eq!(sym.state_count(), 1_048_576); // 2^20
     }
 }

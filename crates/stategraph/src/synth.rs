@@ -20,9 +20,11 @@ use si_cubes::{
 };
 use si_stg::{Polarity, SignalId, SignalTransition, Stg};
 
+use si_bdd::ReorderPolicy;
+
 use crate::error::SgError;
 use crate::graph::StateGraph;
-use crate::symbolic::SymbolicSg;
+use crate::symbolic::{SymbolicSg, SymbolicTuning};
 
 /// The exact on-set/off-set partition of the reachable states for one
 /// signal, as minterm covers over the signal vector.
@@ -351,9 +353,20 @@ pub struct SgSynthesisOptions {
     /// State budget for explicit reachability exploration (the maximum
     /// number of states stored; ignored by the symbolic engine).
     pub state_budget: usize,
-    /// BDD node budget for the symbolic engine (ignored by the explicit
-    /// engine).
+    /// BDD node budget for the symbolic engine: an upper bound on *live*
+    /// nodes, checked between fixpoint iterations after garbage collection
+    /// (ignored by the explicit engine).
     pub symbolic_node_budget: usize,
+    /// Dynamic variable reordering policy of the symbolic engine: `Off`
+    /// keeps the adjacency-seeded static order, `Sift` reorders as a last
+    /// resort under budget pressure, `Auto` reorders proactively on pool
+    /// growth. Gate equations are identical under every policy (pinned by
+    /// the equivalence tests); only memory/speed differ.
+    pub symbolic_reorder: ReorderPolicy,
+    /// Pool size above which the symbolic engine collects garbage between
+    /// fixpoint iterations (`0` collects every iteration; the stress
+    /// suites use this to force collection on every step).
+    pub symbolic_gc_threshold: usize,
     /// Allow implementing the complemented function when the off-set cover
     /// is cheaper (both SIS and Petrify do this); the paper's examples
     /// implement the on-set, so the default is `false`.
@@ -379,14 +392,29 @@ pub struct SgSynthesisOptions {
 
 impl Default for SgSynthesisOptions {
     fn default() -> Self {
+        let tuning = SymbolicTuning::default();
         SgSynthesisOptions {
             engine: SgEngine::Explicit,
             state_budget: 2_000_000,
-            symbolic_node_budget: 16_000_000,
+            symbolic_node_budget: tuning.node_budget,
+            symbolic_reorder: tuning.reorder,
+            symbolic_gc_threshold: tuning.gc_threshold,
             allow_inversion: false,
             exact_minimization: false,
             workers: None,
             implicit_covers: true,
+        }
+    }
+}
+
+impl SgSynthesisOptions {
+    /// The [`SymbolicTuning`] these options select for the symbolic engine.
+    pub fn symbolic_tuning(&self) -> SymbolicTuning {
+        SymbolicTuning {
+            node_budget: self.symbolic_node_budget,
+            reorder: self.symbolic_reorder,
+            gc_threshold: self.symbolic_gc_threshold,
+            ..SymbolicTuning::default()
         }
     }
 }
@@ -442,7 +470,7 @@ pub fn synthesize_from_sg(stg: &Stg, options: &SgSynthesisOptions) -> Result<SgS
             // No pre-check here: `synthesize_from_symbolic_sg` validates
             // after the traversal, mirroring the explicit arm's error
             // precedence (net/traversal errors before `ConstantSignal`).
-            let sym = SymbolicSg::build(stg, options.symbolic_node_budget)?;
+            let sym = SymbolicSg::build(stg, &options.symbolic_tuning())?;
             synthesize_from_symbolic_sg(stg, &sym, options)
         }
     }

@@ -191,6 +191,90 @@ pub fn parallelizer(n: usize) -> Stg {
     b.build().expect("generator produces a valid STG")
 }
 
+/// Builds an `n`-stage wide-arbitration pipeline: the adversarial workload
+/// for *static* BDD variable orders.
+///
+/// Behaviourally this is a Muller pipeline — `n + 2` signals coupled by the
+/// four-phase cycle `sᵢ+ → sᵢ₊₁+ → sᵢ− → sᵢ₊₁− → sᵢ+` — with two twists
+/// that together defeat any adjacency-seeded order:
+///
+/// * the pipeline chain runs over a **riffled** signal sequence
+///   (`x0, xh, x1, xh+1, …` for `h = (n + 2 + 1) / 2`), so signals that
+///   interact sit maximally far apart in declaration order;
+/// * every rise transition samples a shared, always-marked **arbitration
+///   bus** place (a self-loop arc pair), which turns the signal-adjacency
+///   graph into a near-clique: a breadth-first bandwidth pass sees every
+///   signal adjacent to every other and falls back to declaration order —
+///   exactly the riffle's worst case.
+///
+/// The reachable set is tiny under a chain-aware order (the pipeline's
+/// diagram is near-linear) but exponential under the declaration order, so
+/// this family needs dynamic reordering: `--reorder off` exhausts any
+/// reasonable node budget where `sift`/`auto` sail through. The bus never
+/// blocks (it is consumed and reproduced by the same firing), so state
+/// counts and gate equations match `muller_pipeline(n)` modulo signal
+/// naming — chain-end signals are inputs, the rest are C-element outputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::generators::wide_arbiter;
+///
+/// let stg = wide_arbiter(3);
+/// assert_eq!(stg.signal_count(), 5);
+/// // One extra shared place (the bus) on top of the pipeline structure.
+/// assert_eq!(stg.net().place_count(), 4 * 4 + 1);
+/// ```
+pub fn wide_arbiter(n: usize) -> Stg {
+    assert!(n > 0, "arbiter needs at least one stage");
+    let k = n + 2;
+    let h = k.div_ceil(2);
+    // Riffle: chain position i holds declared signal h·(i mod 2) + i/2.
+    let seq: Vec<usize> = (0..k)
+        .map(|i| if i % 2 == 0 { i / 2 } else { h + i / 2 })
+        .collect();
+    let mut b = StgBuilder::new();
+    b.set_name(format!("wide-arbiter-{n}"));
+    let ends = [seq[0], seq[k - 1]];
+    let sigs: Vec<SignalId> = (0..k)
+        .map(|i| {
+            if ends.contains(&i) {
+                b.input(format!("x{i}"))
+            } else {
+                b.output(format!("x{i}"))
+            }
+        })
+        .collect();
+    let rises: Vec<_> = sigs.iter().map(|&s| b.rise(s)).collect();
+    let falls: Vec<_> = sigs.iter().map(|&s| b.fall(s)).collect();
+
+    for w in seq.windows(2) {
+        let (s, t) = (w[0], w[1]);
+        b.arc_tt(rises[s], rises[t]);
+        b.arc_tt(rises[t], falls[s]);
+        b.arc_tt(falls[s], falls[t]);
+        let idle = b.arc_tt(falls[t], rises[s]);
+        b.mark(idle);
+    }
+
+    // The shared arbitration bus: always marked, sampled (consumed and
+    // reproduced atomically) by every rise. Behaviourally inert; its fan-in
+    // and fan-out make every signal pair adjacent.
+    let bus = b.place("bus");
+    b.mark(bus);
+    for &r in &rises {
+        b.arc_pt(bus, r);
+        b.arc_tp(r, bus);
+    }
+
+    b.initial_all_zero();
+    b.build().expect("generator produces a valid STG")
+}
+
 /// Builds `k` fully independent two-transition signal loops (`aᵢ+ → aᵢ− →
 /// aᵢ+`). All loops are concurrent, so the state graph has `2^k` states while
 /// the unfolding segment stays linear in `k`.
@@ -317,6 +401,45 @@ mod tests {
         assert!(rg.deadlocks().is_empty());
         // Four independent 3-step branches in each phase.
         assert!(rg.len() > 100);
+    }
+
+    #[test]
+    fn wide_arbiter_matches_muller_pipeline_behaviour() {
+        for n in [1, 3, 6] {
+            let stg = wide_arbiter(n);
+            assert_eq!(stg.signal_count(), n + 2);
+            stg.validate().expect("valid");
+            let rg = ReachabilityGraph::explore(stg.net(), 100_000).expect("safe");
+            assert!(rg.deadlocks().is_empty(), "deadlock at n={n}");
+            let muller = ReachabilityGraph::explore(muller_pipeline(n).net(), 100_000)
+                .expect("safe")
+                .len();
+            assert_eq!(rg.len(), muller, "bus must be behaviourally inert");
+        }
+    }
+
+    #[test]
+    fn wide_arbiter_chain_is_riffled() {
+        // Declaration neighbours must not be chain neighbours (that is the
+        // point): no place may connect transitions of declaration-adjacent
+        // signals once n is big enough for the riffle to spread them.
+        let stg = wide_arbiter(6);
+        let net = stg.net();
+        for p in net.places() {
+            for &tin in net.place_preset(p) {
+                for &tout in net.place_postset(p) {
+                    if let (Some(a), Some(b)) = (stg.label(tin), stg.label(tout)) {
+                        let (i, j) = (a.signal.index(), b.signal.index());
+                        if i != j && net.place_preset(p).len() == 1 {
+                            assert!(
+                                i.abs_diff(j) > 1,
+                                "chain neighbours {i} and {j} are declaration-adjacent"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Regenerates the checked-in `benchmarks/wide_arbiter_*.g` samples.
+//!
+//! ```text
+//! cargo run --release --example gen_wide_arbiter -- 16 > benchmarks/wide_arbiter_16.g
+//! ```
+//!
+//! The stage count is the single positional argument (default 16). Kept as
+//! an example (not a bench bin) so the benchmark series can be re-emitted
+//! or extended without touching library code.
+
+use si_synth::stg::generators::wide_arbiter;
+use si_synth::stg::write_g;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<usize>().expect("stage count must be a number"))
+        .unwrap_or(16);
+    print!("{}", write_g(&wide_arbiter(n)));
+}

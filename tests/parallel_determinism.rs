@@ -3,8 +3,8 @@
 //! sequential (`workers = Some(1)`) path — and repeated runs must agree
 //! with each other (no hash-iteration order may leak into the output).
 
-use si_synth::stategraph::{synthesize_from_sg, SgSynthesisOptions};
-use si_synth::stg::generators::{muller_pipeline, sequencer};
+use si_synth::stategraph::{synthesize_from_sg, ReorderPolicy, SgEngine, SgSynthesisOptions};
+use si_synth::stg::generators::{muller_pipeline, sequencer, wide_arbiter};
 use si_synth::stg::suite::{paper_fig4ab, request_mux, vme_read_csc};
 use si_synth::stg::Stg;
 use si_synth::synthesis::{synthesize_from_unfolding, SynthesisOptions};
@@ -106,6 +106,43 @@ fn sg_synthesis_is_deterministic_across_runs() {
     let first = sg_fingerprint(&stg, &options);
     for _ in 0..5 {
         assert_eq!(first, sg_fingerprint(&stg, &options));
+    }
+}
+
+#[test]
+fn symbolic_gc_stress_is_deterministic_across_workers_and_runs() {
+    // The symbolic engine under adversarial pool maintenance — collection
+    // between every fixpoint iteration plus proactive sifting — must stay
+    // a pure layout decision: any worker count, and repeated runs, produce
+    // byte-identical gates (BDD node ids and HashMap iteration order must
+    // not leak into the output).
+    for stg in [muller_pipeline(5), wide_arbiter(5), vme_read_csc()] {
+        let options = |workers| SgSynthesisOptions {
+            engine: SgEngine::Symbolic,
+            symbolic_gc_threshold: 0,
+            symbolic_reorder: ReorderPolicy::Auto,
+            workers,
+            ..Default::default()
+        };
+        let sequential = sg_fingerprint(&stg, &options(Some(1)));
+        for workers in [None, Some(2), Some(4)] {
+            assert_eq!(
+                sequential,
+                sg_fingerprint(&stg, &options(workers)),
+                "{}: workers={workers:?} diverged under gc stress",
+                stg.name()
+            );
+        }
+        for _ in 0..3 {
+            assert_eq!(sequential, sg_fingerprint(&stg, &options(Some(1))));
+        }
+        // And the stressed output equals the unstressed explicit baseline.
+        assert_eq!(
+            sequential,
+            sg_fingerprint(&stg, &SgSynthesisOptions::default()),
+            "{}: gc/reorder stress changed the gates",
+            stg.name()
+        );
     }
 }
 

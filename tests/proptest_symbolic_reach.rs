@@ -10,17 +10,21 @@ use proptest::prelude::*;
 use si_synth::cubes::implicit::MintermList;
 use si_synth::petri::ReachabilityGraph;
 use si_synth::stategraph::{
-    synthesize_from_sg, SgEngine, SgSynthesisOptions, StateGraph, SymbolicSg,
+    synthesize_from_sg, synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesisOptions,
+    StateGraph, SymbolicSg, SymbolicTuning,
 };
-use si_synth::stg::generators::{counterflow_pipeline, muller_pipeline, parallelizer};
+use si_synth::stg::generators::{
+    counterflow_pipeline, muller_pipeline, parallelizer, wide_arbiter,
+};
 use si_synth::stg::{SignalId, Stg};
 
-/// One random instance drawn from the three scalable families.
+/// One random instance drawn from the four scalable families.
 #[derive(Debug, Clone)]
 enum Family {
     Muller(usize),
     Counterflow(usize),
     Parallelizer(usize),
+    WideArbiter(usize),
 }
 
 fn family() -> impl Strategy<Value = Family> {
@@ -28,6 +32,7 @@ fn family() -> impl Strategy<Value = Family> {
         (1usize..9).prop_map(Family::Muller),
         (1usize..6).prop_map(Family::Counterflow),
         (1usize..5).prop_map(Family::Parallelizer),
+        (1usize..8).prop_map(Family::WideArbiter),
     ]
 }
 
@@ -36,7 +41,18 @@ fn build(family: &Family) -> Stg {
         Family::Muller(n) => muller_pipeline(n),
         Family::Counterflow(k) => counterflow_pipeline(k),
         Family::Parallelizer(n) => parallelizer(n),
+        Family::WideArbiter(n) => wide_arbiter(n),
     }
+}
+
+/// A random pool tuning: every combination must leave the results alone.
+fn tuning() -> impl Strategy<Value = SymbolicTuning> {
+    (0usize..3, 0usize..3, 1usize..3).prop_map(|(reorder, gc, sift)| SymbolicTuning {
+        node_budget: NODE_BUDGET,
+        reorder: [ReorderPolicy::Off, ReorderPolicy::Sift, ReorderPolicy::Auto][reorder],
+        gc_threshold: [0, 64, 1 << 20][gc],
+        reorder_threshold: [1, 256][sift - 1],
+    })
 }
 
 const STATE_BUDGET: usize = 2_000_000;
@@ -50,7 +66,8 @@ proptest! {
         let stg = build(&f);
         let rg = ReachabilityGraph::explore(stg.net(), STATE_BUDGET).expect("safe family");
         let sg = StateGraph::build(&stg, STATE_BUDGET).expect("explicit builds");
-        let sym = SymbolicSg::build(&stg, NODE_BUDGET).expect("symbolic builds");
+        let sym = SymbolicSg::build(&stg, &SymbolicTuning::with_budget(NODE_BUDGET))
+            .expect("symbolic builds");
         prop_assert_eq!(sym.state_count(), rg.len() as u128, "{:?}", f);
 
         // The reachable code set: every state is classified into exactly
@@ -98,6 +115,37 @@ proptest! {
                 f
             );
             prop_assert_eq!(a.inverted, b.inverted);
+        }
+    }
+
+    #[test]
+    fn random_pool_tunings_leave_gates_and_state_counts_alone(
+        f in family(),
+        t in tuning(),
+    ) {
+        let stg = build(&f);
+        let explicit = synthesize_from_sg(
+            &stg,
+            &SgSynthesisOptions {
+                state_budget: STATE_BUDGET,
+                ..Default::default()
+            },
+        )
+        .expect("explicit synthesis");
+        let sg = StateGraph::build(&stg, STATE_BUDGET).expect("explicit builds");
+        let sym = SymbolicSg::build(&stg, &t).expect("symbolic builds");
+        prop_assert_eq!(sym.state_count(), sg.len() as u128, "{:?} under {:?}", f, t);
+        let symbolic = synthesize_from_symbolic_sg(&stg, &sym, &SgSynthesisOptions::default())
+            .expect("symbolic synthesis");
+        prop_assert_eq!(explicit.gates.len(), symbolic.gates.len());
+        for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
+            prop_assert_eq!(
+                a.equation(&stg),
+                b.equation(&stg),
+                "{:?} under {:?}: gate equations differ",
+                f,
+                t
+            );
         }
     }
 }
