@@ -1,0 +1,13 @@
+# Clean reference spec: no errors, no warnings — only the two info
+# diagnostics (SI-I001 net class, SI-I002 invariant summary).
+.model clean-handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.initial { req=0 ack=0 }
+.end

@@ -1,0 +1,9 @@
+# SI-E001: `a+` has no input place, so it would be enabled forever.
+.model e001-source-transition
+.inputs a b
+.graph
+a+ b+
+b+ b-
+b- b+
+.marking { <b-,b+> }
+.end

@@ -1,0 +1,9 @@
+# SI-E002: transitions exist but no place carries an initial token, so
+# nothing can ever fire.
+.model e002-empty-marking
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { }
+.end

@@ -1,0 +1,11 @@
+# SI-E003: `eps` is a dummy (unlabelled) transition — both synthesis flows
+# reject it.
+.model e003-dummy
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end

@@ -1,0 +1,9 @@
+# SI-W001: `unused` is declared but has no transitions at all.
+.model w001-dead-signal
+.inputs a
+.outputs unused
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end

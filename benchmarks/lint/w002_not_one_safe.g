@@ -1,0 +1,9 @@
+# SI-W002: two tokens on one cycle — the unary-invariant cover cannot
+# certify 1-safety (and indeed the net is unsafe).
+.model w002-not-one-safe
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { <a+,a-> <a-,a+> }
+.end

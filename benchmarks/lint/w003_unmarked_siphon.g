@@ -1,0 +1,12 @@
+# SI-W003: the `b` cycle forms an unmarked siphon — `b+`/`b-` are
+# structurally dead.
+.model w003-unmarked-siphon
+.inputs a b
+.graph
+a+ a-
+a- a+
+a+ b+
+b+ b-
+b- b+
+.marking { <a-,a+> }
+.end

@@ -1,0 +1,10 @@
+# SI-W004: `b+` has no output place — every firing drains a token from the
+# net.
+.model w004-sink-transition
+.inputs a b
+.graph
+a+ a-
+a- a+
+a+ b+
+.marking { <a-,a+> }
+.end

@@ -1,0 +1,11 @@
+# SI-W005: the `a` and `b` cycles share no place or transition — two
+# weakly connected components.
+.model w005-disconnected
+.inputs a b
+.graph
+a+ a-
+a- a+
+b+ b-
+b- b+
+.marking { <a-,a+> <b-,b+> }
+.end

@@ -1,0 +1,12 @@
+# SI-W006: `p0` and `p1` have identical presets, postsets and initial
+# marking — one of them is redundant.
+.model w006-duplicate-place
+.inputs a
+.graph
+a+ p0
+a+ p1
+p0 a-
+p1 a-
+a- a+
+.marking { <a-,a+> }
+.end

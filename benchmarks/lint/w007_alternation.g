@@ -1,0 +1,10 @@
+# SI-W007: the place between `a+` and `a+/1` chains two rises of `a`
+# without a fall in between.
+.model w007-alternation
+.inputs a
+.graph
+a+ a+/1
+a+/1 a-
+a- a+
+.marking { <a-,a+> }
+.end

@@ -1,0 +1,10 @@
+# SI-W008: `b` only ever rises — no consistent binary encoding can cycle
+# it.
+.model w008-single-polarity
+.inputs a b
+.graph
+a+ b+
+b+ a-
+a- a+
+.marking { <a-,a+> }
+.end

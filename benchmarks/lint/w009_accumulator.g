@@ -1,0 +1,9 @@
+# SI-W009: `p_acc` has a producer but no consumer — tokens pile up there.
+.model w009-accumulator
+.inputs a
+.graph
+a+ a-
+a- a+
+a+ p_acc
+.marking { <a-,a+> }
+.end

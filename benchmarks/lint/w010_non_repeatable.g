@@ -1,0 +1,10 @@
+# SI-W010: the net has no T-invariant, so `a+` and `a-` can fire at most
+# finitely often on any run.
+.model w010-non-repeatable
+.inputs a
+.graph
+p0 a+
+a+ a-
+a- p1
+.marking { p0 }
+.end

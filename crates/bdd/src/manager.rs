@@ -248,10 +248,9 @@ impl BddManager {
         if f.0 <= ONE {
             return;
         }
-        let count = self
-            .roots
-            .get_mut(&f.0)
-            .expect("unprotect without a matching protect");
+        let Some(count) = self.roots.get_mut(&f.0) else {
+            panic!("unprotect without a matching protect");
+        };
         *count -= 1;
         if *count == 0 {
             self.roots.remove(&f.0);

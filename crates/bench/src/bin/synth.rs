@@ -1,6 +1,6 @@
 //! `synth` — the CLI front door: synthesise a user-supplied `.g` file with
 //! either flow and print the gate equations plus a Table-1-style timing
-//! breakdown.
+//! breakdown, or statically lint the specification without synthesising.
 //!
 //! ```text
 //! Usage: synth <spec.g> [options]
@@ -21,29 +21,41 @@
 //!                          16000000 nodes / 2000000 slices
 //!   --reorder off|sift|auto
 //!                          (symbolic engine) dynamic variable reordering:
-//!                          off keeps the adjacency-seeded static order,
-//!                          sift reorders as a last resort under budget
+//!                          off keeps the statically seeded order, sift
+//!                          reorders as a last resort under budget
 //!                          pressure, auto reorders on pool growth
 //!                          (default: auto — the front door should survive
 //!                          specifications with no good static order)
+//!   --order-seed adjacency|invariants
+//!                          (symbolic engine) structural heuristic seeding
+//!                          the static variable order: signal adjacency or
+//!                          P-invariant place clusters (default:
+//!                          adjacency; gate equations are identical under
+//!                          either seed)
 //!   --invert               (sg flow) allow implementing the complemented
 //!                          function when it is cheaper
+//!   --lint                 run the structural static analysis only and
+//!                          print severity-ranked diagnostics (SI-E…/W…/I…)
+//!                          with .g line numbers; no synthesis
+//!   --lint-json            like --lint, but emit one JSON report object
 //! ```
 //!
 //! Run with: `cargo run -p si-bench --release --bin synth -- spec.g --flow sg`
 //!
 //! Exit codes: 0 success, 1 usage or I/O error, 2 parse or synthesis error
 //! (a malformed `.g` file is reported as a structured parse error, never a
-//! panic).
+//! panic). In lint mode: 0 when the spec is clean or carries only
+//! warnings/infos, 2 when any error-severity diagnostic fires.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use si_bench::secs;
 use si_stategraph::{
-    synthesize_from_built_sg, synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesis,
-    SgSynthesisOptions, StateGraph, SymbolicSg,
+    synthesize_from_built_sg, synthesize_from_symbolic_sg, OrderSeed, ReorderPolicy, SgEngine,
+    SgSynthesis, SgSynthesisOptions, StateGraph, SymbolicSg,
 };
+use si_stg::analysis::lint_text;
 use si_stg::{parse_g, Stg};
 use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
 
@@ -51,6 +63,13 @@ use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
 enum Flow {
     Sg,
     Unfolding,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintMode {
+    Off,
+    Text,
+    Json,
 }
 
 struct Args {
@@ -61,12 +80,15 @@ struct Args {
     workers: Option<usize>,
     budget: Option<usize>,
     reorder: ReorderPolicy,
+    order_seed: OrderSeed,
     invert: bool,
+    lint: LintMode,
 }
 
 fn usage() -> &'static str {
     "Usage: synth <spec.g> [--flow sg|unfolding] [--engine explicit|symbolic] \
-     [--cover exact|approx] [--workers N] [--budget N] [--reorder off|sift|auto] [--invert]"
+     [--cover exact|approx] [--workers N] [--budget N] [--reorder off|sift|auto] \
+     [--order-seed adjacency|invariants] [--invert] [--lint | --lint-json]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,7 +100,9 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = None;
     let mut budget = None;
     let mut reorder = ReorderPolicy::Auto;
+    let mut order_seed = OrderSeed::SignalAdjacency;
     let mut invert = false;
+    let mut lint = LintMode::Off;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--flow" => {
@@ -127,7 +151,20 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(ReorderPolicy::parse)
                     .ok_or("--reorder needs off|sift|auto")?;
             }
+            "--order-seed" => {
+                order_seed = match args.next().as_deref() {
+                    Some("adjacency") => OrderSeed::SignalAdjacency,
+                    Some("invariants") => OrderSeed::PlaceInvariants,
+                    other => {
+                        return Err(format!(
+                            "--order-seed needs adjacency|invariants, got {other:?}"
+                        ))
+                    }
+                }
+            }
             "--invert" => invert = true,
+            "--lint" => lint = LintMode::Text,
+            "--lint-json" => lint = LintMode::Json,
             "--help" | "-h" => return Err(usage().to_owned()),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
@@ -149,7 +186,9 @@ fn parse_args() -> Result<Args, String> {
         workers,
         budget,
         reorder,
+        order_seed,
         invert,
+        lint,
     })
 }
 
@@ -168,6 +207,9 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if args.lint != LintMode::Off {
+        return run_lint(&text, &args);
+    }
     let stg = match parse_g(&text) {
         Ok(stg) => stg,
         Err(e) => {
@@ -182,6 +224,28 @@ fn main() -> ExitCode {
     }
 }
 
+/// Lint mode: structural static analysis only, no synthesis. Warnings and
+/// infos leave the exit code at 0 so CI can gate on errors alone; any
+/// error-severity diagnostic (or a syntactically broken file) exits 2.
+fn run_lint(text: &str, args: &Args) -> ExitCode {
+    let report = match lint_text(text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("`{}`: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+    match args.lint {
+        LintMode::Json => println!("{}", report.to_json()),
+        _ => print!("{}", report.render()),
+    }
+    if report.has_errors() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
     let defaults = SgSynthesisOptions::default();
     let options = SgSynthesisOptions {
@@ -189,6 +253,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
         state_budget: args.budget.unwrap_or(defaults.state_budget),
         symbolic_node_budget: args.budget.unwrap_or(defaults.symbolic_node_budget),
         symbolic_reorder: args.reorder,
+        symbolic_order_seed: args.order_seed,
         exact_minimization: args.exact,
         allow_inversion: args.invert,
         workers: args.workers,

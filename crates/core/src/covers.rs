@@ -109,7 +109,12 @@ pub fn restricted_exit_cubes(
         if !unf.event_co_condition(t_k, p) {
             return None;
         }
-        let t_k_signal = unf.label(t_k).expect("labelled").signal;
+        let t_k_signal = match unf.label(t_k) {
+            Some(label) => label.signal,
+            // Dummies are rejected before unfolding begins, so every
+            // non-root event of the prefix carries a label.
+            None => unreachable!("unlabelled event in a dummy-free unfolding"),
+        };
         // t_k must be the unique concurrent instance of its signal.
         let unique = slice.members.iter().all(|g| {
             let g = EventId(g as u32);

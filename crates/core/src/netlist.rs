@@ -75,10 +75,9 @@ fn verilog_expr(cover: &Cover, names: &[&str]) -> String {
                     Literal::DontCare => unreachable!(),
                 })
                 .collect();
-            if product.len() == 1 {
-                product.into_iter().next().expect("non-empty")
-            } else {
-                format!("({})", product.join(" & "))
+            match product.as_slice() {
+                [single] => single.clone(),
+                _ => format!("({})", product.join(" & ")),
             }
         })
         .collect::<Vec<_>>()

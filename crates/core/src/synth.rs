@@ -222,7 +222,13 @@ pub fn synthesize_from_unfolding(
         // cached intersection instead of a cover-quadratic cube sweep.
         match &entry.implicit {
             Some(sets) => {
-                let mut guard = sets.lock().expect("per-signal pool");
+                // A poisoned lock only means another signal's worker
+                // panicked; this signal's pool is still internally
+                // consistent, so keep going.
+                let mut guard = match sets.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
                 let (pool, on, off) = &mut *guard;
                 let shared = pool.intersect(*on, *off);
                 if let Some(bits) = pool.first_minterm(shared) {

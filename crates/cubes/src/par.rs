@@ -85,7 +85,12 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every index was claimed by exactly one worker"))
+        .map(|s| match s {
+            Some(r) => r,
+            // The strided partition hands every index to exactly one
+            // worker, and all workers joined above.
+            None => unreachable!("index left unclaimed by the strided partition"),
+        })
         .collect()
 }
 

@@ -174,12 +174,12 @@ fn split_into_chunks(
             chunks.push(cube);
             continue;
         }
-        // Cut the cube along the first prime that overlaps it.
-        let prime = primes
-            .iter()
-            .find(|p| p.intersect(&cube).is_some())
-            .expect("primes cover the on-set");
-        let inside = prime.intersect(&cube).expect("overlaps");
+        // Cut the cube along the first prime that overlaps it. Prime
+        // generation covers the whole on-set, so an overlap always exists
+        // for a cube that no prime contains.
+        let Some(inside) = primes.iter().find_map(|p| p.intersect(&cube)) else {
+            unreachable!("on-set cube outside every prime implicant");
+        };
         work.extend(cube.sharp(&inside));
         work.push(inside);
     }

@@ -43,6 +43,7 @@ mod error;
 mod marking;
 mod net;
 mod reach;
+pub mod structural;
 mod symbolic;
 
 pub use bitset::{BitSet, Iter as BitSetIter};

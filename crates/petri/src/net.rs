@@ -260,22 +260,20 @@ impl PetriNet {
     /// behaviour unbounded), and the initial marking is non-empty whenever the
     /// net has transitions.
     ///
+    /// The rules live in [`crate::structural::validation_errors`], shared
+    /// with the STG linter; this wrapper surfaces the first violation.
+    ///
     /// # Errors
     ///
     /// Returns the first violated [`NetError`].
     pub fn validate(&self) -> Result<(), NetError> {
-        for t in self.transitions() {
-            if self.preset(t).is_empty() {
-                return Err(NetError::EmptyPreset {
-                    transition: t,
-                    name: self.transition_name(t).to_owned(),
-                });
-            }
+        match crate::structural::validation_errors(self)
+            .into_iter()
+            .next()
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        if !self.transitions.is_empty() && self.initial.is_empty() {
-            return Err(NetError::EmptyInitialMarking);
-        }
-        Ok(())
     }
 }
 

@@ -1,0 +1,926 @@
+//! Polynomial-time structural analysis of marked nets.
+//!
+//! Everything in this module works on the **incidence matrix** `C` of a net
+//! (`C[p][t] = post(t)(p) − pre(t)(p)`) and the initial marking — no state
+//! space is ever explored. The centrepieces:
+//!
+//! * [`Incidence`] — the integer incidence matrix;
+//! * [`p_invariant_basis`] / [`t_invariant_basis`] — exact integer bases of
+//!   the left/right nullspace of `C`, computed by rational Gaussian
+//!   elimination (`i128` numerators/denominators, checked arithmetic) and
+//!   scaled to primitive integer vectors;
+//! * [`certify_one_safe`] — a **1-safety certificate**: a cover of the
+//!   places by unary P-invariants (token-conserving place sets) that each
+//!   carry at most one initial token. Every place covered this way is
+//!   1-safe in *every* reachable marking, so downstream engines may skip
+//!   their dynamic safety checks;
+//! * [`unmarked_siphon`] — the maximal siphon among initially unmarked
+//!   places (a witness of structurally dead transitions);
+//! * [`classify`] — marked-graph / state-machine / free-choice membership;
+//! * [`validation_errors`] — the structural well-formedness rules shared by
+//!   [`PetriNet::validate`] and the STG linter, so each rule lives in
+//!   exactly one place.
+
+use crate::error::NetError;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// The integer incidence matrix `C` of a net: `C[p][t]` is the token change
+/// on place `p` when transition `t` fires (`post − pre`, with self-loops
+/// cancelling to 0).
+#[derive(Debug, Clone)]
+pub struct Incidence {
+    place_count: usize,
+    transition_count: usize,
+    /// Row-major: `entries[p * transition_count + t]`.
+    entries: Vec<i64>,
+}
+
+impl Incidence {
+    /// Builds the incidence matrix of `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let place_count = net.place_count();
+        let transition_count = net.transition_count();
+        let mut entries = vec![0i64; place_count * transition_count];
+        for t in net.transitions() {
+            for &p in net.preset(t) {
+                entries[p.index() * transition_count + t.index()] -= 1;
+            }
+            for &p in net.postset(t) {
+                entries[p.index() * transition_count + t.index()] += 1;
+            }
+        }
+        Self {
+            place_count,
+            transition_count,
+            entries,
+        }
+    }
+
+    /// Number of places (rows).
+    pub fn place_count(&self) -> usize {
+        self.place_count
+    }
+
+    /// Number of transitions (columns).
+    pub fn transition_count(&self) -> usize {
+        self.transition_count
+    }
+
+    /// The entry `C[p][t]`.
+    pub fn entry(&self, place: PlaceId, transition: TransitionId) -> i64 {
+        self.entries[place.index() * self.transition_count + transition.index()]
+    }
+
+    fn at(&self, p: usize, t: usize) -> i64 {
+        self.entries[p * self.transition_count + t]
+    }
+}
+
+/// An exact rational with `i128` numerator/denominator. All arithmetic is
+/// checked: any overflow aborts the whole invariant computation (the caller
+/// degrades to "no structural information" rather than panicking or
+/// returning wrong vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: i128,
+    den: i128, // > 0
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Ratio {
+    const ZERO: Ratio = Ratio { num: 0, den: 1 };
+
+    fn int(v: i64) -> Ratio {
+        Ratio {
+            num: v as i128,
+            den: 1,
+        }
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn reduce(num: i128, den: i128) -> Option<Ratio> {
+        if den == 0 {
+            return None;
+        }
+        if num == 0 {
+            return Some(Ratio::ZERO);
+        }
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        Some(Ratio {
+            num: num.checked_div(g)?.checked_mul(sign)?,
+            den: den.checked_div(g)?.checked_mul(sign)?,
+        })
+    }
+
+    fn mul(self, other: Ratio) -> Option<Ratio> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(other.num / g2)?;
+        let den = (self.den / g2).checked_mul(other.den / g1)?;
+        Ratio::reduce(num, den)
+    }
+
+    fn sub(self, other: Ratio) -> Option<Ratio> {
+        let g = gcd(self.den, other.den).max(1);
+        let lhs = self.num.checked_mul(other.den / g)?;
+        let rhs = other.num.checked_mul(self.den / g)?;
+        let num = lhs.checked_sub(rhs)?;
+        let den = self.den.checked_mul(other.den / g)?;
+        Ratio::reduce(num, den)
+    }
+
+    fn div(self, other: Ratio) -> Option<Ratio> {
+        if other.num == 0 {
+            return None;
+        }
+        self.mul(Ratio {
+            num: other.den,
+            den: other.num,
+        })
+    }
+}
+
+/// Basis of the nullspace `{x : A·x = 0}` of a dense rational matrix given
+/// row-major as `rows` (each of length `cols`). Returns one primitive
+/// integer vector per free column, or `None` if the exact arithmetic
+/// overflowed `i128`.
+fn nullspace(mut rows: Vec<Vec<Ratio>>, cols: usize) -> Option<Vec<Vec<i64>>> {
+    // Reduced row echelon form.
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut rank = 0usize;
+    for col in 0..cols {
+        // Find a pivot row at or below `rank`.
+        let Some(pivot) = (rank..rows.len()).find(|&r| !rows[r][col].is_zero()) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let inv = Ratio::int(1).div(rows[rank][col])?;
+        for cell in &mut rows[rank][col..cols] {
+            *cell = cell.mul(inv)?;
+        }
+        let pivot_row = rows[rank][col..cols].to_vec();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != rank && !row[col].is_zero() {
+                let factor = row[col];
+                for (cell, &p) in row[col..cols].iter_mut().zip(&pivot_row) {
+                    let scaled = p.mul(factor)?;
+                    *cell = cell.sub(scaled)?;
+                }
+            }
+        }
+        pivot_of_col[col] = Some(rank);
+        rank += 1;
+        if rank == rows.len() {
+            // Remaining columns are all free.
+            break;
+        }
+    }
+
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_of_col[free].is_some() {
+            continue;
+        }
+        // x[free] = 1, x[pivot col] = -row[free] for each pivot row.
+        let mut vec_q = vec![Ratio::ZERO; cols];
+        vec_q[free] = Ratio::int(1);
+        for col in 0..cols {
+            if let Some(row) = pivot_of_col[col] {
+                vec_q[col] = Ratio::ZERO.sub(rows[row][free])?;
+            }
+        }
+        // Scale to a primitive integer vector.
+        let mut lcm: i128 = 1;
+        for q in &vec_q {
+            if !q.is_zero() {
+                let g = gcd(lcm, q.den).max(1);
+                lcm = lcm.checked_mul(q.den / g)?;
+            }
+        }
+        let mut ints: Vec<i128> = Vec::with_capacity(cols);
+        for q in &vec_q {
+            ints.push(q.num.checked_mul(lcm / q.den)?);
+        }
+        let mut g = 0i128;
+        for &v in &ints {
+            g = gcd(g, v);
+        }
+        if g > 1 {
+            for v in &mut ints {
+                *v /= g;
+            }
+        }
+        let mut out = Vec::with_capacity(cols);
+        for v in ints {
+            out.push(i64::try_from(v).ok()?);
+        }
+        basis.push(out);
+    }
+    Some(basis)
+}
+
+/// Exact integer basis of the **P-invariants** of `inc`: all `y` with
+/// `yᵀ·C = 0`. Each basis vector has one entry per place and is primitive
+/// (contents share no common factor, first nonzero entry positive after the
+/// free-column convention). Returns `None` if the exact arithmetic
+/// overflowed.
+pub fn p_invariant_basis(inc: &Incidence) -> Option<Vec<Vec<i64>>> {
+    // yᵀ·C = 0 ⟺ Cᵀ·y = 0: one equation per transition, one unknown per
+    // place.
+    let rows = (0..inc.transition_count)
+        .map(|t| {
+            (0..inc.place_count)
+                .map(|p| Ratio::int(inc.at(p, t)))
+                .collect()
+        })
+        .collect();
+    nullspace(rows, inc.place_count)
+}
+
+/// Exact integer basis of the **T-invariants** of `inc`: all `x` with
+/// `C·x = 0` (firing-count vectors that reproduce the marking). One entry
+/// per transition. Returns `None` if the exact arithmetic overflowed.
+pub fn t_invariant_basis(inc: &Incidence) -> Option<Vec<Vec<i64>>> {
+    let rows = (0..inc.place_count)
+        .map(|p| {
+            (0..inc.transition_count)
+                .map(|t| Ratio::int(inc.at(p, t)))
+                .collect()
+        })
+        .collect();
+    nullspace(rows, inc.transition_count)
+}
+
+/// Transitions that appear in **no** T-invariant: the union of the supports
+/// of the nullspace basis misses them, so their firing count is zero in any
+/// reproduction vector — they can fire at most finitely often on any run.
+/// Returns `None` if the invariant computation overflowed.
+pub fn non_repeatable_transitions(inc: &Incidence) -> Option<Vec<TransitionId>> {
+    let basis = t_invariant_basis(inc)?;
+    let mut covered = vec![false; inc.transition_count];
+    for vec in &basis {
+        for (t, &v) in vec.iter().enumerate() {
+            if v != 0 {
+                covered[t] = true;
+            }
+        }
+    }
+    Some(
+        covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| !c)
+            .map(|(t, _)| TransitionId(t as u32))
+            .collect(),
+    )
+}
+
+/// A structural 1-safety certificate: a family of **unary P-invariants**
+/// (place sets `S` with `Σ_{p∈S} C[p][t] = 0` for every transition `t`)
+/// each holding at most one initial token, covering some subset of the
+/// places. Token conservation means no covered place can ever hold a
+/// second token — covered places are 1-safe in every reachable marking.
+#[derive(Debug, Clone)]
+pub struct SafetyCertificate {
+    /// The certifying place sets, each sorted by id, each with `≤ 1`
+    /// initial token.
+    pub invariants: Vec<Vec<PlaceId>>,
+    /// `covered[p]` — whether place `p` belongs to some certifying set.
+    pub covered: Vec<bool>,
+    /// Whether *every* place is covered (the whole net is certified
+    /// 1-safe).
+    pub certified: bool,
+}
+
+impl SafetyCertificate {
+    /// Places not covered by any certifying invariant, in id order.
+    pub fn uncovered(&self) -> Vec<PlaceId> {
+        self.covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| !c)
+            .map(|(p, _)| PlaceId(p as u32))
+            .collect()
+    }
+}
+
+/// Work budget for the unary-invariant search, counted in DFS node visits
+/// across all seeds. Generous for the net sizes this workspace handles
+/// (hundreds of places) while keeping the pass polynomial in practice.
+const UNARY_SEARCH_BUDGET: usize = 200_000;
+
+/// Searches for unary P-invariant covers and assembles a
+/// [`SafetyCertificate`]. Deterministic: seeds are tried in place-id order
+/// and the DFS explores candidate places in id order, so the certificate —
+/// and everything seeded from it, like BDD variable orders — is stable
+/// across runs.
+pub fn certify_one_safe(net: &PetriNet) -> SafetyCertificate {
+    let inc = Incidence::of(net);
+    let place_count = net.place_count();
+    let transition_count = net.transition_count();
+    // Per-place sparse column view: (transition, entry) pairs.
+    let mut touching: Vec<Vec<(usize, i64)>> = vec![Vec::new(); place_count];
+    for (p, row) in touching.iter_mut().enumerate() {
+        for t in 0..transition_count {
+            let e = inc.at(p, t);
+            if e != 0 {
+                row.push((t, e));
+            }
+        }
+    }
+    let marked: Vec<bool> = (0..place_count)
+        .map(|p| net.initial_marking().contains(PlaceId(p as u32)))
+        .collect();
+
+    let mut covered = vec![false; place_count];
+    let mut invariants = Vec::new();
+    let mut budget = UNARY_SEARCH_BUDGET;
+    for seed in 0..place_count {
+        if covered[seed] || budget == 0 {
+            continue;
+        }
+        let mut support = vec![false; place_count];
+        let mut balance = vec![0i64; transition_count];
+        support[seed] = true;
+        for &(t, e) in &touching[seed] {
+            balance[t] += e;
+        }
+        let mut tokens = usize::from(marked[seed]);
+        if tokens <= 1
+            && extend_invariant(
+                &touching,
+                &marked,
+                &mut support,
+                &mut balance,
+                &mut tokens,
+                &mut budget,
+            )
+        {
+            let set: Vec<PlaceId> = support
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s)
+                .map(|(p, _)| PlaceId(p as u32))
+                .collect();
+            for p in &set {
+                covered[p.index()] = true;
+            }
+            invariants.push(set);
+        }
+    }
+    let certified = covered.iter().all(|&c| c);
+    SafetyCertificate {
+        invariants,
+        covered,
+        certified,
+    }
+}
+
+/// Bounded backtracking step of the unary-invariant search: if some
+/// transition is unbalanced over the current support, try every place whose
+/// incidence entry reduces the imbalance, in id order.
+fn extend_invariant(
+    touching: &[Vec<(usize, i64)>],
+    marked: &[bool],
+    support: &mut [bool],
+    balance: &mut [i64],
+    tokens: &mut usize,
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let Some(unbalanced) = balance.iter().position(|&b| b != 0) else {
+        return true;
+    };
+    let need_negative = balance[unbalanced] > 0;
+    for (p, entries) in touching.iter().enumerate() {
+        if support[p] {
+            continue;
+        }
+        let Some(&(_, e)) = entries.iter().find(|&&(t, _)| t == unbalanced) else {
+            continue;
+        };
+        if (e < 0) != need_negative {
+            continue;
+        }
+        support[p] = true;
+        for &(t, d) in entries {
+            balance[t] += d;
+        }
+        let tok = usize::from(marked[p]);
+        *tokens += tok;
+        if *tokens <= 1 && extend_invariant(touching, marked, support, balance, tokens, budget) {
+            return true;
+        }
+        *tokens -= tok;
+        for &(t, d) in entries {
+            balance[t] -= d;
+        }
+        support[p] = false;
+    }
+    false
+}
+
+/// An upper bound on the number of reachable markings implied by a safety
+/// certificate: each certifying invariant with `k` initial tokens confines
+/// its token to one of `|S|` places (or pins the set empty when `k = 0`),
+/// and each uncovered place contributes a free binary choice. Saturating;
+/// `None` when the certificate covers nothing (bound would be the trivial
+/// `2^places`).
+pub fn structural_state_bound(net: &PetriNet, cert: &SafetyCertificate) -> Option<u128> {
+    if cert.invariants.is_empty() {
+        return None;
+    }
+    let mut bound: u128 = 1;
+    let mut grouped = vec![false; net.place_count()];
+    for set in &cert.invariants {
+        // Only places not already counted by an earlier (overlapping)
+        // invariant contribute fresh alternatives.
+        let fresh: Vec<&PlaceId> = set.iter().filter(|p| !grouped[p.index()]).collect();
+        if fresh.is_empty() {
+            continue;
+        }
+        let tokens: usize = set
+            .iter()
+            .filter(|p| net.initial_marking().contains(**p))
+            .count();
+        let alternatives = if tokens == 0 {
+            // Token sum conserved at zero: the whole set stays empty.
+            1
+        } else if fresh.len() == set.len() {
+            // One conserved token over |S| disjoint places: |S| positions.
+            set.len() as u128
+        } else {
+            // Overlap with an earlier invariant: the token may also sit on
+            // an already counted place, leaving every fresh place empty.
+            fresh.len() as u128 + 1
+        };
+        bound = bound.saturating_mul(alternatives);
+        for p in fresh {
+            grouped[p.index()] = true;
+        }
+    }
+    let uncovered = grouped.iter().filter(|&&g| !g).count();
+    if uncovered >= 128 {
+        return Some(u128::MAX);
+    }
+    Some(bound.saturating_mul(1u128 << uncovered))
+}
+
+/// The **maximal siphon among initially unmarked places**: the largest set
+/// `S` of unmarked places such that every transition producing into `S`
+/// also consumes from `S`. Such a set can never acquire a token, so every
+/// transition consuming from it is structurally dead. Returns the set in
+/// id order (empty when every unmarked place is eventually feedable).
+pub fn unmarked_siphon(net: &PetriNet) -> Vec<PlaceId> {
+    let mut in_siphon: Vec<bool> = net
+        .places()
+        .map(|p| !net.initial_marking().contains(p))
+        .collect();
+    loop {
+        let mut changed = false;
+        for p in net.places() {
+            if !in_siphon[p.index()] {
+                continue;
+            }
+            // p must leave the siphon if some producer of p takes no input
+            // from the siphon (it could fire and feed p a token).
+            let escapes = net
+                .place_preset(p)
+                .iter()
+                .any(|&t| !net.preset(t).iter().any(|&q| in_siphon[q.index()]));
+            if escapes {
+                in_siphon[p.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    net.places().filter(|p| in_siphon[p.index()]).collect()
+}
+
+/// Transitions disabled forever by an (unmarked) siphon: those consuming
+/// from some place of `siphon`.
+pub fn dead_by_siphon(net: &PetriNet, siphon: &[PlaceId]) -> Vec<TransitionId> {
+    let mut in_siphon = vec![false; net.place_count()];
+    for p in siphon {
+        in_siphon[p.index()] = true;
+    }
+    net.transitions()
+        .filter(|&t| net.preset(t).iter().any(|&p| in_siphon[p.index()]))
+        .collect()
+}
+
+/// Structural net-class membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetClass {
+    /// Every transition has exactly one input and one output place (no
+    /// concurrency; conflicts only).
+    pub state_machine: bool,
+    /// Every place has at most one producer and one consumer (no
+    /// conflicts; concurrency only).
+    pub marked_graph: bool,
+    /// Every arc `(p, t)` satisfies `|p•| = 1` or `|•t| = 1`: choices are
+    /// never controlled by concurrent context.
+    pub free_choice: bool,
+}
+
+impl NetClass {
+    /// A short human-readable summary, e.g. `"marked graph, free choice"`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.state_machine {
+            parts.push("state machine");
+        }
+        if self.marked_graph {
+            parts.push("marked graph");
+        }
+        if self.free_choice {
+            parts.push("free choice");
+        }
+        if parts.is_empty() {
+            parts.push("general place/transition net");
+        }
+        parts.join(", ")
+    }
+}
+
+/// Classifies `net` into the classical structural net classes.
+pub fn classify(net: &PetriNet) -> NetClass {
+    let state_machine = net
+        .transitions()
+        .all(|t| net.preset(t).len() == 1 && net.postset(t).len() == 1);
+    let marked_graph = net
+        .places()
+        .all(|p| net.place_preset(p).len() <= 1 && net.place_postset(p).len() <= 1);
+    let free_choice = net.places().all(|p| {
+        net.place_postset(p).len() <= 1
+            || net
+                .place_postset(p)
+                .iter()
+                .all(|&t| net.preset(t).len() == 1)
+    });
+    NetClass {
+        state_machine,
+        marked_graph,
+        free_choice,
+    }
+}
+
+/// Number of weakly connected components of the net's bipartite graph,
+/// counting only places/transitions that carry at least one arc. A net
+/// whose behaviour splits into several disconnected components usually
+/// indicates a specification mistake.
+pub fn connected_components(net: &PetriNet) -> usize {
+    let p = net.place_count();
+    let n = p + net.transition_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    let mut has_arc = vec![false; n];
+    for t in net.transitions() {
+        for &q in net.preset(t) {
+            union(&mut parent, q.index(), p + t.index());
+            has_arc[q.index()] = true;
+            has_arc[p + t.index()] = true;
+        }
+        for &q in net.postset(t) {
+            union(&mut parent, q.index(), p + t.index());
+            has_arc[q.index()] = true;
+            has_arc[p + t.index()] = true;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n)
+        .filter(|&v| has_arc[v])
+        .map(|v| find(&mut parent, v))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Places that duplicate an earlier place: identical preset, postset (as
+/// sets) and initial marking. Structurally redundant — they double the
+/// safety bookkeeping without changing behaviour. Returns `(duplicate,
+/// original)` pairs.
+pub fn duplicate_places(net: &PetriNet) -> Vec<(PlaceId, PlaceId)> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(Vec<TransitionId>, Vec<TransitionId>, bool), PlaceId> = HashMap::new();
+    let mut dups = Vec::new();
+    for p in net.places() {
+        let mut pre: Vec<TransitionId> = net.place_preset(p).to_vec();
+        let mut post: Vec<TransitionId> = net.place_postset(p).to_vec();
+        if pre.is_empty() && post.is_empty() {
+            continue;
+        }
+        pre.sort_unstable();
+        pre.dedup();
+        post.sort_unstable();
+        post.dedup();
+        let key = (pre, post, net.initial_marking().contains(p));
+        match seen.get(&key) {
+            Some(&original) => dups.push((p, original)),
+            None => {
+                seen.insert(key, p);
+            }
+        }
+    }
+    dups
+}
+
+/// The structural well-formedness rules, reported exhaustively: every
+/// transition needs a non-empty preset (else it is permanently enabled and
+/// the behaviour unbounded), and a net with transitions needs a non-empty
+/// initial marking. [`PetriNet::validate`] returns the first of these;
+/// the STG linter reports them all with source spans.
+pub fn validation_errors(net: &PetriNet) -> Vec<NetError> {
+    let mut errors = Vec::new();
+    for t in net.transitions() {
+        if net.preset(t).is_empty() {
+            errors.push(NetError::EmptyPreset {
+                transition: t,
+                name: net.transition_name(t).to_owned(),
+            });
+        }
+    }
+    if net.transition_count() > 0 && net.initial_marking().is_empty() {
+        errors.push(NetError::EmptyInitialMarking);
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two-place cycle `p0 → t0 → p1 → t1 → p0`, one token on `p0`.
+    fn cycle() -> PetriNet {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_tp(t0, p1);
+        net.add_arc_pt(p1, t1);
+        net.add_arc_tp(t1, p0);
+        net.mark_initially(p0);
+        net
+    }
+
+    #[test]
+    fn incidence_entries() {
+        let net = cycle();
+        let inc = Incidence::of(&net);
+        assert_eq!(inc.entry(PlaceId(0), TransitionId(0)), -1);
+        assert_eq!(inc.entry(PlaceId(1), TransitionId(0)), 1);
+        assert_eq!(inc.entry(PlaceId(0), TransitionId(1)), 1);
+        assert_eq!(inc.entry(PlaceId(1), TransitionId(1)), -1);
+    }
+
+    #[test]
+    fn self_loop_cancels_in_incidence() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, p);
+        let inc = Incidence::of(&net);
+        assert_eq!(inc.entry(p, t), 0);
+    }
+
+    #[test]
+    fn cycle_invariants() {
+        let net = cycle();
+        let inc = Incidence::of(&net);
+        let p_basis = p_invariant_basis(&inc).expect("exact");
+        // One P-invariant: y = (1, 1).
+        assert_eq!(p_basis, vec![vec![1, 1]]);
+        let t_basis = t_invariant_basis(&inc).expect("exact");
+        // One T-invariant: x = (1, 1).
+        assert_eq!(t_basis, vec![vec![1, 1]]);
+        assert_eq!(non_repeatable_transitions(&inc).expect("exact"), vec![]);
+    }
+
+    #[test]
+    fn acyclic_net_has_no_t_invariant() {
+        // p0 → t0 → p1: t0 fires exactly once.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_tp(t0, p1);
+        net.mark_initially(p0);
+        let inc = Incidence::of(&net);
+        assert_eq!(
+            t_invariant_basis(&inc).expect("exact"),
+            Vec::<Vec<i64>>::new()
+        );
+        assert_eq!(
+            non_repeatable_transitions(&inc).expect("exact"),
+            vec![TransitionId(0)]
+        );
+        // But it still has the conservation P-invariant (1, 1).
+        assert_eq!(p_invariant_basis(&inc).expect("exact"), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn nullspace_of_zero_matrix_is_identity() {
+        let rows = vec![vec![Ratio::ZERO, Ratio::ZERO]];
+        let basis = nullspace(rows, 2).expect("exact");
+        assert_eq!(basis, vec![vec![1, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn certificate_covers_cycle() {
+        let net = cycle();
+        let cert = certify_one_safe(&net);
+        assert!(cert.certified);
+        assert_eq!(cert.invariants, vec![vec![PlaceId(0), PlaceId(1)]]);
+        assert!(cert.uncovered().is_empty());
+        // Token confined to one of two places: bound of 2 states.
+        assert_eq!(structural_state_bound(&net, &cert), Some(2));
+    }
+
+    #[test]
+    fn certificate_rejects_two_token_cycle() {
+        let mut net = cycle();
+        net.mark_initially(PlaceId(1));
+        let cert = certify_one_safe(&net);
+        assert!(!cert.certified);
+        assert_eq!(cert.uncovered(), vec![PlaceId(0), PlaceId(1)]);
+    }
+
+    #[test]
+    fn certificate_handles_fork_join() {
+        // t0 forks into p1 ∥ p2, t3 joins them back into p0.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let fork = net.add_transition("fork");
+        let join = net.add_transition("join");
+        net.add_arc_pt(p0, fork);
+        net.add_arc_tp(fork, p1);
+        net.add_arc_tp(fork, p2);
+        net.add_arc_pt(p1, join);
+        net.add_arc_pt(p2, join);
+        net.add_arc_tp(join, p0);
+        net.mark_initially(p0);
+        let cert = certify_one_safe(&net);
+        // {p0, p1} and {p0, p2} are unary invariants with one token each.
+        assert!(cert.certified);
+        assert_eq!(cert.invariants.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_place_is_trivially_covered() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("bus");
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, p);
+        net.mark_initially(p);
+        let cert = certify_one_safe(&net);
+        assert!(cert.certified);
+        assert_eq!(cert.invariants, vec![vec![p]]);
+    }
+
+    #[test]
+    fn unmarked_siphon_found_and_empty_on_live_cycle() {
+        // Live cycle: no unmarked siphon survives the fixpoint.
+        assert_eq!(unmarked_siphon(&cycle()), vec![]);
+
+        // Unmarked cycle attached to a marked one: {p2, p3} is a siphon.
+        let mut net = cycle();
+        let p2 = net.add_place("p2");
+        let p3 = net.add_place("p3");
+        let t2 = net.add_transition("t2");
+        let t3 = net.add_transition("t3");
+        net.add_arc_pt(p2, t2);
+        net.add_arc_tp(t2, p3);
+        net.add_arc_pt(p3, t3);
+        net.add_arc_tp(t3, p2);
+        let siphon = unmarked_siphon(&net);
+        assert_eq!(siphon, vec![p2, p3]);
+        assert_eq!(dead_by_siphon(&net, &siphon), vec![t2, t3]);
+    }
+
+    #[test]
+    fn classify_cycle_is_all_classes() {
+        let class = classify(&cycle());
+        assert!(class.state_machine);
+        assert!(class.marked_graph);
+        assert!(class.free_choice);
+        assert_eq!(class.describe(), "state machine, marked graph, free choice");
+    }
+
+    #[test]
+    fn classify_non_free_choice() {
+        // Shared place p0 feeds t0 and t1; t1 also needs p1 — asymmetric
+        // choice, not free choice.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_pt(p0, t1);
+        net.add_arc_pt(p1, t1);
+        net.mark_initially(p0);
+        let class = classify(&net);
+        assert!(!class.free_choice);
+        assert!(!class.marked_graph);
+        assert_eq!(class.describe(), "general place/transition net");
+    }
+
+    #[test]
+    fn components_counted_without_isolated_places() {
+        let mut net = cycle();
+        net.add_place("isolated");
+        assert_eq!(connected_components(&net), 1);
+        // A second disconnected cycle.
+        let p2 = net.add_place("p2");
+        let t2 = net.add_transition("t2");
+        net.add_arc_pt(p2, t2);
+        net.add_arc_tp(t2, p2);
+        assert_eq!(connected_components(&net), 2);
+    }
+
+    #[test]
+    fn duplicate_place_detection() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_pt(p0, t0);
+        net.add_arc_tp(t1, p0);
+        net.add_arc_pt(p1, t0);
+        net.add_arc_tp(t1, p1);
+        assert_eq!(duplicate_places(&net), vec![(p1, p0)]);
+    }
+
+    #[test]
+    fn validation_errors_reported_exhaustively() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_tp(t0, p);
+        net.add_arc_tp(t1, p);
+        let errors = validation_errors(&net);
+        assert_eq!(errors.len(), 3); // two empty presets + empty marking
+        assert!(validation_errors(&cycle()).is_empty());
+    }
+
+    #[test]
+    fn state_bound_with_uncovered_places() {
+        // Cycle plus an uncovered 2-token cycle: bound = 2 · 2^2.
+        let mut net = cycle();
+        let p2 = net.add_place("p2");
+        let p3 = net.add_place("p3");
+        let t2 = net.add_transition("t2");
+        let t3 = net.add_transition("t3");
+        net.add_arc_pt(p2, t2);
+        net.add_arc_tp(t2, p3);
+        net.add_arc_pt(p3, t3);
+        net.add_arc_tp(t3, p2);
+        net.mark_initially(p2);
+        net.mark_initially(p3);
+        let cert = certify_one_safe(&net);
+        assert!(!cert.certified);
+        assert_eq!(structural_state_bound(&net, &cert), Some(8));
+    }
+}

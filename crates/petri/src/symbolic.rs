@@ -106,6 +106,13 @@ pub struct SymbolicOptions {
     /// saves, so under a large `gc_threshold` the first sift can happen
     /// well after the pool passes this value.
     pub reorder_threshold: usize,
+    /// Skip the per-iteration symbolic 1-safety check. Only set this when
+    /// 1-safety is already **proven** — e.g. by a structural certificate
+    /// from [`crate::structural::certify_one_safe`]. With the certificate
+    /// in hand the per-transition `fresh_places ∧ reachable` tests are
+    /// dead weight; without it, skipping turns an [`NetError::Unsafe`]
+    /// diagnosis into a silently wrong reachable set.
+    pub assume_one_safe: bool,
 }
 
 impl Default for SymbolicOptions {
@@ -120,6 +127,7 @@ impl Default for SymbolicOptions {
             reorder: ReorderPolicy::Off,
             gc_threshold: 1 << 20,
             reorder_threshold: AutoReorder::DEFAULT_THRESHOLD,
+            assume_one_safe: false,
         }
     }
 }
@@ -251,14 +259,17 @@ impl SymbolicReach {
                     continue;
                 }
                 // 1-safety: a postset place outside the preset must be free.
-                for &p in &rel.fresh_places {
-                    let occupied = mgr.var(p.index());
-                    if !mgr.and(firing, occupied).is_false() {
-                        return Err(NetError::Unsafe {
-                            place: p,
-                            name: net.place_name(p).to_owned(),
-                            transition: TransitionId(ti as u32),
-                        });
+                // A structural certificate makes this test redundant.
+                if !options.assume_one_safe {
+                    for &p in &rel.fresh_places {
+                        let occupied = mgr.var(p.index());
+                        if !mgr.and(firing, occupied).is_false() {
+                            return Err(NetError::Unsafe {
+                                place: p,
+                                name: net.place_name(p).to_owned(),
+                                transition: TransitionId(ti as u32),
+                            });
+                        }
                     }
                 }
                 let freed = mgr.exists(firing, rel.changed);

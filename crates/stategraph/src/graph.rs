@@ -57,7 +57,10 @@ impl StateGraph {
         // v0 constraints harvested from edges: v0[a] = delta(s)[a] ⊕ source.
         let mut v0_known: Vec<Option<bool>> = vec![None; n];
         while let Some(s) = queue.pop_front() {
-            let d = delta[s].clone().expect("visited");
+            let Some(d) = delta[s].clone() else {
+                // Every state is assigned its delta before being enqueued.
+                unreachable!("state {s} queued before its delta was set");
+            };
             for &(t, s2) in graph.successors(s) {
                 let mut d2 = d.clone();
                 if let Some(SignalTransition { signal, polarity }) = stg.label(t) {
@@ -140,7 +143,11 @@ impl StateGraph {
         let codes: Vec<BinaryCode> = delta
             .into_iter()
             .map(|d| {
-                let d = d.expect("all states reached by BFS");
+                let Some(d) = d else {
+                    // The reachability graph only stores states its own BFS
+                    // reached, so the parity BFS above visits all of them.
+                    unreachable!("reachable state missed by the parity BFS");
+                };
                 let mut c = initial_code.clone();
                 for (sig, bit) in d.iter() {
                     if bit {

@@ -107,12 +107,15 @@ pub fn check_csc(stg: &Stg, sg: &StateGraph) -> Vec<CscConflict> {
         for &s in &states[1..] {
             let here = excited_outputs(s);
             if here != reference {
-                let diff = reference
+                let Some(diff) = reference
                     .iter()
                     .chain(&here)
                     .find(|&&sig| reference.contains(&sig) != here.contains(&sig))
                     .copied()
-                    .expect("sets differ");
+                else {
+                    // `here != reference` guarantees a differing element.
+                    unreachable!("unequal excitation sets with no differing signal");
+                };
                 conflicts.push(CscConflict {
                     state_a: states[0],
                     state_b: s,

@@ -12,16 +12,27 @@
 //! the explicit engine's (pinned by the equivalence suites) while the cost
 //! tracks diagram sizes instead of the state count.
 //!
-//! The variable order is seeded from STG signal adjacency
-//! ([`si_bdd::order_from_adjacency`]): signals that talk to each other sit
-//! at neighbouring levels, with each signal's surrounding places interleaved
-//! right below its code bit. On pipeline-style specifications this keeps
-//! the reachable set near-linear where the state count is exponential.
+//! The variable order is seeded from structure
+//! ([`si_bdd::order_from_adjacency`]), selected by [`OrderSeed`]: either
+//! STG signal adjacency (signals that talk to each other sit at
+//! neighbouring levels, with each signal's surrounding places interleaved
+//! right below its code bit), or P-invariant clusters (places of one
+//! token-conservation invariant chained together — the certificate the
+//! structural pass computes anyway). On pipeline-style specifications both
+//! keep the reachable set near-linear where the state count is
+//! exponential, and gate equations are identical under either seed (pinned
+//! by the equivalence suites).
+//!
+//! When the structural pass certifies 1-safety (every place covered by a
+//! unary P-invariant holding at most one initial token), the fixpoint
+//! skips its per-iteration symbolic safety check entirely — the
+//! certificate *is* the proof.
 //!
 //! [`StateGraph`]: crate::StateGraph
 
 use si_bdd::{order_from_adjacency, Bdd, ReorderPolicy};
 use si_cubes::implicit::ImplicitPool;
+use si_petri::structural::{certify_one_safe, SafetyCertificate};
 use si_petri::{AuxAction, SymbolicOptions, SymbolicReach};
 use si_stg::{BinaryCode, Polarity, SignalId, SignalTransition, Stg};
 
@@ -39,7 +50,7 @@ pub struct SymbolicTuning {
     /// last-resort reorder).
     pub node_budget: usize,
     /// Dynamic variable reordering policy; `Auto` keeps specifications
-    /// alive whose adjacency-seeded static order is bad (wide arbitration,
+    /// alive whose statically seeded order is bad (wide arbitration,
     /// many-way choice).
     pub reorder: ReorderPolicy,
     /// Pool size above which garbage is collected between fixpoint
@@ -47,6 +58,33 @@ pub struct SymbolicTuning {
     pub gc_threshold: usize,
     /// Initial live-node trigger of the `Auto` reordering policy.
     pub reorder_threshold: usize,
+    /// Which structural heuristic seeds the static variable order. Gate
+    /// equations are identical under every seed (pinned by the
+    /// equivalence suites); only diagram sizes differ.
+    pub order_seed: OrderSeed,
+    /// Let a structural 1-safety certificate (unary P-invariant cover,
+    /// [`si_petri::structural::certify_one_safe`]) replace the
+    /// per-iteration symbolic safety check. Sound — the certificate is a
+    /// proof — and pinned byte-identical by the equivalence suites;
+    /// `false` keeps the dynamic check for cross-checks and ablations.
+    pub safety_certificates: bool,
+}
+
+/// The structural heuristic that seeds the static BDD variable order
+/// (before any dynamic reordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderSeed {
+    /// Signal adjacency: signals connected through a place sit at
+    /// neighbouring levels, each followed by the places around its
+    /// transitions.
+    #[default]
+    SignalAdjacency,
+    /// P-invariant clusters: the places of each unary P-invariant (the
+    /// token-conservation certificates of the structural pass) are chained
+    /// together, with each signal pulled next to the places its
+    /// transitions touch. Falls back to signal adjacency when the
+    /// structural pass finds no invariant cover.
+    PlaceInvariants,
 }
 
 impl Default for SymbolicTuning {
@@ -57,6 +95,8 @@ impl Default for SymbolicTuning {
             reorder: base.reorder,
             gc_threshold: base.gc_threshold,
             reorder_threshold: base.reorder_threshold,
+            order_seed: OrderSeed::SignalAdjacency,
+            safety_certificates: true,
         }
     }
 }
@@ -119,9 +159,16 @@ impl SymbolicSg {
         let width = stg.signal_count();
         let place_count = net.place_count();
 
+        // One structural pass feeds both integrations: a full certificate
+        // lets every fixpoint below skip its symbolic 1-safety check, and
+        // its invariants seed the `PlaceInvariants` variable order.
+        let certificate = certify_one_safe(net);
+        let assume_one_safe = tuning.safety_certificates && certificate.certified;
+        let order = variable_order(stg, tuning.order_seed, &certificate);
+
         let initial_code = match stg.initial_code() {
             Some(code) => code.clone(),
-            None => infer_initial_code(stg, tuning)?,
+            None => infer_initial_code(stg, tuning, &order, assume_one_safe)?,
         };
 
         let aux_actions: Vec<Vec<AuxAction>> = net
@@ -142,7 +189,8 @@ impl SymbolicSg {
                 .map(|i| initial_code.get(SignalId(i as u32)))
                 .collect(),
             aux_actions,
-            order: Some(variable_order(stg)),
+            order: Some(order),
+            assume_one_safe,
             ..tuning.to_options()
         };
         let mut reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
@@ -294,18 +342,27 @@ impl SymbolicSg {
 /// The places-only projection of [`variable_order`], for marking-only
 /// passes (`aux_vars == 0`): same relative place layout, so the
 /// initial-code inference fixpoints stay as cheap as the main traversal.
-fn place_order(stg: &Stg) -> Vec<usize> {
-    let place_count = stg.net().place_count();
-    variable_order(stg)
-        .into_iter()
+fn place_order(full_order: &[usize], place_count: usize) -> Vec<usize> {
+    full_order
+        .iter()
+        .copied()
         .filter(|&v| v < place_count)
         .collect()
 }
 
-/// Lays the state variables out for locality: signals ordered by the
-/// adjacency heuristic, each immediately followed by the not-yet-placed
-/// places around its transitions, leftovers at the end.
-fn variable_order(stg: &Stg) -> Vec<usize> {
+/// Lays the state variables out for locality under the selected seed.
+fn variable_order(stg: &Stg, seed: OrderSeed, certificate: &SafetyCertificate) -> Vec<usize> {
+    match seed {
+        OrderSeed::SignalAdjacency => adjacency_order(stg),
+        OrderSeed::PlaceInvariants if certificate.invariants.is_empty() => adjacency_order(stg),
+        OrderSeed::PlaceInvariants => invariant_order(stg, certificate),
+    }
+}
+
+/// Signal-adjacency seed: signals ordered by the adjacency heuristic, each
+/// immediately followed by the not-yet-placed places around its
+/// transitions, leftovers at the end.
+fn adjacency_order(stg: &Stg) -> Vec<usize> {
     let net = stg.net();
     let width = stg.signal_count();
     let place_count = net.place_count();
@@ -347,13 +404,51 @@ fn variable_order(stg: &Stg) -> Vec<usize> {
     order
 }
 
+/// P-invariant seed: the bandwidth heuristic runs over *all* state
+/// variables at once, with the places of each unary invariant chained into
+/// a path (token conservation makes them one correlated group) and every
+/// signal's code bit tied to the places its transitions touch. The
+/// resulting order interleaves invariant clusters with their signals.
+fn invariant_order(stg: &Stg, certificate: &SafetyCertificate) -> Vec<usize> {
+    let net = stg.net();
+    let place_count = net.place_count();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for invariant in &certificate.invariants {
+        for pair in invariant.windows(2) {
+            edges.push((pair[0].index(), pair[1].index()));
+        }
+    }
+    for t in net.transitions() {
+        if let Some(label) = stg.label(t) {
+            let code_var = place_count + label.signal.index();
+            for &p in net.preset(t).iter().chain(net.postset(t)) {
+                edges.push((p.index(), code_var));
+            }
+        } else {
+            // Dummies carry no code bit; tie their surrounding places
+            // directly so the cluster stays contiguous.
+            for &p in net.preset(t) {
+                for &q in net.postset(t) {
+                    edges.push((p.index(), q.index()));
+                }
+            }
+        }
+    }
+    order_from_adjacency(place_count + stg.signal_count(), &edges)
+}
+
 /// Infers the initial code the way the explicit builder does, but without
 /// enumerating states: `v₀[a]` is the source value of whichever polarity of
 /// `a` can fire first — read off the enabling sets of a reachability pass
 /// with `a`'s transitions frozen. Signals that never fire default to 0.
-fn infer_initial_code(stg: &Stg, tuning: &SymbolicTuning) -> Result<BinaryCode, SgError> {
+fn infer_initial_code(
+    stg: &Stg,
+    tuning: &SymbolicTuning,
+    full_order: &[usize],
+    assume_one_safe: bool,
+) -> Result<BinaryCode, SgError> {
     let net = stg.net();
-    let order = place_order(stg);
+    let order = place_order(full_order, net.place_count());
     let mut code = BinaryCode::zeros(stg.signal_count());
     for signal in stg.signals() {
         let transitions = stg.transitions_of(signal);
@@ -363,6 +458,7 @@ fn infer_initial_code(stg: &Stg, tuning: &SymbolicTuning) -> Result<BinaryCode, 
         let options = SymbolicOptions {
             frozen: transitions.clone(),
             order: Some(order.clone()),
+            assume_one_safe,
             ..tuning.to_options()
         };
         let reach = SymbolicReach::explore(net, &options).map_err(SgError::Net)?;
@@ -370,13 +466,10 @@ fn infer_initial_code(stg: &Stg, tuning: &SymbolicTuning) -> Result<BinaryCode, 
         let mut can_fall = false;
         for t in transitions {
             if !reach.enabling(t).is_false() {
-                match stg
-                    .label(t)
-                    .expect("transitions_of yields labelled")
-                    .polarity
-                {
-                    Polarity::Rise => can_rise = true,
-                    Polarity::Fall => can_fall = true,
+                match stg.label(t).map(|l| l.polarity) {
+                    Some(Polarity::Rise) => can_rise = true,
+                    Some(Polarity::Fall) => can_fall = true,
+                    None => unreachable!("transitions_of yields labelled transitions"),
                 }
             }
         }
@@ -557,6 +650,56 @@ mod tests {
             Err(SgError::Net(si_petri::NetError::NodeBudgetExceeded {
                 budget: 10
             }))
+        ));
+    }
+
+    #[test]
+    fn invariant_seed_and_certificate_skip_preserve_state_counts() {
+        for stg in [paper_fig1(), vme_read_csc(), muller_pipeline(5)] {
+            let sg = StateGraph::build(&stg, 1_000_000).expect("explicit builds");
+            for (order_seed, safety_certificates) in [
+                (OrderSeed::PlaceInvariants, true),
+                (OrderSeed::PlaceInvariants, false),
+                (OrderSeed::SignalAdjacency, false),
+            ] {
+                let tuning = SymbolicTuning {
+                    order_seed,
+                    safety_certificates,
+                    ..SymbolicTuning::with_budget(BUDGET)
+                };
+                let sym = SymbolicSg::build(&stg, &tuning).expect("symbolic builds");
+                assert_eq!(
+                    sym.state_count(),
+                    sg.len() as u128,
+                    "{} under {:?}/certificates={}",
+                    stg.name(),
+                    order_seed,
+                    safety_certificates
+                );
+                assert_eq!(sym.initial_code(), sg.initial_code(), "{}", stg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_net_still_rejected_without_certificate() {
+        // Two tokens on one cycle: not 1-safe, so no certificate exists and
+        // the dynamic check must still fire regardless of the tuning flag.
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let ap = b.rise(a);
+        let am = b.fall(a);
+        let p = b.arc_tt(ap, am);
+        let q = b.arc_tt(am, ap);
+        b.mark(p);
+        b.mark(q);
+        // Declare v0 so the build reaches the traversal (the inference pass
+        // would reject this spec as inconsistent before exploring).
+        b.initial_all_zero();
+        let stg = b.build().expect("structurally fine");
+        assert!(matches!(
+            sym_build(&stg, BUDGET),
+            Err(SgError::Net(si_petri::NetError::Unsafe { .. }))
         ));
     }
 

@@ -24,7 +24,7 @@ use si_bdd::ReorderPolicy;
 
 use crate::error::SgError;
 use crate::graph::StateGraph;
-use crate::symbolic::{SymbolicSg, SymbolicTuning};
+use crate::symbolic::{OrderSeed, SymbolicSg, SymbolicTuning};
 
 /// The exact on-set/off-set partition of the reachable states for one
 /// signal, as minterm covers over the signal vector.
@@ -388,6 +388,11 @@ pub struct SgSynthesisOptions {
     /// signal. `false` keeps the historical explicit-minterm path for
     /// cross-checks and ablations.
     pub implicit_covers: bool,
+    /// Structural heuristic seeding the symbolic engine's static variable
+    /// order (ignored by the explicit engine). Gate equations are
+    /// byte-identical under every seed (pinned by the equivalence tests);
+    /// only diagram sizes differ.
+    pub symbolic_order_seed: OrderSeed,
 }
 
 impl Default for SgSynthesisOptions {
@@ -403,6 +408,7 @@ impl Default for SgSynthesisOptions {
             exact_minimization: false,
             workers: None,
             implicit_covers: true,
+            symbolic_order_seed: tuning.order_seed,
         }
     }
 }
@@ -414,6 +420,7 @@ impl SgSynthesisOptions {
             node_budget: self.symbolic_node_budget,
             reorder: self.symbolic_reorder,
             gc_threshold: self.symbolic_gc_threshold,
+            order_seed: self.symbolic_order_seed,
             ..SymbolicTuning::default()
         }
     }
@@ -607,8 +614,7 @@ fn implement_implicit(
     let (on, off) = (sets.on, sets.off);
     let mut pool = sets.pool;
     let shared = pool.intersect(on, off);
-    if !shared.is_empty() {
-        let bits = pool.first_minterm(shared).expect("non-empty");
+    if let Some(bits) = pool.first_minterm(shared) {
         return Err(SgError::CscViolation {
             signal: stg.signal_name(signal).to_owned(),
             code: Cube::minterm(bits).to_string(),

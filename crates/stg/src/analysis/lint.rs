@@ -1,0 +1,677 @@
+//! The STG specification linter: severity-ranked, stable-coded
+//! diagnostics derived from the structural pass, with spans into the `.g`
+//! source when the STG came from [`crate::parse_g_lenient`].
+//!
+//! Diagnostic codes are stable API — tools may match on them:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `SI-E001` | error | transition with an empty preset (always enabled) |
+//! | `SI-E002` | error | net has transitions but no initial token |
+//! | `SI-E003` | error | dummy (unlabelled) transition — unsupported by synthesis |
+//! | `SI-W001` | warning | declared signal with no transitions |
+//! | `SI-W002` | warning | 1-safety not structurally certified |
+//! | `SI-W003` | warning | initially unmarked siphon (structurally dead transitions) |
+//! | `SI-W004` | warning | sink transition (empty postset) |
+//! | `SI-W005` | warning | net splits into disconnected components |
+//! | `SI-W006` | warning | place duplicates another (same preset/postset/marking) |
+//! | `SI-W007` | warning | rise/fall alternation violated on a syntactic path |
+//! | `SI-W008` | warning | signal only rises or only falls |
+//! | `SI-W009` | warning | accumulator place (producers but no consumer) |
+//! | `SI-W010` | warning | transition outside every T-invariant (fires finitely often) |
+//! | `SI-I001` | info | structural net class |
+//! | `SI-I002` | info | invariant/safety-certificate summary |
+
+use std::fmt;
+
+use si_petri::NetError;
+
+use super::{analyze, StgAnalysis};
+use crate::error::StgError;
+use crate::model::Stg;
+use crate::parse::{parse_g_lenient, SourceSpans};
+
+/// Severity of a [`Diagnostic`]. Errors make a spec unusable for
+/// synthesis; warnings flag likely specification mistakes; infos report
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The specification cannot be synthesised as written.
+    Error,
+    /// Suspicious structure that usually indicates a mistake.
+    Warning,
+    /// Structural information, not a problem.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// Stable diagnostic codes (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the module-level table documents every code
+pub enum DiagCode {
+    E001,
+    E002,
+    E003,
+    W001,
+    W002,
+    W003,
+    W004,
+    W005,
+    W006,
+    W007,
+    W008,
+    W009,
+    W010,
+    I001,
+    I002,
+}
+
+impl DiagCode {
+    /// The stable string form, e.g. `"SI-W002"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::E001 => "SI-E001",
+            DiagCode::E002 => "SI-E002",
+            DiagCode::E003 => "SI-E003",
+            DiagCode::W001 => "SI-W001",
+            DiagCode::W002 => "SI-W002",
+            DiagCode::W003 => "SI-W003",
+            DiagCode::W004 => "SI-W004",
+            DiagCode::W005 => "SI-W005",
+            DiagCode::W006 => "SI-W006",
+            DiagCode::W007 => "SI-W007",
+            DiagCode::W008 => "SI-W008",
+            DiagCode::W009 => "SI-W009",
+            DiagCode::W010 => "SI-W010",
+            DiagCode::I001 => "SI-I001",
+            DiagCode::I002 => "SI-I002",
+        }
+    }
+
+    /// The severity class of the code.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::E001 | DiagCode::E002 | DiagCode::E003 => Severity::Error,
+            DiagCode::I001 | DiagCode::I002 => Severity::Info,
+            _ => Severity::Warning,
+        }
+    }
+
+    /// Every code, in report order — the source of truth for "is every
+    /// code exercised by the corpus" tests.
+    pub fn all() -> &'static [DiagCode] {
+        &[
+            DiagCode::E001,
+            DiagCode::E002,
+            DiagCode::E003,
+            DiagCode::W001,
+            DiagCode::W002,
+            DiagCode::W003,
+            DiagCode::W004,
+            DiagCode::W005,
+            DiagCode::W006,
+            DiagCode::W007,
+            DiagCode::W008,
+            DiagCode::W009,
+            DiagCode::W010,
+            DiagCode::I001,
+            DiagCode::I002,
+        ]
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Human-readable description, with entity names filled in.
+    pub message: String,
+    /// 1-based `.g` source line, when the STG was parsed with spans.
+    pub line: Option<usize>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.code.severity())?;
+        if let Some(line) = self.line {
+            write!(f, " line {line}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The full result of linting one specification.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// The specification name (from `.model`).
+    pub spec: String,
+    /// All findings, severity-ranked (errors, warnings, infos), then by
+    /// code, then by source line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.code.severity() == severity)
+            .count()
+    }
+
+    /// `true` when any error-severity diagnostic is present — the
+    /// condition under which `synth --lint` exits non-zero.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// `true` when nothing above info severity fired.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.warning_count() == 0
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} errors, {} warnings\n",
+            self.spec,
+            self.error_count(),
+            self.warning_count()
+        );
+        for d in &self.diagnostics {
+            out.push_str("  ");
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled — the workspace
+    /// carries no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"spec\":{},", json_string(&self.spec)));
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"message\":{}}}",
+                d.code,
+                d.code.severity(),
+                match d.line {
+                    Some(l) => l.to_string(),
+                    None => "null".to_owned(),
+                },
+                json_string(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lints `stg`, running the structural pass internally. Pass the
+/// [`SourceSpans`] from [`crate::parse_g_spanned`] /
+/// [`parse_g_lenient`] to get source lines on the diagnostics.
+pub fn lint(stg: &Stg, spans: Option<&SourceSpans>) -> LintReport {
+    lint_with_analysis(stg, &analyze(stg), spans)
+}
+
+/// Parses `.g` text leniently and lints the result — the one-call entry
+/// point behind `synth --lint`.
+///
+/// # Errors
+///
+/// Returns [`StgError`] only for syntax-level problems; structural
+/// problems come back as diagnostics.
+pub fn lint_text(text: &str) -> Result<LintReport, StgError> {
+    let (stg, spans) = parse_g_lenient(text)?;
+    Ok(lint(&stg, Some(&spans)))
+}
+
+/// Truncating name list for summary diagnostics: `a, b, c, … (12 more)`.
+fn name_list(names: &[String]) -> String {
+    const SHOWN: usize = 4;
+    if names.len() <= SHOWN {
+        names.join(", ")
+    } else {
+        format!(
+            "{}, … ({} more)",
+            names[..SHOWN].join(", "),
+            names.len() - SHOWN
+        )
+    }
+}
+
+/// Lints from a pre-computed [`StgAnalysis`] (use when the caller already
+/// ran [`analyze`] for engine integration).
+pub fn lint_with_analysis(
+    stg: &Stg,
+    analysis: &StgAnalysis,
+    spans: Option<&SourceSpans>,
+) -> LintReport {
+    let net = stg.net();
+    let mut diagnostics = Vec::new();
+    let t_line = |t| spans.and_then(|s| s.transition_line(t));
+    let p_line = |p| spans.and_then(|s| s.place_line(p));
+    let s_line = |s_id| spans.and_then(|s| s.signal_line(s_id));
+    let place_names = |places: &[si_petri::PlaceId]| {
+        name_list(
+            &places
+                .iter()
+                .map(|&p| format!("`{}`", net.place_name(p)))
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // SI-E001 / SI-E002: the shared structural validation rules.
+    for e in &analysis.validation {
+        match e {
+            NetError::EmptyPreset { transition, .. } => diagnostics.push(Diagnostic {
+                code: DiagCode::E001,
+                message: format!(
+                    "transition `{}` has an empty preset: it is permanently enabled and \
+                     makes the behaviour unbounded",
+                    stg.transition_label_string(*transition)
+                ),
+                line: t_line(*transition),
+            }),
+            NetError::EmptyInitialMarking => diagnostics.push(Diagnostic {
+                code: DiagCode::E002,
+                message: "the net has transitions but no initial token: nothing can ever fire"
+                    .to_owned(),
+                line: None,
+            }),
+            _ => {}
+        }
+    }
+    // SI-E003: dummy transitions.
+    for &t in &analysis.signals.dummy_transitions {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::E003,
+            message: format!(
+                "transition `{}` is a dummy (unlabelled): synthesis flows reject dummies",
+                stg.transition_label_string(t)
+            ),
+            line: t_line(t),
+        });
+    }
+
+    // SI-W001: dead signals.
+    for &s in &analysis.signals.dead_signals {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W001,
+            message: format!(
+                "signal `{}` is declared but has no transitions",
+                stg.signal_name(s)
+            ),
+            line: s_line(s),
+        });
+    }
+
+    // SI-W002: 1-safety not structurally certified (summary).
+    if !analysis.safety.certified {
+        let uncovered = analysis.safety.uncovered();
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W002,
+            message: format!(
+                "1-safety is not structurally certified: no unary P-invariant with at most \
+                 one initial token covers {} ({} of {} places); the engines will fall back \
+                 to dynamic safety checks",
+                place_names(&uncovered),
+                uncovered.len(),
+                net.place_count()
+            ),
+            line: uncovered.first().and_then(|&p| p_line(p)),
+        });
+    }
+
+    // SI-W003: initially unmarked siphon (summary).
+    if !analysis.dead_transitions.is_empty() {
+        let dead = name_list(
+            &analysis
+                .dead_transitions
+                .iter()
+                .map(|&t| format!("`{}`", stg.transition_label_string(t)))
+                .collect::<Vec<_>>(),
+        );
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W003,
+            message: format!(
+                "the initially unmarked place set {} is a siphon: it can never acquire a \
+                 token, so {} can never fire",
+                place_names(&analysis.siphon),
+                dead
+            ),
+            line: analysis.siphon.first().and_then(|&p| p_line(p)),
+        });
+    }
+
+    // SI-W004: sink transitions.
+    for &t in &analysis.sink_transitions {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W004,
+            message: format!(
+                "transition `{}` has an empty postset: every firing drains a token from \
+                 the net",
+                stg.transition_label_string(t)
+            ),
+            line: t_line(t),
+        });
+    }
+
+    // SI-W005: disconnected components (summary).
+    if analysis.components > 1 {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W005,
+            message: format!(
+                "the net splits into {} disconnected components: independent behaviours \
+                 usually belong in separate specifications",
+                analysis.components
+            ),
+            line: None,
+        });
+    }
+
+    // SI-W006: duplicate places.
+    for &(dup, orig) in &analysis.duplicates {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W006,
+            message: format!(
+                "place `{}` duplicates `{}` (same preset, postset and initial marking): \
+                 it is structurally redundant",
+                net.place_name(dup),
+                net.place_name(orig)
+            ),
+            line: p_line(dup),
+        });
+    }
+
+    // SI-W007: alternation violations.
+    for &(p, s, pol) in &analysis.signals.alternation_violations {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W007,
+            message: format!(
+                "place `{}` chains two `{}{}` transitions: rise/fall alternation of \
+                 `{}` is violated on this path",
+                net.place_name(p),
+                stg.signal_name(s),
+                pol,
+                stg.signal_name(s)
+            ),
+            line: p_line(p),
+        });
+    }
+
+    // SI-W008: single-polarity signals.
+    for &s in &analysis.signals.single_polarity {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W008,
+            message: format!(
+                "signal `{}` has transitions of only one polarity: no consistent binary \
+                 encoding can cycle it",
+                stg.signal_name(s)
+            ),
+            line: s_line(s),
+        });
+    }
+
+    // SI-W009: accumulator places.
+    for &p in &analysis.accumulator_places {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W009,
+            message: format!(
+                "place `{}` has producers but no consumer: tokens accumulate and 1-safety \
+                 is at risk",
+                net.place_name(p)
+            ),
+            line: p_line(p),
+        });
+    }
+
+    // SI-W010: non-repeatable transitions (summary).
+    if let Some(non_rep) = &analysis.non_repeatable {
+        if !non_rep.is_empty() {
+            let names = name_list(
+                &non_rep
+                    .iter()
+                    .map(|&t| format!("`{}`", stg.transition_label_string(t)))
+                    .collect::<Vec<_>>(),
+            );
+            diagnostics.push(Diagnostic {
+                code: DiagCode::W010,
+                message: format!(
+                    "{} transition(s) appear in no T-invariant and can fire at most \
+                     finitely often: {} — cyclic specifications should repeat every \
+                     transition",
+                    non_rep.len(),
+                    names
+                ),
+                line: non_rep.first().and_then(|&t| t_line(t)),
+            });
+        }
+    }
+
+    // SI-I001: net class.
+    diagnostics.push(Diagnostic {
+        code: DiagCode::I001,
+        message: format!("net class: {}", analysis.class.describe()),
+        line: None,
+    });
+
+    // SI-I002: invariant / certificate summary.
+    let p_count = analysis.p_invariants.as_deref().map(<[_]>::len);
+    let t_count = analysis.t_invariants.as_deref().map(<[_]>::len);
+    let fmt_count = |c: Option<usize>| match c {
+        Some(n) => n.to_string(),
+        None => "overflow".to_owned(),
+    };
+    diagnostics.push(Diagnostic {
+        code: DiagCode::I002,
+        message: format!(
+            "{} P-invariant(s), {} T-invariant(s); 1-safety {} by {} unary cover(s){}",
+            fmt_count(p_count),
+            fmt_count(t_count),
+            if analysis.safety.certified {
+                "certified"
+            } else {
+                "not certified"
+            },
+            analysis.safety.invariants.len(),
+            match analysis.state_bound {
+                Some(b) if analysis.safety.certified => format!("; ≤ {b} reachable markings"),
+                _ => String::new(),
+            }
+        ),
+        line: None,
+    });
+
+    // Severity-rank the report: errors, warnings, infos; then code; then
+    // source line (unknown lines last); insertion order breaks ties.
+    let mut keyed: Vec<(usize, Diagnostic)> = diagnostics.into_iter().enumerate().collect();
+    keyed.sort_by(|(ia, a), (ib, b)| {
+        (a.code.severity(), a.code, a.line.unwrap_or(usize::MAX), *ia).cmp(&(
+            b.code.severity(),
+            b.code,
+            b.line.unwrap_or(usize::MAX),
+            *ib,
+        ))
+    });
+    LintReport {
+        spec: stg.name().to_owned(),
+        diagnostics: keyed.into_iter().map(|(_, d)| d).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "
+.model clean
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.initial { req=0 ack=0 }
+.end
+";
+
+    #[test]
+    fn clean_spec_gets_only_infos() {
+        let report = lint_text(CLEAN).expect("parses");
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(!report.has_errors());
+        let codes: Vec<DiagCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![DiagCode::I001, DiagCode::I002]);
+        assert!(report.render().contains("0 errors, 0 warnings"));
+    }
+
+    #[test]
+    fn empty_marking_is_error_with_lenient_parse() {
+        let text = "
+.model bad
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { }
+.end
+";
+        let report = lint_text(text).expect("lenient parse");
+        assert!(report.has_errors());
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == DiagCode::E002)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn source_spans_attached() {
+        let text = "
+.model spans
+.inputs a b
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let report = lint_text(text).expect("parses");
+        // `b` is dead, declared on line 3.
+        let w001 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::W001)
+            .expect("dead signal");
+        assert_eq!(w001.line, Some(3));
+        assert!(w001.message.contains("`b`"));
+    }
+
+    #[test]
+    fn severity_ranking_orders_report() {
+        // Dummy (error) + dead signal (warning): error must come first.
+        let text = "
+.model mix
+.inputs a z
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let report = lint_text(text).expect("parses");
+        let severities: Vec<Severity> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.code.severity())
+            .collect();
+        let mut sorted = severities.clone();
+        sorted.sort();
+        assert_eq!(severities, sorted);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let report = lint_text(CLEAN).expect("parses");
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"spec\":\"clean\""));
+        assert!(json.contains("\"code\":\"SI-I001\""));
+        assert!(json.contains("\"errors\":0"));
+        // Escaping: a name with a quote must not break the string.
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn every_code_has_distinct_string() {
+        let mut seen = std::collections::HashSet::new();
+        for &code in DiagCode::all() {
+            assert!(seen.insert(code.as_str()), "duplicate {code}");
+            assert!(code.as_str().starts_with("SI-"));
+        }
+        assert_eq!(seen.len(), 15);
+    }
+}

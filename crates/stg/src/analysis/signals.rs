@@ -1,0 +1,136 @@
+//! Signal-level static checks: properties of the labelling `L` that the
+//! net-level structural pass (which sees only places and transitions)
+//! cannot express.
+
+use si_petri::{PlaceId, TransitionId};
+
+use crate::model::Stg;
+use crate::signal::{Polarity, SignalId};
+
+/// Findings of the signal-level pass. All lists are in id order and
+/// deduplicated, so diagnostics derived from them are stable.
+#[derive(Debug, Clone, Default)]
+pub struct SignalFindings {
+    /// Declared signals with no transition at all: the declaration is dead
+    /// weight, and an implementable signal without transitions cannot be
+    /// synthesised.
+    pub dead_signals: Vec<SignalId>,
+    /// Signals with transitions of only one polarity — they can only ever
+    /// rise (or only fall), so no consistent binary encoding cycles them.
+    pub single_polarity: Vec<SignalId>,
+    /// Places whose preset and postset contain same-signal, same-polarity
+    /// transitions: the syntactic path `a* → p → a*` repeats a change
+    /// without the opposite change in between, violating rise/fall
+    /// alternation on that path. One entry per offending place.
+    pub alternation_violations: Vec<(PlaceId, SignalId, Polarity)>,
+    /// Unlabelled (dummy) transitions. The data model allows them; both
+    /// synthesis flows reject them up front.
+    pub dummy_transitions: Vec<TransitionId>,
+}
+
+/// Runs the signal-level checks over `stg`.
+pub fn signal_findings(stg: &Stg) -> SignalFindings {
+    let mut findings = SignalFindings::default();
+    let net = stg.net();
+
+    let mut has_rise = vec![false; stg.signal_count()];
+    let mut has_fall = vec![false; stg.signal_count()];
+    for t in net.transitions() {
+        match stg.label(t) {
+            Some(l) => match l.polarity {
+                Polarity::Rise => has_rise[l.signal.index()] = true,
+                Polarity::Fall => has_fall[l.signal.index()] = true,
+            },
+            None => findings.dummy_transitions.push(t),
+        }
+    }
+    for s in stg.signals() {
+        match (has_rise[s.index()], has_fall[s.index()]) {
+            (false, false) => findings.dead_signals.push(s),
+            (true, true) => {}
+            _ => findings.single_polarity.push(s),
+        }
+    }
+
+    for p in net.places() {
+        let violation = net.place_preset(p).iter().find_map(|&t_in| {
+            let l_in = stg.label(t_in)?;
+            net.place_postset(p).iter().find_map(|&t_out| {
+                // A self-loop (same transition on both sides) is a read
+                // arc, not a repeated change.
+                if t_in == t_out {
+                    return None;
+                }
+                let l_out = stg.label(t_out)?;
+                (l_in == l_out).then_some((p, l_in.signal, l_in.polarity))
+            })
+        });
+        if let Some(v) = violation {
+            findings.alternation_violations.push(v);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StgBuilder;
+    use crate::signal::SignalKind;
+
+    #[test]
+    fn dead_and_single_polarity_signals() {
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let _unused = b.signal("u", SignalKind::Output);
+        let only_rise = b.output("r");
+        let ap = b.rise(a);
+        let am = b.fall(a);
+        let rp = b.rise(only_rise);
+        b.arc_tt(ap, rp);
+        b.arc_tt(rp, am);
+        let back = b.arc_tt(am, ap);
+        b.mark(back);
+        let stg = b.must_build();
+        let findings = signal_findings(&stg);
+        assert_eq!(findings.dead_signals.len(), 1);
+        assert_eq!(findings.single_polarity.len(), 1);
+        assert!(findings.alternation_violations.is_empty());
+        assert!(findings.dummy_transitions.is_empty());
+    }
+
+    #[test]
+    fn alternation_violation_detected() {
+        // a+ → p → a+ (second instance): same signal, same polarity.
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let a1 = b.rise(a);
+        let a2 = b.rise(a);
+        let am = b.fall(a);
+        b.arc_tt(a1, a2);
+        b.arc_tt(a2, am);
+        let back = b.arc_tt(am, a1);
+        b.mark(back);
+        let stg = b.must_build();
+        let findings = signal_findings(&stg);
+        assert_eq!(findings.alternation_violations.len(), 1);
+        let (_, signal, polarity) = findings.alternation_violations[0];
+        assert_eq!(signal, a);
+        assert_eq!(polarity, Polarity::Rise);
+    }
+
+    #[test]
+    fn dummies_reported() {
+        let mut b = StgBuilder::new();
+        let a = b.input("a");
+        let ap = b.rise(a);
+        let d = b.dummy("eps");
+        let am = b.fall(a);
+        b.arc_tt(ap, d);
+        b.arc_tt(d, am);
+        let back = b.arc_tt(am, ap);
+        b.mark(back);
+        let stg = b.must_build();
+        assert_eq!(signal_findings(&stg).dummy_transitions, vec![d]);
+    }
+}

@@ -60,7 +60,7 @@ pub fn muller_pipeline(n: usize) -> Stg {
         b.mark(idle);
     }
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 /// Builds a synthetic counterflow-pipeline control STG with `k` stages.
@@ -133,7 +133,7 @@ pub fn counterflow_pipeline(k: usize) -> Stg {
     }
 
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 /// Builds an `n`-way paralleliser in the style of the classic `par_4`
@@ -188,7 +188,7 @@ pub fn parallelizer(n: usize) -> Stg {
     let back = b.arc_tt(ack_m, req_p);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 /// Builds an `n`-stage wide-arbitration pipeline: the adversarial workload
@@ -272,7 +272,7 @@ pub fn wide_arbiter(n: usize) -> Stg {
     }
 
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 /// Builds `k` fully independent two-transition signal loops (`aᵢ+ → aᵢ− →
@@ -297,7 +297,7 @@ pub fn independent_cycles(k: usize) -> Stg {
         b.mark(idle);
     }
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 /// Builds a purely sequential ring over `n` signals: `s0+ → s1+ → … →
@@ -334,7 +334,7 @@ pub fn sequencer(n: usize) -> Stg {
     let back = b.arc_tt(order[order.len() - 1], order[0]);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("generator produces a valid STG")
+    b.must_build()
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod binary;
 mod dot;
 mod error;
@@ -50,6 +51,6 @@ pub use binary::BinaryCode;
 pub use dot::stg_to_dot;
 pub use error::StgError;
 pub use model::{Stg, StgBuilder};
-pub use parse::parse_g;
+pub use parse::{parse_g, parse_g_lenient, parse_g_spanned, SourceSpans};
 pub use signal::{Polarity, SignalId, SignalKind, SignalTransition};
 pub use writer::write_g;

@@ -155,24 +155,20 @@ impl Stg {
             .collect()
     }
 
-    /// Structural validation: the net is well-formed, every signal has at
-    /// least one transition or a known initial value, and the initial code
-    /// (if set) has the right width.
+    /// Structural validation: the net is well-formed (rules shared with
+    /// the linter via [`si_petri::structural::validation_errors`]) and the
+    /// initial code (if set) has the right width (rule shared via
+    /// [`crate::analysis::code_width_error`]).
     ///
     /// # Errors
     ///
     /// Returns the first violated [`StgError`].
     pub fn validate(&self) -> Result<(), StgError> {
         self.net.validate()?;
-        if let Some(code) = &self.initial_code {
-            if code.len() != self.signals.len() {
-                return Err(StgError::CodeWidthMismatch {
-                    expected: self.signals.len(),
-                    found: code.len(),
-                });
-            }
+        match crate::analysis::code_width_error(self) {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -338,6 +334,25 @@ impl StgBuilder {
     /// [`initial_value`]: StgBuilder::initial_value
     /// [`initial_all_zero`]: StgBuilder::initial_all_zero
     pub fn build(self) -> Result<Stg, StgError> {
+        let stg = self.build_unvalidated()?;
+        stg.validate()?;
+        Ok(stg)
+    }
+
+    /// Finalises the STG **without** running [`Stg::validate`].
+    ///
+    /// This is the entry point for analysis tooling (the linter) that wants
+    /// to construct structurally malformed STGs — empty presets, empty
+    /// initial markings — and report every violation as a diagnostic with a
+    /// source span, instead of failing construction on the first one.
+    /// Initial-code assembly errors still apply: they concern data this
+    /// builder itself was given inconsistently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StgError::PartialInitialValues`] if initial values were
+    /// declared for some but not all signals.
+    pub fn build_unvalidated(self) -> Result<Stg, StgError> {
         let initial_code = match self.initial_code {
             Some(code) => Some(code),
             None if self.signals.len() == self.initial_values.len() => {
@@ -362,8 +377,24 @@ impl StgBuilder {
             initial_code,
             name: self.name,
         };
-        stg.validate()?;
         Ok(stg)
+    }
+
+    /// Finalises the STG, panicking on failure.
+    ///
+    /// For generators and fixtures whose construction is an internal
+    /// invariant: a failure here is a bug in the construction code, not a
+    /// user-facing condition, so there is nothing structured to return.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the underlying [`StgError`] if validation fails.
+    #[must_use]
+    pub fn must_build(self) -> Stg {
+        match self.build() {
+            Ok(stg) => stg,
+            Err(e) => panic!("internal STG construction failed: {e}"),
+        }
     }
 }
 

@@ -63,7 +63,75 @@ use crate::signal::{Polarity, SignalId, SignalKind};
 /// # }
 /// ```
 pub fn parse_g(text: &str) -> Result<Stg, StgError> {
-    Parser::new().parse(text)
+    Parser::new().parse(text, true).map(|(stg, _)| stg)
+}
+
+/// Parses an STG from `.g` text, additionally returning the
+/// [`SourceSpans`] mapping every signal, transition and place back to the
+/// line that introduced it — the raw material for linter diagnostics.
+///
+/// # Errors
+///
+/// Same as [`parse_g`].
+pub fn parse_g_spanned(text: &str) -> Result<(Stg, SourceSpans), StgError> {
+    Parser::new().parse(text, true)
+}
+
+/// Parses an STG from `.g` text **leniently**: syntax errors are still
+/// hard [`StgError`]s, but structural validation ([`Stg::validate`]) is
+/// skipped, so specifications with empty presets or an empty initial
+/// marking come back as `Stg` values the linter can diagnose with precise
+/// spans instead of a single first-error.
+///
+/// # Errors
+///
+/// Returns [`StgError::Parse`] and friends for syntax-level problems only.
+pub fn parse_g_lenient(text: &str) -> Result<(Stg, SourceSpans), StgError> {
+    Parser::new().parse(text, false)
+}
+
+/// 1-based source lines of the entities of a parsed `.g` file: for each
+/// signal the declaring `.inputs`/`.outputs`/`.internal` line, for each
+/// transition and place the first line that used it. Ids created outside
+/// parsing (or the synthetic entities of generators) have no span.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSpans {
+    signals: Vec<usize>,
+    transitions: Vec<usize>,
+    places: Vec<usize>,
+}
+
+impl SourceSpans {
+    fn note(slot: &mut Vec<usize>, index: usize, line: usize) {
+        if slot.len() <= index {
+            slot.resize(index + 1, 0);
+        }
+        if slot[index] == 0 {
+            slot[index] = line;
+        }
+    }
+
+    fn get(slot: &[usize], index: usize) -> Option<usize> {
+        match slot.get(index) {
+            Some(&line) if line > 0 => Some(line),
+            _ => None,
+        }
+    }
+
+    /// The line declaring `signal`, if known.
+    pub fn signal_line(&self, signal: SignalId) -> Option<usize> {
+        Self::get(&self.signals, signal.index())
+    }
+
+    /// The line first using `transition`, if known.
+    pub fn transition_line(&self, transition: TransitionId) -> Option<usize> {
+        Self::get(&self.transitions, transition.index())
+    }
+
+    /// The line first using `place`, if known.
+    pub fn place_line(&self, place: PlaceId) -> Option<usize> {
+        Self::get(&self.places, place.index())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +155,7 @@ struct Parser {
     dummies: HashSet<String>,
     saw_marking: bool,
     initial: HashMap<String, bool>,
+    spans: SourceSpans,
 }
 
 impl Parser {
@@ -101,6 +170,7 @@ impl Parser {
             dummies: HashSet::new(),
             saw_marking: false,
             initial: HashMap::new(),
+            spans: SourceSpans::default(),
         }
     }
 
@@ -111,7 +181,7 @@ impl Parser {
         }
     }
 
-    fn parse(mut self, text: &str) -> Result<Stg, StgError> {
+    fn parse(mut self, text: &str, strict: bool) -> Result<(Stg, SourceSpans), StgError> {
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = match raw.find('#') {
@@ -127,7 +197,7 @@ impl Parser {
         if !self.saw_marking {
             return Err(Self::err(0, "missing .marking section"));
         }
-        self.finish()
+        self.finish(strict)
     }
 
     /// Signal and dummy names must be plain identifiers: anything with
@@ -151,6 +221,7 @@ impl Parser {
             });
         }
         let id = self.builder.signal(name, kind);
+        SourceSpans::note(&mut self.spans.signals, id.index(), line_no);
         self.signal_ids.insert(name.to_owned(), id);
         Ok(())
     }
@@ -294,20 +365,21 @@ impl Parser {
         let dst_is_t = self.is_transition_token(line_no, dst)?;
         match (src_is_t, dst_is_t) {
             (true, true) => {
-                let from = self.transition(src)?;
-                let to = self.transition(dst)?;
+                let from = self.transition(line_no, src)?;
+                let to = self.transition(line_no, dst)?;
                 let place = self.builder.arc_tt(from, to);
+                SourceSpans::note(&mut self.spans.places, place.index(), line_no);
                 self.implicit
                     .insert((src.to_owned(), dst.to_owned()), place);
             }
             (true, false) => {
-                let from = self.transition(src)?;
-                let place = self.place(dst);
+                let from = self.transition(line_no, src)?;
+                let place = self.place(line_no, dst);
                 self.builder.arc_tp(from, place);
             }
             (false, true) => {
-                let place = self.place(src);
-                let to = self.transition(dst)?;
+                let place = self.place(line_no, src);
+                let to = self.transition(line_no, dst)?;
                 self.builder.arc_pt(place, to);
             }
             (false, false) => {
@@ -320,7 +392,7 @@ impl Parser {
         Ok(())
     }
 
-    fn transition(&mut self, token: &str) -> Result<TransitionId, StgError> {
+    fn transition(&mut self, line_no: usize, token: &str) -> Result<TransitionId, StgError> {
         if let Some(&t) = self.transitions.get(token) {
             return Ok(t);
         }
@@ -343,15 +415,17 @@ impl Parser {
                 })?;
             self.builder.transition(sig, polarity)
         };
+        SourceSpans::note(&mut self.spans.transitions, t.index(), line_no);
         self.transitions.insert(token.to_owned(), t);
         Ok(t)
     }
 
-    fn place(&mut self, name: &str) -> PlaceId {
+    fn place(&mut self, line_no: usize, name: &str) -> PlaceId {
         if let Some(&p) = self.places.get(name) {
             return p;
         }
         let p = self.builder.place(name);
+        SourceSpans::note(&mut self.spans.places, p.index(), line_no);
         self.places.insert(name.to_owned(), p);
         p
     }
@@ -436,7 +510,7 @@ impl Parser {
         Ok(())
     }
 
-    fn finish(self) -> Result<Stg, StgError> {
+    fn finish(self, strict: bool) -> Result<(Stg, SourceSpans), StgError> {
         let mut builder = self.builder;
         if !self.initial.is_empty() {
             let mut signals: Vec<(String, SignalId)> = self.signal_ids.into_iter().collect();
@@ -455,7 +529,12 @@ impl Parser {
             }
             builder.set_initial_code(BinaryCode::from_bits(bits));
         }
-        builder.build()
+        let stg = if strict {
+            builder.build()?
+        } else {
+            builder.build_unvalidated()?
+        };
+        Ok((stg, self.spans))
     }
 }
 

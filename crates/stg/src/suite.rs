@@ -73,7 +73,7 @@ pub fn paper_fig1() -> Stg {
 
     b.mark(pid(1));
     b.initial_all_zero();
-    b.build().expect("paper fig1 is a valid STG")
+    b.must_build()
 }
 
 /// The STG of the paper's Figure 4(a)/(b): seven signals `a…g`, one fork
@@ -147,7 +147,7 @@ pub fn paper_fig4ab() -> Stg {
 
     b.mark(pid(1));
     b.initial_all_zero();
-    b.build().expect("paper fig4ab is a valid STG")
+    b.must_build()
 }
 
 /// The STG fragment of the paper's Figure 4(c), closed into a consistent
@@ -172,11 +172,12 @@ pub fn paper_fig4c() -> Stg {
     let used = [1usize, 2, 3, 4, 5, 7, 8, 9];
     let created: Vec<_> = used.iter().map(|i| b.place(format!("p{i}"))).collect();
     let pid = |i: usize| {
-        let idx = used
-            .iter()
-            .position(|&u| u == i)
-            .expect("p6 is not part of the fragment");
-        created[idx]
+        match used.iter().position(|&u| u == i) {
+            Some(idx) => created[idx],
+            // p6 belongs to the untouched part of the net; asking for it
+            // is a bug in this function, not a runtime condition.
+            None => unreachable!("place p{i} is not part of the fragment"),
+        }
     };
 
     // +a: p1 → {p2, p3}
@@ -215,7 +216,7 @@ pub fn paper_fig4c() -> Stg {
 
     b.mark(pid(1));
     b.initial_all_zero();
-    b.build().expect("paper fig4c is a valid STG")
+    b.must_build()
 }
 
 /// The classic VME bus controller (read cycle) **without** CSC resolution —
@@ -262,7 +263,7 @@ pub fn vme_read_no_csc() -> Stg {
     let dtack_cycle = b.arc_tt(dtack_m, dsr_p);
     b.mark(dtack_cycle);
     b.initial_all_zero();
-    b.build().expect("vme is a valid STG")
+    b.must_build()
 }
 
 /// The VME bus read controller with the classic CSC resolution signal
@@ -309,7 +310,7 @@ pub fn vme_read_csc() -> Stg {
     let dtack_cycle = b.arc_tt(dtack_m, dsr_p);
     b.mark(dtack_cycle);
     b.initial_all_zero();
-    b.build().expect("vme-csc is a valid STG")
+    b.must_build()
 }
 
 /// A two-client request multiplexer (allocator with environment choice):
@@ -339,7 +340,7 @@ pub fn request_mux() -> Stg {
     }
     b.mark(free);
     b.initial_all_zero();
-    b.build().expect("request mux is a valid STG")
+    b.must_build()
 }
 
 /// A concurrent fork/join controller: request fans out to two independent
@@ -383,7 +384,7 @@ pub fn concurrent_fork_join() -> Stg {
     let back = b.arc_tt(ack_m, req_p);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("fork-join is a valid STG")
+    b.must_build()
 }
 
 /// The classic speed-independent toggle: outputs `a` and `b` change on
@@ -416,7 +417,7 @@ pub fn toggle() -> Stg {
     let back = b.arc_tt(b_m, x_p1);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("toggle is a valid STG")
+    b.must_build()
 }
 
 /// A bus master read controller in the style of the classic `master-read`
@@ -478,7 +479,7 @@ pub fn master_read() -> Stg {
     let back = b.arc_tt(ack_m, req_p);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("master-read is a valid STG")
+    b.must_build()
 }
 
 /// A choice-then-merge controller in the style of `alloc-outbound`: the
@@ -516,7 +517,7 @@ pub fn choice_merge() -> Stg {
     }
     b.mark(free);
     b.initial_all_zero();
-    b.build().expect("choice-merge is a valid STG")
+    b.must_build()
 }
 
 /// A two-stage FIFO send controller in the style of `sbuf-send-ctl`: the
@@ -554,7 +555,7 @@ pub fn fifo_send() -> Stg {
     let back = b.arc_tt(ack_m, req_p);
     b.mark(back);
     b.initial_all_zero();
-    b.build().expect("fifo-send is a valid STG")
+    b.must_build()
 }
 
 /// All suite entries that are expected to satisfy CSC (and therefore be

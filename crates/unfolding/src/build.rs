@@ -321,7 +321,12 @@ impl Builder<'_> {
     fn add_event(&mut self, cand: Candidate) -> Result<(), UnfoldError> {
         let stg = self.stg;
         let net = stg.net();
-        let label = stg.label(cand.transition).expect("fully labelled");
+        let label = match stg.label(cand.transition) {
+            Some(label) => label,
+            // Dummy transitions were rejected in `unfold` before any
+            // candidate was queued.
+            None => unreachable!("unlabelled transition queued as a candidate"),
+        };
         let id = EventId(self.events.len() as u32);
 
         // Parity of ⌈e⌉ \ {e}: toggle per event in causes.

@@ -226,10 +226,9 @@ impl StgUnfolding {
     /// [`first_instances`](Self::first_instances) for the slice entered at
     /// the initial state.
     pub fn next_instances(&self, e: EventId) -> Vec<EventId> {
-        let signal = self
-            .label(e)
-            .expect("next_instances of a labelled event")
-            .signal;
+        let Some(signal) = self.label(e).map(|l| l.signal) else {
+            panic!("next_instances of the unlabelled initial event ⊥");
+        };
         let mut out = Vec::new();
         let mut seen_events = BitSet::new();
         let mut stack: Vec<EventId> = vec![e];
@@ -239,7 +238,12 @@ impl StgUnfolding {
                     if !seen_events.insert(consumer.index()) {
                         continue;
                     }
-                    let l = self.events[consumer.index()].label.expect("labelled");
+                    // Non-root events always carry a label (dummy-free
+                    // prefixes are enforced at unfold time), and ⊥ consumes
+                    // nothing, so every consumer here is labelled.
+                    let Some(l) = self.events[consumer.index()].label else {
+                        unreachable!("unlabelled event consuming a condition");
+                    };
                     if l.signal == signal {
                         out.push(consumer);
                     } else {

@@ -1,0 +1,69 @@
+//! The linter never panics: any byte soup either parses leniently and
+//! yields a report, or fails with a structured `StgError` — never a panic.
+//! Inputs are random mutations of real specs plus raw token soup, the same
+//! adversarial-input idiom as the parser round-trip suite.
+
+use proptest::prelude::*;
+use si_synth::stg::analysis::lint_text;
+use si_synth::stg::{generators::muller_pipeline, suite::vme_read_csc, write_g};
+
+/// Mutations applied to a valid `.g` text: deletions, duplications and
+/// splices move structure around without caring about syntax.
+fn mutate(text: &str, ops: &[(usize, u8)]) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    for &(pos, op) in ops {
+        if lines.is_empty() {
+            break;
+        }
+        let i = pos % lines.len();
+        match op % 4 {
+            0 => {
+                lines.remove(i);
+            }
+            1 => lines.insert(i, lines[i].clone()),
+            2 => {
+                let j = (pos / 7) % lines.len();
+                lines.swap(i, j);
+            }
+            _ => {
+                let line = lines[i].clone();
+                let cut = (pos / 3) % (line.len() + 1);
+                lines[i] = line[..cut].to_owned();
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_specs_never_panic_the_linter(
+        base in 0usize..2,
+        ops in proptest::collection::vec((0usize..1000, 0u8..8), 0..12),
+    ) {
+        let text = match base {
+            0 => write_g(&vme_read_csc()),
+            _ => write_g(&muller_pipeline(4)),
+        };
+        let mutated = mutate(&text, &ops);
+        // Either outcome is fine; reaching it without a panic is the test.
+        let _ = lint_text(&mutated);
+    }
+
+    #[test]
+    fn token_soup_never_panics_the_linter(
+        chars in proptest::collection::vec(0usize..ALPHABET.len(), 0..300),
+    ) {
+        let s: String = chars.iter().map(|&i| ALPHABET[i]).collect();
+        let _ = lint_text(&s);
+    }
+}
+
+/// Characters that occur in (and around) the `.g` grammar — enough to make
+/// random soup hit every parser branch.
+const ALPHABET: &[char] = &[
+    ' ', '.', 'a', 'b', 'g', 'm', 'r', 'k', 'i', 'n', 'p', 'u', 't', 's', 'd', 'e', '+', '-', '/',
+    '0', '1', '9', '{', '}', '<', '>', ',', '=', '\n', '#',
+];

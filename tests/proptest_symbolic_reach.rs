@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use si_synth::cubes::implicit::MintermList;
 use si_synth::petri::ReachabilityGraph;
 use si_synth::stategraph::{
-    synthesize_from_sg, synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesisOptions,
-    StateGraph, SymbolicSg, SymbolicTuning,
+    synthesize_from_sg, synthesize_from_symbolic_sg, OrderSeed, ReorderPolicy, SgEngine,
+    SgSynthesisOptions, StateGraph, SymbolicSg, SymbolicTuning,
 };
 use si_synth::stg::generators::{
     counterflow_pipeline, muller_pipeline, parallelizer, wide_arbiter,
@@ -47,12 +47,16 @@ fn build(family: &Family) -> Stg {
 
 /// A random pool tuning: every combination must leave the results alone.
 fn tuning() -> impl Strategy<Value = SymbolicTuning> {
-    (0usize..3, 0usize..3, 1usize..3).prop_map(|(reorder, gc, sift)| SymbolicTuning {
-        node_budget: NODE_BUDGET,
-        reorder: [ReorderPolicy::Off, ReorderPolicy::Sift, ReorderPolicy::Auto][reorder],
-        gc_threshold: [0, 64, 1 << 20][gc],
-        reorder_threshold: [1, 256][sift - 1],
-    })
+    (0usize..3, 0usize..3, 1usize..3, 0usize..2, 0usize..2).prop_map(
+        |(reorder, gc, sift, seed, certs)| SymbolicTuning {
+            node_budget: NODE_BUDGET,
+            reorder: [ReorderPolicy::Off, ReorderPolicy::Sift, ReorderPolicy::Auto][reorder],
+            gc_threshold: [0, 64, 1 << 20][gc],
+            reorder_threshold: [1, 256][sift - 1],
+            order_seed: [OrderSeed::SignalAdjacency, OrderSeed::PlaceInvariants][seed],
+            safety_certificates: certs == 1,
+        },
+    )
 }
 
 const STATE_BUDGET: usize = 2_000_000;

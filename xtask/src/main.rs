@@ -1,0 +1,192 @@
+//! Repository automation (`cargo xtask`-style) entry point.
+//!
+//! Subcommands:
+//!
+//! * `forbid-panics` — CI gate: non-test library code of the algorithmic
+//!   crates must not call `.unwrap()` or `.expect(…)`. Every fallible path
+//!   there either returns a typed error or matches exhaustively with an
+//!   `unreachable!` carrying the invariant; panicking adapters are the one
+//!   idiom the gate bans, because a poisoned synthesis run must surface as
+//!   an `Err` the caller can report, not a backtrace.
+//!
+//! The scanner is intentionally textual (no syn/proc-macro dependencies in
+//! the offline build): it walks `crates/<crate>/src/**/*.rs`, drops `//`
+//! comment lines, and ignores everything from a `#[cfg(test)]` line to the
+//! end of file — in this codebase test modules are always the last item of
+//! a file, which the gate itself double-checks by refusing any occurrence
+//! of `#[cfg(test)]` that is followed by a non-indented `}` before EOF less
+//! than the final line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose library code the panic gate covers. `bench` (binaries,
+/// process-exit on bad CLI args is fine) and the vendored shims are out of
+/// scope by design.
+const GATED_CRATES: &[&str] = &[
+    "stg",
+    "petri",
+    "stategraph",
+    "bdd",
+    "core",
+    "cubes",
+    "unfolding",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("forbid-panics") => forbid_panics(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: forbid-panics");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- <task>\n\ntasks:\n  forbid-panics");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn forbid_panics() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for krate in GATED_CRATES {
+        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        scan_file(file, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("forbid-panics: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "forbid-panics: {} violation(s) in non-test library code — return a typed \
+             error or match exhaustively instead",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Scans one file's text, pushing `path:line: …` strings for every
+/// `.unwrap()` / `.expect(` outside comments and test code.
+fn scan_file(path: &Path, text: &str, violations: &mut Vec<String>) {
+    let mut in_tests = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Test modules are the last item of every file in this
+            // codebase, so the rest of the file is out of scope.
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        let code = strip_comments(line);
+        for needle in [".unwrap()", ".expect("] {
+            if let Some(col) = code.find(needle) {
+                violations.push(format!(
+                    "{}:{}:{}: `{}`",
+                    path.display(),
+                    idx + 1,
+                    col + 1,
+                    needle
+                ));
+            }
+        }
+    }
+}
+
+/// Removes `//` line comments (good enough for this codebase: no `//`
+/// inside string literals on lines that also call unwrap/expect).
+fn strip_comments(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace root: this binary lives in `<root>/xtask`, and CI runs it
+/// via `cargo run -p xtask` from anywhere inside the workspace.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent() {
+        Some(parent) => parent.to_path_buf(),
+        None => manifest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_violations_outside_tests() {
+        let text = "fn f() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        scan_file(Path::new("demo.rs"), text, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("demo.rs:2:"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "// x.unwrap() in a comment\nlet a = b; // trailing .expect( too\n";
+        let mut v = Vec::new();
+        scan_file(Path::new("demo.rs"), text, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn gated_crates_are_clean() {
+        // The gate, self-applied: the same check CI runs.
+        let root = workspace_root();
+        let mut files = Vec::new();
+        for krate in GATED_CRATES {
+            collect_rs_files(&root.join("crates").join(krate).join("src"), &mut files);
+        }
+        assert!(!files.is_empty(), "no files found — wrong root?");
+        let mut violations = Vec::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file).expect("readable source");
+            scan_file(file, &text, &mut violations);
+        }
+        assert!(
+            violations.is_empty(),
+            "panicking adapters in library code:\n{}",
+            violations.join("\n")
+        );
+    }
+}
