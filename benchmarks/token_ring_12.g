@@ -1,0 +1,30 @@
+.model token-ring-12
+.outputs g0 g1 g2 g3 g4 g5 g6 g7 g8 g9 g10 g11
+.graph
+g0+ g1+ g11-
+g1+ g0- g2+
+g2+ g1- g3+
+g3+ g2- g4+
+g4+ g3- g5+
+g5+ g4- g6+
+g6+ g5- g7+
+g7+ g6- g8+
+g8+ g7- g9+
+g9+ g8- g10+
+g10+ g9- g11+
+g11+ g10- g0+
+g0- g1- g11+
+g1- g0+ g2-
+g2- g1+ g3-
+g3- g2+ g4-
+g4- g3+ g5-
+g5- g4+ g6-
+g6- g5+ g7-
+g7- g6+ g8-
+g8- g7+ g9-
+g9- g8+ g10-
+g10- g9+ g11-
+g11- g10+ g0-
+.marking { <g0+,g1+> <g2-,g1+> <g2-,g3-> <g3+,g4+> <g5-,g4+> <g5-,g6-> <g6+,g7+> <g8-,g7+> <g8-,g9-> <g9+,g10+> <g11-,g10+> <g11-,g0-> }
+.initial { g0=1 g1=0 g2=0 g3=1 g4=0 g5=0 g6=1 g7=0 g8=0 g9=1 g10=0 g11=0 }
+.end

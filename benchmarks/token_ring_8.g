@@ -1,0 +1,22 @@
+.model token-ring-8
+.outputs g0 g1 g2 g3 g4 g5 g6 g7
+.graph
+g0+ g1+ g7-
+g1+ g0- g2+
+g2+ g1- g3+
+g3+ g2- g4+
+g4+ g3- g5+
+g5+ g4- g6+
+g6+ g5- g7+
+g7+ g6- g0+
+g0- g1- g7+
+g1- g0+ g2-
+g2- g1+ g3-
+g3- g2+ g4-
+g4- g3+ g5-
+g5- g4+ g6-
+g6- g5+ g7-
+g7- g6+ g0-
+.marking { <g0+,g1+> <g2-,g1+> <g2-,g3-> <g3+,g4+> <g5-,g4+> <g6-,g5+> <g7-,g6+> <g7-,g0-> }
+.initial { g0=1 g1=0 g2=0 g3=1 g4=0 g5=0 g6=0 g7=0 }
+.end

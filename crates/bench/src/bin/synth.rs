@@ -5,15 +5,29 @@
 //! ```text
 //! Usage: synth <spec.g> [options]
 //!
-//!   --flow sg|unfolding    synthesis flow (default: unfolding)
-//!   --engine explicit|symbolic
+//!   --flow sg|unfolding|auto
+//!                          synthesis flow (default: unfolding); `auto`
+//!                          picks from structure alone — explicit SG when
+//!                          the 1-safety certificate bounds the state
+//!                          count within budget, unfolding for choice-free
+//!                          nets beyond it, symbolic SG otherwise — and
+//!                          reports the choice in the timing breakdown
+//!   --engine explicit|symbolic|auto
 //!                          (sg flow) state-traversal engine: explicit
-//!                          enumeration or the BDD-based symbolic engine
-//!                          (default: explicit; rejected with --flow
-//!                          unfolding, which has no state graph)
+//!                          enumeration, the BDD-based symbolic engine, or
+//!                          `auto` (explicit when the structural state
+//!                          bound fits the budget, symbolic otherwise)
+//!                          (default: explicit; symbolic/auto rejected
+//!                          with --flow unfolding, which has no state
+//!                          graph)
 //!   --cover exact|approx   cover derivation / minimisation mode
 //!                          (default: approx; for --flow sg, `exact`
 //!                          selects exact Quine–McCluskey minimisation)
+//!   --covers implicit|explicit
+//!                          point-set representation inside the flows:
+//!                          implicit shared-subgraph diagrams (default) or
+//!                          the historical explicit cube lists — gate
+//!                          equations are byte-identical either way
 //!   --workers N            worker threads (default: one per CPU)
 //!   --budget N             traversal budget: max states (explicit sg),
 //!                          max live BDD nodes (symbolic sg) or slice
@@ -57,12 +71,22 @@ use si_stategraph::{
 };
 use si_stg::analysis::lint_text;
 use si_stg::{parse_g, Stg};
-use si_synthesis::{synthesize_from_unfolding, CoverMode, SynthesisOptions};
+use si_synthesis::{
+    choose_flow, synthesize_from_unfolding, CoverMode, FlowChoice, SynthesisOptions,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Flow {
     Sg,
     Unfolding,
+    Auto,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineArg {
+    Explicit,
+    Symbolic,
+    Auto,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +99,9 @@ enum LintMode {
 struct Args {
     path: String,
     flow: Flow,
-    engine: SgEngine,
+    engine: EngineArg,
     exact: bool,
+    implicit_covers: bool,
     workers: Option<usize>,
     budget: Option<usize>,
     reorder: ReorderPolicy,
@@ -86,9 +111,10 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "Usage: synth <spec.g> [--flow sg|unfolding] [--engine explicit|symbolic] \
-     [--cover exact|approx] [--workers N] [--budget N] [--reorder off|sift|auto] \
-     [--order-seed adjacency|invariants] [--invert] [--lint | --lint-json]"
+    "Usage: synth <spec.g> [--flow sg|unfolding|auto] [--engine explicit|symbolic|auto] \
+     [--cover exact|approx] [--covers implicit|explicit] [--workers N] [--budget N] \
+     [--reorder off|sift|auto] [--order-seed adjacency|invariants] [--invert] \
+     [--lint | --lint-json]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
     let mut flow = Flow::Unfolding;
     let mut engine = None;
     let mut exact = false;
+    let mut implicit_covers = true;
     let mut workers = None;
     let mut budget = None;
     let mut reorder = ReorderPolicy::Auto;
@@ -109,15 +136,19 @@ fn parse_args() -> Result<Args, String> {
                 flow = match args.next().as_deref() {
                     Some("sg") => Flow::Sg,
                     Some("unfolding") => Flow::Unfolding,
-                    other => return Err(format!("--flow needs sg|unfolding, got {other:?}")),
+                    Some("auto") => Flow::Auto,
+                    other => return Err(format!("--flow needs sg|unfolding|auto, got {other:?}")),
                 }
             }
             "--engine" => {
                 engine = match args.next().as_deref() {
-                    Some("explicit") => Some(SgEngine::Explicit),
-                    Some("symbolic") => Some(SgEngine::Symbolic),
+                    Some("explicit") => Some(EngineArg::Explicit),
+                    Some("symbolic") => Some(EngineArg::Symbolic),
+                    Some("auto") => Some(EngineArg::Auto),
                     other => {
-                        return Err(format!("--engine needs explicit|symbolic, got {other:?}"))
+                        return Err(format!(
+                            "--engine needs explicit|symbolic|auto, got {other:?}"
+                        ))
                     }
                 }
             }
@@ -126,6 +157,15 @@ fn parse_args() -> Result<Args, String> {
                     Some("exact") => true,
                     Some("approx") => false,
                     other => return Err(format!("--cover needs exact|approx, got {other:?}")),
+                }
+            }
+            "--covers" => {
+                implicit_covers = match args.next().as_deref() {
+                    Some("implicit") => true,
+                    Some("explicit") => false,
+                    other => {
+                        return Err(format!("--covers needs implicit|explicit, got {other:?}"))
+                    }
                 }
             }
             "--workers" => {
@@ -171,9 +211,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let path = path.ok_or_else(|| usage().to_owned())?;
-    if flow == Flow::Unfolding && engine == Some(SgEngine::Symbolic) {
+    if flow == Flow::Unfolding && matches!(engine, Some(EngineArg::Symbolic | EngineArg::Auto)) {
         return Err(format!(
-            "--engine symbolic requires --flow sg: the unfolding flow never builds a \
+            "--engine symbolic|auto requires --flow sg: the unfolding flow never builds a \
              state graph, so there is no state-traversal engine to choose\n{}",
             usage()
         ));
@@ -181,8 +221,9 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         path,
         flow,
-        engine: engine.unwrap_or_default(),
+        engine: engine.unwrap_or(EngineArg::Explicit),
         exact,
+        implicit_covers,
         workers,
         budget,
         reorder,
@@ -218,9 +259,55 @@ fn main() -> ExitCode {
         }
     };
     println!("{stg}");
+    let state_budget = args
+        .budget
+        .unwrap_or(SgSynthesisOptions::default().state_budget);
     match args.flow {
-        Flow::Sg => run_sg(&stg, &args),
-        Flow::Unfolding => run_unfolding(&stg, &args),
+        Flow::Sg => {
+            let (engine, note) = match args.engine {
+                EngineArg::Explicit => (SgEngine::Explicit, None),
+                EngineArg::Symbolic => (SgEngine::Symbolic, None),
+                EngineArg::Auto => {
+                    // The flow is pinned to sg, so the structural policy
+                    // only decides the traversal engine: explicit when the
+                    // certificate bounds the state count within budget.
+                    let decision = choose_flow(&stg, state_budget);
+                    let engine = match decision.choice {
+                        FlowChoice::SgExplicit => SgEngine::Explicit,
+                        FlowChoice::Unfolding | FlowChoice::SgSymbolic => SgEngine::Symbolic,
+                    };
+                    let name = match engine {
+                        SgEngine::Explicit => "explicit engine",
+                        SgEngine::Symbolic => "symbolic engine",
+                    };
+                    (engine, Some(format!("{name} ({})", decision.reason)))
+                }
+            };
+            run_sg(&stg, &args, engine, note)
+        }
+        Flow::Unfolding => run_unfolding(&stg, &args, None),
+        Flow::Auto => {
+            let decision = choose_flow(&stg, state_budget);
+            match decision.choice {
+                FlowChoice::SgExplicit => run_sg(
+                    &stg,
+                    &args,
+                    SgEngine::Explicit,
+                    Some(format!("sg flow, explicit engine ({})", decision.reason)),
+                ),
+                FlowChoice::SgSymbolic => run_sg(
+                    &stg,
+                    &args,
+                    SgEngine::Symbolic,
+                    Some(format!("sg flow, symbolic engine ({})", decision.reason)),
+                ),
+                FlowChoice::Unfolding => run_unfolding(
+                    &stg,
+                    &args,
+                    Some(format!("unfolding flow ({})", decision.reason)),
+                ),
+            }
+        }
     }
 }
 
@@ -246,10 +333,10 @@ fn run_lint(text: &str, args: &Args) -> ExitCode {
     }
 }
 
-fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
+fn run_sg(stg: &Stg, args: &Args, engine: SgEngine, auto_note: Option<String>) -> ExitCode {
     let defaults = SgSynthesisOptions::default();
     let options = SgSynthesisOptions {
-        engine: args.engine,
+        engine,
         state_budget: args.budget.unwrap_or(defaults.state_budget),
         symbolic_node_budget: args.budget.unwrap_or(defaults.symbolic_node_budget),
         symbolic_reorder: args.reorder,
@@ -257,6 +344,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
         exact_minimization: args.exact,
         allow_inversion: args.invert,
         workers: args.workers,
+        implicit_covers: args.implicit_covers,
         ..defaults
     };
     // Phase 1 ("reach"): state-space traversal — explicit enumeration or
@@ -264,7 +352,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
     // derivation, CSC check and minimisation.
     let mut symbolic_stats = None;
     let reach_start = Instant::now();
-    let (states, reach_time, result): (String, _, Result<SgSynthesis, _>) = match args.engine {
+    let (states, reach_time, result): (String, _, Result<SgSynthesis, _>) = match engine {
         SgEngine::Explicit => {
             let sg = match StateGraph::build(stg, options.state_budget) {
                 Ok(sg) => sg,
@@ -307,7 +395,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let engine_name = match args.engine {
+    let engine_name = match engine {
         SgEngine::Explicit => "explicit engine",
         SgEngine::Symbolic => "symbolic engine",
     };
@@ -316,6 +404,9 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
         println!("  {}", gate.equation(stg));
     }
     println!("\nTiming breakdown (seconds):");
+    if let Some(note) = &auto_note {
+        println!("  auto choice: {note}");
+    }
     println!("{:>10} {:>10}", "Phase", "Time");
     println!(
         "{:>10} {:>10}   ({states} states)",
@@ -350,7 +441,7 @@ fn run_sg(stg: &Stg, args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_unfolding(stg: &Stg, args: &Args) -> ExitCode {
+fn run_unfolding(stg: &Stg, args: &Args, auto_note: Option<String>) -> ExitCode {
     let options = SynthesisOptions {
         mode: if args.exact {
             CoverMode::Exact
@@ -361,6 +452,7 @@ fn run_unfolding(stg: &Stg, args: &Args) -> ExitCode {
             .budget
             .unwrap_or(SynthesisOptions::default().slice_budget),
         workers: args.workers,
+        implicit_covers: args.implicit_covers,
         ..SynthesisOptions::default()
     };
     let result = match synthesize_from_unfolding(stg, &options) {
@@ -374,16 +466,24 @@ fn run_unfolding(stg: &Stg, args: &Args) -> ExitCode {
     for gate in &result.gates {
         println!("  {}", gate.equation(stg));
     }
+    // SlcTim/RefTim split SynTim into its slice-construction and
+    // refinement portions; both are CPU time summed over worker tasks, so
+    // with --workers > 1 they can exceed the wall-clock SynTim.
     println!("\nTiming breakdown (seconds, the paper's Table 1 columns):");
+    if let Some(note) = &auto_note {
+        println!("  auto choice: {note}");
+    }
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "Events", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "Events", "UnfTim", "SynTim", "SlcTim", "RefTim", "EspTim", "TotTim", "LitCnt"
     );
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
         result.events,
         secs(result.timing.unfold),
         secs(result.timing.derive),
+        secs(result.timing.slices),
+        secs(result.timing.refine),
         secs(result.timing.minimize),
         secs(result.timing.total()),
         result.literal_count()

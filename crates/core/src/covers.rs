@@ -166,7 +166,7 @@ pub fn exit_enabled_under_cube(unf: &StgUnfolding, p: ConditionId, exit: EventId
     let preset = unf.preset(exit);
     // `p` must be able to coexist with every exit-preset condition.
     for &b in preset {
-        if b != p && !unf.co_conditions(p).contains(b.index()) {
+        if b != p && !unf.conditions_co(p, b) {
             return None;
         }
     }
@@ -235,9 +235,7 @@ pub fn opposite_enabled_under_cubes(
             .iter()
             .map(|&q| {
                 unf.conditions()
-                    .filter(|&b| {
-                        unf.place(b) == q && (b == p || unf.co_conditions(p).contains(b.index()))
-                    })
+                    .filter(|&b| unf.place(b) == q && (b == p || unf.conditions_co(p, b)))
                     .collect::<Vec<_>>()
             })
             .collect();

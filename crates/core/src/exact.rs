@@ -8,6 +8,7 @@
 //! fallback the refinement loop escalates to.
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 use si_cubes::implicit::{ImplicitCover, ImplicitPool, MintermList};
 use si_cubes::{Cover, Cube};
@@ -42,6 +43,32 @@ pub fn slice_codes(
     slice: &Slice,
     budget: usize,
 ) -> Result<Vec<BinaryCode>, SynthesisError> {
+    let mut codes = Vec::new();
+    for_each_slice_code(stg, unf, slice, budget, |code| {
+        codes.push(code.clone());
+        ControlFlow::Continue(())
+    })?;
+    Ok(codes)
+}
+
+/// Streaming form of [`slice_codes`]: invokes `sink` once per deduplicated
+/// in-slice code, without materialising the code list. The sink can stop
+/// the traversal early by returning [`ControlFlow::Break`] — the implicit
+/// accumulation and the §6 membership probes are built on this, so the
+/// explicit `Vec<BinaryCode>` intermediate only exists where a caller
+/// genuinely needs the list.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::SliceBudgetExceeded`] when the slice holds
+/// more than `budget` cuts.
+pub fn for_each_slice_code(
+    stg: &Stg,
+    unf: &StgUnfolding,
+    slice: &Slice,
+    budget: usize,
+    mut sink: impl FnMut(&BinaryCode) -> ControlFlow<()>,
+) -> Result<(), SynthesisError> {
     // STG transitions whose firing would leave the slice's stable value:
     // the opposite changes of the slice signal.
     let opposite: Vec<si_petri::TransitionId> = stg
@@ -86,7 +113,6 @@ pub fn slice_codes(
     let mut queue: Vec<(BitSet, BinaryCode, Marking)> =
         vec![(start_cut, start_code, start_marking)];
     let mut deferred: Vec<(BitSet, BinaryCode, Marking)> = Vec::new();
-    let mut codes: Vec<BinaryCode> = Vec::new();
     let mut code_set: HashSet<String> = HashSet::new();
 
     while let Some((cut, code, marking)) = queue.pop().or_else(|| deferred.pop()) {
@@ -107,7 +133,9 @@ pub fn slice_codes(
         // the signal is enabled in the original STG at this marking.
         let opposite_enabled = opposite.iter().any(|&t| stg.net().is_enabled(t, &marking));
         if !opposite_enabled && code_set.insert(code.to_string()) {
-            codes.push(code.clone());
+            if let ControlFlow::Break(()) = sink(&code) {
+                return Ok(());
+            }
         }
         // Whether the entry is still pending (its preset intact).
         let entry_pending =
@@ -152,7 +180,7 @@ pub fn slice_codes(
             }
         }
     }
-    Ok(codes)
+    Ok(())
 }
 
 /// Enumerates only the excitation-region codes of a slice: the cuts at
@@ -255,12 +283,18 @@ pub fn cover_true_within_slices(
     cover: &Cover,
     budget: usize,
 ) -> Result<bool, SynthesisError> {
+    let mut hit = false;
     for slice in slices {
-        for code in slice_codes(stg, unf, slice, budget)? {
+        for_each_slice_code(stg, unf, slice, budget, |code| {
             let bits: Vec<bool> = code.iter().map(|(_, v)| v).collect();
             if cover.covers_bits(&bits) {
-                return Ok(true);
+                hit = true;
+                return ControlFlow::Break(());
             }
+            ControlFlow::Continue(())
+        })?;
+        if hit {
+            return Ok(true);
         }
     }
     Ok(false)
@@ -284,11 +318,12 @@ pub fn exact_side_cover(
     let mut cubes: Vec<Cube> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
     for slice in slices {
-        for code in slice_codes(stg, unf, slice, budget)? {
+        for_each_slice_code(stg, unf, slice, budget, |code| {
             if seen.insert(code.to_string()) {
-                cubes.push(code_to_cube(&code));
+                cubes.push(code_to_cube(code));
             }
-        }
+            ControlFlow::Continue(())
+        })?;
     }
     cubes.sort_by(Cube::cmp_canonical);
     Ok(cubes.into_iter().collect())
@@ -314,9 +349,10 @@ pub fn exact_side_set(
 ) -> Result<ImplicitCover, SynthesisError> {
     let mut list = MintermList::new(pool.width());
     for slice in slices {
-        for code in slice_codes(stg, unf, slice, budget)? {
+        for_each_slice_code(stg, unf, slice, budget, |code| {
             list.push(code.iter().map(|(_, v)| v));
-        }
+            ControlFlow::Continue(())
+        })?;
     }
     Ok(pool.from_minterms(&mut list))
 }

@@ -46,6 +46,7 @@ pub mod arch;
 pub mod covers;
 mod error;
 pub mod exact;
+mod flow;
 mod netlist;
 pub mod refine;
 pub mod slice;
@@ -54,6 +55,10 @@ mod verify;
 
 pub use arch::{synthesize_excitation_functions, ExcitationImplementation, MemoryElement};
 pub use error::SynthesisError;
+pub use flow::{
+    choose_flow, engine_for, FlowChoice, FlowDecision, FlowEngine, FlowError, FlowSynthesis,
+    SgFlow, UnfoldingFlow,
+};
 pub use netlist::{excitation_to_verilog, to_eqn, to_verilog};
 pub use synth::{
     synthesize_from_unfolding, CorrectnessCondition, CoverMode, SignalGate, SynthesisOptions,

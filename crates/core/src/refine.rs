@@ -4,6 +4,7 @@
 //! a refining set, escalating to exact per-slice enumeration when the
 //! cube-level refinement stops making progress.
 
+use si_cubes::implicit::{ImplicitCover, ImplicitPool};
 use si_cubes::Cover;
 use si_stg::Stg;
 use si_unfolding::{ConditionId, StgUnfolding};
@@ -30,6 +31,13 @@ pub struct RefinementReport {
 /// disjoint, refinement stalls into exact fallback, or `max_steps` is
 /// reached. Atom covers are modified in place.
 ///
+/// When `pool` is provided, the offending-pair sweep runs against cached
+/// implicit atom sets (one pooled diagram per atom version, intersection
+/// emptiness in O(shared structure)) instead of the explicit quadratic cube
+/// sweep. Intersection *emptiness* is a property of the point sets, not of
+/// the cube lists, so the refinement trajectory — and therefore every cover
+/// this function produces — is identical with and without a pool.
+///
 /// # Errors
 ///
 /// Propagates [`SynthesisError::SliceBudgetExceeded`] from exact fallbacks.
@@ -43,14 +51,23 @@ pub fn refine_until_disjoint(
     off_atoms: &mut Vec<CoverAtom>,
     max_steps: usize,
     slice_budget: usize,
+    mut pool: Option<&mut ImplicitPool>,
 ) -> Result<RefinementReport, SynthesisError> {
     let mut report = RefinementReport {
         steps: 0,
         exact_fallbacks: 0,
         disjoint: false,
     };
+    // Cached implicit set per atom, invalidated when the atom's cover
+    // changes (refinement) or the atom list is rebuilt (escalation).
+    let mut on_sets: Vec<Option<ImplicitCover>> = vec![None; on_atoms.len()];
+    let mut off_sets: Vec<Option<ImplicitCover>> = vec![None; off_atoms.len()];
     loop {
-        let Some((on_idx, off_idx)) = offending_pair(on_atoms, off_atoms) else {
+        let pair = match pool.as_deref_mut() {
+            Some(p) => offending_pair_pooled(p, on_atoms, off_atoms, &mut on_sets, &mut off_sets),
+            None => offending_pair(on_atoms, off_atoms),
+        };
+        let Some((on_idx, off_idx)) = pair else {
             report.disjoint = true;
             return Ok(report);
         };
@@ -76,12 +93,20 @@ pub fn refine_until_disjoint(
             if !progressed {
                 return Ok(report);
             }
+            reset_caches(&mut on_sets, on_atoms.len());
+            reset_caches(&mut off_sets, off_atoms.len());
             continue;
         }
         report.steps += 1;
         let mut progressed = false;
-        progressed |= refine_atom(unf, on_slices, &mut on_atoms[on_idx]);
-        progressed |= refine_atom(unf, off_slices, &mut off_atoms[off_idx]);
+        if refine_atom(unf, on_slices, &mut on_atoms[on_idx]) {
+            progressed = true;
+            on_sets[on_idx] = None;
+        }
+        if refine_atom(unf, off_slices, &mut off_atoms[off_idx]) {
+            progressed = true;
+            off_sets[off_idx] = None;
+        }
         if !progressed {
             let escalated = escalate(
                 stg,
@@ -105,8 +130,15 @@ pub fn refine_until_disjoint(
                 // conflict.
                 return Ok(report);
             }
+            reset_caches(&mut on_sets, on_atoms.len());
+            reset_caches(&mut off_sets, off_atoms.len());
         }
     }
+}
+
+fn reset_caches(sets: &mut Vec<Option<ImplicitCover>>, len: usize) {
+    sets.clear();
+    sets.resize(len, None);
 }
 
 /// Finds the first pair of atoms whose covers intersect.
@@ -114,6 +146,35 @@ fn offending_pair(on: &[CoverAtom], off: &[CoverAtom]) -> Option<(usize, usize)>
     for (i, a) in on.iter().enumerate() {
         for (j, b) in off.iter().enumerate() {
             if a.cover.intersects(&b.cover) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// The pooled twin of [`offending_pair`]: identical iteration order and
+/// identical result (emptiness of an intersection does not depend on the
+/// representation), with each atom's point set pooled once per version and
+/// pairwise emptiness answered from the diagram's operation cache.
+fn offending_pair_pooled(
+    pool: &mut ImplicitPool,
+    on: &[CoverAtom],
+    off: &[CoverAtom],
+    on_sets: &mut [Option<ImplicitCover>],
+    off_sets: &mut [Option<ImplicitCover>],
+) -> Option<(usize, usize)> {
+    for (i, a) in on.iter().enumerate() {
+        let sa = *on_sets[i].get_or_insert_with(|| pool.cover_set(&a.cover));
+        if sa.is_empty() {
+            continue;
+        }
+        for (j, b) in off.iter().enumerate() {
+            let sb = *off_sets[j].get_or_insert_with(|| pool.cover_set(&b.cover));
+            if sb.is_empty() {
+                continue;
+            }
+            if pool.intersects(sa, sb) {
                 return Some((i, j));
             }
         }
@@ -254,6 +315,7 @@ mod tests {
             &mut off,
             100,
             100_000,
+            None,
         )
         .expect("no budget issue");
         let w = unf.signal_count();
@@ -307,8 +369,67 @@ mod tests {
             &mut off,
             100,
             100_000,
+            None,
         )
         .expect("no budget issue");
         assert!(!report.disjoint);
+    }
+
+    #[test]
+    fn pooled_sweep_reproduces_explicit_trajectory() {
+        // The pooled offending-pair sweep must leave the atoms (and the
+        // report) exactly where the explicit sweep leaves them, on every
+        // suite entry that exercises refinement.
+        use si_stg::generators::muller_pipeline;
+        for stg in [paper_fig1(), paper_fig4ab(), muller_pipeline(3)] {
+            let unf = build(&stg);
+            for sig in stg.implementable_signals() {
+                let on_slices = side_slices(&unf, sig, true);
+                let off_slices = side_slices(&unf, sig, false);
+                let mut on_a = approximate_side(&stg, &unf, &on_slices);
+                let mut off_a = approximate_side(&stg, &unf, &off_slices);
+                let mut on_b = on_a.clone();
+                let mut off_b = off_a.clone();
+                let explicit = refine_until_disjoint(
+                    &stg,
+                    &unf,
+                    &on_slices,
+                    &off_slices,
+                    &mut on_a,
+                    &mut off_a,
+                    100,
+                    100_000,
+                    None,
+                )
+                .expect("explicit ok");
+                let mut pool = ImplicitPool::new(unf.signal_count());
+                let pooled = refine_until_disjoint(
+                    &stg,
+                    &unf,
+                    &on_slices,
+                    &off_slices,
+                    &mut on_b,
+                    &mut off_b,
+                    100,
+                    100_000,
+                    Some(&mut pool),
+                )
+                .expect("pooled ok");
+                assert_eq!(explicit, pooled, "{} report diverged", stg.name());
+                let w = unf.signal_count();
+                assert_eq!(
+                    side_cover(&on_a, w).cubes(),
+                    side_cover(&on_b, w).cubes(),
+                    "{} on-covers diverged",
+                    stg.name()
+                );
+                assert_eq!(
+                    side_cover(&off_a, w).cubes(),
+                    side_cover(&off_b, w).cubes(),
+                    "{} off-covers diverged",
+                    stg.name()
+                );
+            }
+        }
     }
 }

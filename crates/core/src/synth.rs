@@ -13,7 +13,7 @@ use si_unfolding::{check_segment_persistency, StgUnfolding, UnfoldingOptions};
 
 use crate::approx::{approximate_side, side_cover};
 use crate::error::SynthesisError;
-use crate::exact::{cover_true_within_slices, exact_side_set};
+use crate::exact::{cover_true_within_slices, exact_side_cover, exact_side_set};
 use crate::refine::{refine_until_disjoint, RefinementReport};
 use crate::slice::side_slices;
 
@@ -63,6 +63,14 @@ pub struct SynthesisOptions {
     /// uses one per available CPU. Output is bit-identical to sequential
     /// (`Some(1)`) regardless of the worker count.
     pub workers: Option<usize>,
+    /// Represent point sets implicitly (canonical shared-subgraph diagrams)
+    /// wherever the derivation touches them: exact slice enumerations stream
+    /// into the diagram instead of materialising one minterm cube per state,
+    /// the refinement sweep and the final consistency guard run as cached
+    /// diagram intersections, and exact mode minimises implicitly. Gate
+    /// equations are byte-identical with either setting (pinned by tests);
+    /// `false` keeps the original explicit cube lists end to end.
+    pub implicit_covers: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -75,6 +83,7 @@ impl Default for SynthesisOptions {
             check_persistency: true,
             correctness: CorrectnessCondition::Strong,
             workers: None,
+            implicit_covers: true,
         }
     }
 }
@@ -112,19 +121,30 @@ impl SignalGate {
     }
 }
 
-/// Wall-clock breakdown matching Table 1's columns.
+/// Wall-clock breakdown matching Table 1's columns, with the derivation
+/// phase further split into its slice and refinement portions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TimingBreakdown {
     /// `UnfTim`: constructing the STG-unfolding segment.
     pub unfold: Duration,
-    /// `SynTim`: deriving the on-/off-set covers.
+    /// `SynTim`: deriving the on-/off-set covers (wall clock).
     pub derive: Duration,
+    /// Portion of the derivation spent building slices and their initial
+    /// covers (ER/MR approximation or exact enumeration), summed over the
+    /// per-signal worker tasks — CPU time, so it can exceed the wall-clock
+    /// `derive` when workers run in parallel.
+    pub slices: Duration,
+    /// Portion of the derivation spent making the covers disjoint (the
+    /// refinement loop, exact escalations and §6 weak-condition probes),
+    /// summed over the per-signal worker tasks like [`slices`](Self::slices).
+    pub refine: Duration,
     /// `EspTim`: two-level minimisation.
     pub minimize: Duration,
 }
 
 impl TimingBreakdown {
-    /// `TotTim`: the sum of all phases.
+    /// `TotTim`: the sum of all phases ([`slices`](Self::slices) and
+    /// [`refine`](Self::refine) are parts of `derive`, not extra phases).
     pub fn total(&self) -> Duration {
         self.unfold + self.derive + self.minimize
     }
@@ -218,10 +238,16 @@ pub fn synthesize_from_unfolding(
     let minimized = par_map(&per_signal, options.workers, |_, entry| {
         // Derivation promised disjoint covers; re-check in release builds
         // too, because minimising an inconsistent partition returns
-        // garbage. The check goes through the implicit representation: one
-        // cached intersection instead of a cover-quadratic cube sweep.
-        match &entry.implicit {
-            Some(sets) => {
+        // garbage.
+        match &entry.plan {
+            MinimisePlan::Explicit => {
+                // The bounded pairwise cube sweep over the explicit lists.
+                if entry.on_cover.intersects(&entry.off_cover) {
+                    return Err(inconsistent(stg, entry));
+                }
+                Ok(minimize(&entry.on_cover, &entry.off_cover))
+            }
+            MinimisePlan::ImplicitExact(sets) => {
                 // A poisoned lock only means another signal's worker
                 // panicked; this signal's pool is still internally
                 // consistent, so keep going.
@@ -237,28 +263,27 @@ pub fn synthesize_from_unfolding(
                         witness: Cube::minterm(bits).to_string(),
                     });
                 }
-                // Exact-mode covers are minterm point sets: minimise them
+                // Exact-mode sets are minterm point sets: minimise them
                 // implicitly (byte-identical to the explicit minimiser on
                 // the materialised canonical covers).
                 Ok(minimize_implicit(pool, *on, *off))
             }
-            None => {
+            MinimisePlan::ImplicitGuard(sets) => {
                 // Approximate-mode covers are structural cube
-                // approximations, not minterm sets: the bounded pairwise
-                // cube sweep is the right guard here (building a diagram
-                // from arbitrary overlapping cubes has no size bound), and
-                // the cube-level minimiser consumes the covers directly.
-                if entry.on_cover.intersects(&entry.off_cover) {
-                    let witness = entry
-                        .on_cover
-                        .intersect(&entry.off_cover)
-                        .cubes()
-                        .first()
-                        .map(ToString::to_string)
-                        .unwrap_or_default();
+                // approximations, not minterm sets: the guard runs as one
+                // cached diagram intersection, but the cube-level minimiser
+                // must consume the covers directly so the result matches
+                // the explicit path byte for byte.
+                let mut guard = match sets.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let (pool, on, off) = &mut *guard;
+                let shared = pool.intersect(*on, *off);
+                if let Some(bits) = pool.first_minterm(shared) {
                     return Err(SynthesisError::InconsistentCovers {
                         signal: stg.signal_name(entry.signal).to_owned(),
-                        witness,
+                        witness: Cube::minterm(bits).to_string(),
                     });
                 }
                 Ok(minimize(&entry.on_cover, &entry.off_cover))
@@ -266,7 +291,10 @@ pub fn synthesize_from_unfolding(
         }
     });
     let mut gates = Vec::with_capacity(per_signal.len());
+    let (mut slices_time, mut refine_time) = (Duration::ZERO, Duration::ZERO);
     for (entry, gate) in per_signal.into_iter().zip(minimized) {
+        slices_time += entry.slices;
+        refine_time += entry.refine;
         gates.push(SignalGate {
             signal: entry.signal,
             on_cover: entry.on_cover,
@@ -282,6 +310,8 @@ pub fn synthesize_from_unfolding(
         timing: TimingBreakdown {
             unfold,
             derive,
+            slices: slices_time,
+            refine: refine_time,
             minimize: minimize_time,
         },
         events: unf.event_count(),
@@ -289,18 +319,47 @@ pub fn synthesize_from_unfolding(
     })
 }
 
-/// The per-signal output of the derivation stage. Exact mode additionally
-/// carries the implicit on/off sets (in their pool) so the consistency
-/// guard and the minimiser can run against the implicit representation;
-/// the pool sits behind a [`Mutex`] because the minimisation stage runs on
-/// shared-reference worker tasks (each signal's pool is only ever locked by
-/// its own task).
+fn inconsistent(stg: &Stg, entry: &DerivedCovers) -> SynthesisError {
+    let witness = entry
+        .on_cover
+        .intersect(&entry.off_cover)
+        .cubes()
+        .first()
+        .map(ToString::to_string)
+        .unwrap_or_default();
+    SynthesisError::InconsistentCovers {
+        signal: stg.signal_name(entry.signal).to_owned(),
+        witness,
+    }
+}
+
+/// How the minimisation stage consumes one signal's derived covers. The
+/// implicit variants carry the signal's pool and on/off sets behind a
+/// [`Mutex`] because the minimisation stage runs on shared-reference worker
+/// tasks (each signal's pool is only ever locked by its own task).
+enum MinimisePlan {
+    /// Pairwise cube guard, cube-level minimiser (`implicit_covers: false`).
+    Explicit,
+    /// Pooled guard and implicit minimisation — exact mode, where the sets
+    /// are minterm point sets and the implicit minimiser's byte-identity
+    /// guarantee applies.
+    ImplicitExact(Mutex<(ImplicitPool, ImplicitCover, ImplicitCover)>),
+    /// Pooled guard only; the cube-level minimiser still consumes the
+    /// explicit covers — approximate mode, whose covers are structural cube
+    /// approximations rather than minterm sets.
+    ImplicitGuard(Mutex<(ImplicitPool, ImplicitCover, ImplicitCover)>),
+}
+
+/// The per-signal output of the derivation stage, with the CPU time spent
+/// in its slice-building and refinement portions.
 struct DerivedCovers {
     signal: SignalId,
     on_cover: Cover,
     off_cover: Cover,
     refinement: Option<RefinementReport>,
-    implicit: Option<Mutex<(ImplicitPool, ImplicitCover, ImplicitCover)>>,
+    plan: MinimisePlan,
+    slices: Duration,
+    refine: Duration,
 }
 
 /// Derives the final, checked on-/off-set covers for one signal.
@@ -310,13 +369,15 @@ fn derive_covers(
     signal: SignalId,
     options: &SynthesisOptions,
 ) -> Result<DerivedCovers, SynthesisError> {
+    let slices_start = Instant::now();
     let on_slices = side_slices(unf, signal, true);
     let off_slices = side_slices(unf, signal, false);
     match options.mode {
-        CoverMode::Exact => {
+        CoverMode::Exact if options.implicit_covers => {
             let mut pool = ImplicitPool::new(unf.signal_count());
             let on = exact_side_set(stg, unf, &on_slices, options.slice_budget, &mut pool)?;
             let off = exact_side_set(stg, unf, &off_slices, options.slice_budget, &mut pool)?;
+            let slices = slices_start.elapsed();
             let shared = pool.intersect(on, off);
             if let Some(bits) = pool.first_minterm(shared) {
                 return Err(SynthesisError::CscViolation {
@@ -324,33 +385,75 @@ fn derive_covers(
                     witness: Cube::minterm(bits).to_string(),
                 });
             }
-            // The public covers stay explicit minterm lists (canonical
-            // order) — the paper's exact derivation — while minimisation
-            // consumes the implicit sets.
-            let on_cover = pool.minterms_cover(on);
-            let off_cover = pool.minterms_cover(off);
+            // The public covers materialise as the diagram's canonical
+            // disjoint-cube form — same point sets as the explicit path's
+            // minterm lists, but sized by the implicit representation
+            // rather than the state count.
+            let on_cover = pool.to_cover(on);
+            let off_cover = pool.to_cover(off);
             Ok(DerivedCovers {
                 signal,
                 on_cover,
                 off_cover,
                 refinement: None,
-                implicit: Some(Mutex::new((pool, on, off))),
+                plan: MinimisePlan::ImplicitExact(Mutex::new((pool, on, off))),
+                slices,
+                refine: Duration::ZERO,
+            })
+        }
+        CoverMode::Exact => {
+            // Explicit representation end to end: one canonical minterm
+            // cube per slice state, the paper's original exact derivation.
+            let on_cover = exact_side_cover(stg, unf, &on_slices, options.slice_budget)?;
+            let off_cover = exact_side_cover(stg, unf, &off_slices, options.slice_budget)?;
+            let slices = slices_start.elapsed();
+            if on_cover.intersects(&off_cover) {
+                return Err(csc_error(stg, signal, &on_cover, &off_cover));
+            }
+            Ok(DerivedCovers {
+                signal,
+                on_cover,
+                off_cover,
+                refinement: None,
+                plan: MinimisePlan::Explicit,
+                slices,
+                refine: Duration::ZERO,
             })
         }
         CoverMode::Approximate => {
             let mut on_atoms = approximate_side(stg, unf, &on_slices);
             let mut off_atoms = approximate_side(stg, unf, &off_slices);
+            let slices = slices_start.elapsed();
+            let refine_start = Instant::now();
+            let mut pool = options
+                .implicit_covers
+                .then(|| ImplicitPool::new(unf.signal_count()));
             // §6 weak condition, first chance: if the raw approximations
             // intersect only inside the DC-set, skip refinement entirely
             // and keep the DC freedom for the minimiser.
             if options.correctness == CorrectnessCondition::Weak {
                 let on = side_cover(&on_atoms, unf.signal_count());
                 let off = side_cover(&off_atoms, unf.signal_count());
-                if let Some(covers) =
-                    accept_weak(stg, unf, signal, &on_slices, &off_slices, on, off, options)?
-                {
-                    return Ok(covers);
+                if let Some(covers) = accept_weak(
+                    stg,
+                    unf,
+                    signal,
+                    &on_slices,
+                    &off_slices,
+                    on,
+                    off,
+                    options,
+                    pool,
+                )? {
+                    return Ok(DerivedCovers {
+                        slices,
+                        refine: refine_start.elapsed(),
+                        ..covers
+                    });
                 }
+                pool = options
+                    .implicit_covers
+                    .then(|| ImplicitPool::new(unf.signal_count()));
             }
             let report = refine_until_disjoint(
                 stg,
@@ -361,20 +464,37 @@ fn derive_covers(
                 &mut off_atoms,
                 options.max_refinement_steps,
                 options.slice_budget,
+                pool.as_mut(),
             )?;
             let on = side_cover(&on_atoms, unf.signal_count());
             let off = side_cover(&off_atoms, unf.signal_count());
             if !report.disjoint {
                 return Err(csc_error(stg, signal, &on, &off));
             }
+            let plan = approx_plan(pool, &on, &off);
             Ok(DerivedCovers {
                 signal,
                 on_cover: on,
                 off_cover: off,
                 refinement: Some(report),
-                implicit: None,
+                plan,
+                slices,
+                refine: refine_start.elapsed(),
             })
         }
+    }
+}
+
+/// Builds the minimisation plan for a pair of approximate-mode covers:
+/// pools their point sets for the final guard when a pool is in play.
+fn approx_plan(pool: Option<ImplicitPool>, on: &Cover, off: &Cover) -> MinimisePlan {
+    match pool {
+        Some(mut pool) => {
+            let on_set = pool.cover_set(on);
+            let off_set = pool.cover_set(off);
+            MinimisePlan::ImplicitGuard(Mutex::new((pool, on_set, off_set)))
+        }
+        None => MinimisePlan::Explicit,
     }
 }
 
@@ -382,6 +502,7 @@ fn derive_covers(
 /// condition: succeeds when the intersection is provably unreachable in
 /// both sides' slices (so it lies in the DC-set); the intersection is then
 /// carved out of the on-side so the minimiser sees a consistent partition.
+/// The returned entry's timing fields are zero — the caller stamps them.
 #[allow(clippy::too_many_arguments)]
 fn accept_weak(
     stg: &Stg,
@@ -392,15 +513,19 @@ fn accept_weak(
     on: Cover,
     off: Cover,
     options: &SynthesisOptions,
+    pool: Option<ImplicitPool>,
 ) -> Result<Option<DerivedCovers>, SynthesisError> {
     let x = on.intersect(&off);
     if x.is_empty() {
+        let plan = approx_plan(pool, &on, &off);
         return Ok(Some(DerivedCovers {
             signal,
             on_cover: on,
             off_cover: off,
             refinement: None,
-            implicit: None,
+            plan,
+            slices: Duration::ZERO,
+            refine: Duration::ZERO,
         }));
     }
     let within_off = cover_true_within_slices(stg, unf, off_slices, &on, options.slice_budget);
@@ -410,12 +535,15 @@ fn accept_weak(
             // Intersection ⊆ DC-set: Definition 2.1 holds after carving it
             // out of one side.
             let on = on.subtract(&x);
+            let plan = approx_plan(pool, &on, &off);
             Ok(Some(DerivedCovers {
                 signal,
                 on_cover: on,
                 off_cover: off,
                 refinement: None,
-                implicit: None,
+                plan,
+                slices: Duration::ZERO,
+                refine: Duration::ZERO,
             }))
         }
         // Reachable conflict or budget exhaustion: fall back to the strong
@@ -538,8 +666,88 @@ mod tests {
         let stg = muller_pipeline(3);
         let result = synthesize_from_unfolding(&stg, &SynthesisOptions::default()).expect("ok");
         assert!(result.timing.total() >= result.timing.unfold);
+        // slices/refine are parts of derive, not extra phases.
+        assert_eq!(
+            result.timing.total(),
+            result.timing.unfold + result.timing.derive + result.timing.minimize
+        );
         assert!(result.events > 0);
         assert!(result.conditions > 0);
+    }
+
+    #[test]
+    fn implicit_and_explicit_representations_agree_on_suite() {
+        // The defining guarantee of `implicit_covers`: flipping the
+        // representation never changes a single byte of any gate equation,
+        // in either cover mode, on every synthesisable suite entry. In
+        // approximate mode even the pre-minimisation covers must match
+        // (identical refinement trajectory); in exact mode the covers are
+        // the same point sets in different clothes (disjoint-cube diagram
+        // paths vs minterm lists).
+        use si_stg::suite::synthesisable;
+        for stg in synthesisable() {
+            for mode in [CoverMode::Exact, CoverMode::Approximate] {
+                let implicit = synthesize_from_unfolding(
+                    &stg,
+                    &SynthesisOptions {
+                        mode,
+                        ..SynthesisOptions::default()
+                    },
+                );
+                let explicit = synthesize_from_unfolding(
+                    &stg,
+                    &SynthesisOptions {
+                        mode,
+                        implicit_covers: false,
+                        ..SynthesisOptions::default()
+                    },
+                );
+                match (implicit, explicit) {
+                    (Ok(i), Ok(e)) => {
+                        assert_eq!(i.gates.len(), e.gates.len(), "{}", stg.name());
+                        for (gi, ge) in i.gates.iter().zip(&e.gates) {
+                            assert_eq!(
+                                gi.equation(&stg),
+                                ge.equation(&stg),
+                                "{} ({mode:?}): representations disagree",
+                                stg.name()
+                            );
+                            match mode {
+                                CoverMode::Approximate => {
+                                    assert_eq!(
+                                        gi.on_cover.cubes(),
+                                        ge.on_cover.cubes(),
+                                        "{}: approx trajectory diverged",
+                                        stg.name()
+                                    );
+                                    assert_eq!(gi.off_cover.cubes(), ge.off_cover.cubes());
+                                }
+                                CoverMode::Exact => {
+                                    assert!(gi.on_cover.covers_cover(&ge.on_cover));
+                                    assert!(ge.on_cover.covers_cover(&gi.on_cover));
+                                    assert!(gi.off_cover.covers_cover(&ge.off_cover));
+                                    assert!(ge.off_cover.covers_cover(&gi.off_cover));
+                                }
+                            }
+                        }
+                    }
+                    (Err(ei), Err(ee)) => {
+                        assert_eq!(
+                            std::mem::discriminant(&ei),
+                            std::mem::discriminant(&ee),
+                            "{}: {ei} vs {ee}",
+                            stg.name()
+                        );
+                    }
+                    (i, e) => panic!(
+                        "{} ({mode:?}): one representation failed: {:?} vs {:?}",
+                        stg.name(),
+                        i.err().map(|e| e.to_string()),
+                        e.err().map(|e| e.to_string())
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -128,19 +128,50 @@ pub fn verify_against_sg_with(
     budget: usize,
     engine: SgEngine,
 ) -> Result<(), VerifyError> {
-    // The oracle compares point sets, not states: the gate cover must
-    // contain the signal's implicit on-set and miss its implicit off-set.
-    // Checking through the implicit representation makes the oracle's cost
-    // track the diagram size instead of states × gates × cubes; a reported
-    // mismatch is the canonically smallest offending code (the explicit
-    // sweep reported the first in BFS order instead). Both engines produce
-    // the same implicit point sets, so the verdict — and the witness — is
-    // engine-independent.
+    let gates: Vec<GateFunction<'_>> = synthesis
+        .gates
+        .iter()
+        .map(|g| GateFunction {
+            signal: g.signal,
+            cover: &g.gate,
+            inverted: false,
+        })
+        .collect();
+    verify_gate_functions(stg, &gates, budget, engine)
+}
+
+/// One gate function to check against the oracle: the implemented signal,
+/// its SOP cover, and whether the cover implements the *complemented*
+/// function (the SG flow's `--invert` gates).
+pub(crate) struct GateFunction<'a> {
+    pub signal: si_stg::SignalId,
+    pub cover: &'a si_cubes::Cover,
+    pub inverted: bool,
+}
+
+/// The shared oracle behind [`verify_against_sg_with`] and the unified
+/// flow surface: every gate function must equal its signal's implied
+/// (next-state) value in every reachable state.
+///
+/// The oracle compares point sets, not states: the gate cover must contain
+/// the signal's implicit on-set and miss its implicit off-set (roles
+/// swapped for inverted gates). Checking through the implicit
+/// representation makes the oracle's cost track the diagram size instead
+/// of states × gates × cubes; a reported mismatch is the canonically
+/// smallest offending code (the explicit sweep reported the first in BFS
+/// order instead). Both engines produce the same implicit point sets, so
+/// the verdict — and the witness — is engine-independent.
+pub(crate) fn verify_gate_functions(
+    stg: &Stg,
+    gates: &[GateFunction<'_>],
+    budget: usize,
+    engine: SgEngine,
+) -> Result<(), VerifyError> {
     match engine {
         SgEngine::Explicit => {
             let sg = StateGraph::build(stg, budget)?;
             let class = si_stategraph::SgClassification::new(stg, &sg);
-            for gate in &synthesis.gates {
+            for gate in gates {
                 check_gate(stg, gate, class.on_off_sets(gate.signal))?;
             }
         }
@@ -154,7 +185,7 @@ pub fn verify_against_sg_with(
                 ..si_stategraph::SymbolicTuning::with_budget(budget)
             };
             let sym = si_stategraph::SymbolicSg::build(stg, &tuning)?;
-            for gate in &synthesis.gates {
+            for gate in gates {
                 check_gate(stg, gate, sym.on_off_sets(gate.signal))?;
             }
         }
@@ -162,31 +193,35 @@ pub fn verify_against_sg_with(
     Ok(())
 }
 
-/// Checks one gate cover against its signal's implicit on/off sets.
+/// Checks one gate function against its signal's implicit on/off sets. An
+/// inverted gate's cover implements the complement, so it must cover the
+/// off-set and miss the on-set; the reported expected/got values are the
+/// gate *outputs*, inversion included.
 fn check_gate(
     stg: &Stg,
-    gate: &crate::synth::SignalGate,
+    gate: &GateFunction<'_>,
     mut sets: si_stategraph::ImplicitOnOffSets,
 ) -> Result<(), VerifyError> {
     let (on, off) = (sets.on(), sets.off());
     let pool = sets.pool_mut();
-    let gate_set = pool.cover_set(&gate.gate);
-    let missed = pool.diff(on, gate_set);
+    let gate_set = pool.cover_set(gate.cover);
+    let (must_cover, must_miss) = if gate.inverted { (off, on) } else { (on, off) };
+    let missed = pool.diff(must_cover, gate_set);
     if let Some(bits) = pool.first_minterm(missed) {
         return Err(VerifyError::Mismatch {
             signal: stg.signal_name(gate.signal).to_owned(),
             code: bits_to_code_string(&bits),
-            expected: true,
-            got: false,
+            expected: !gate.inverted,
+            got: gate.inverted,
         });
     }
-    let wrong = pool.intersect(gate_set, off);
+    let wrong = pool.intersect(gate_set, must_miss);
     if let Some(bits) = pool.first_minterm(wrong) {
         return Err(VerifyError::Mismatch {
             signal: stg.signal_name(gate.signal).to_owned(),
             code: bits_to_code_string(&bits),
-            expected: false,
-            got: true,
+            expected: gate.inverted,
+            got: !gate.inverted,
         });
     }
     Ok(())

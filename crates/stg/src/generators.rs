@@ -13,6 +13,7 @@
 //! * [`sequencer`] — a purely sequential ring of `n` signals: the
 //!   no-concurrency base case.
 
+use crate::binary::BinaryCode;
 use crate::model::{Stg, StgBuilder};
 use crate::signal::SignalId;
 
@@ -275,6 +276,79 @@ pub fn wide_arbiter(n: usize) -> Stg {
     b.must_build()
 }
 
+/// Builds an `n`-station self-timed token ring: the unfolding flow's
+/// showcase workload (high concurrency, small prefix).
+///
+/// Stations are C-element stages `g0 … g(n−1)` closed into a ring, every
+/// adjacent pair `(gᵢ, gᵢ₊₁)` coupled by the same full four-phase cycle as
+/// [`muller_pipeline`]'s stages: `gᵢ+ → gᵢ₊₁+ → gᵢ− → gᵢ₊₁− → gᵢ+`. Each
+/// edge's four places biject with the values of its signal pair —
+/// `(1,0), (1,1), (0,1), (0,0)` — so the reachable marking is a function of
+/// the binary code and the specification is CSC-clean by construction.
+/// `⌊n/3⌋` spaced tokens (high stations) circulate: a station rises when its
+/// predecessor is high and its successor low, and falls when its
+/// predecessor is low and its successor high, so every token needs a bubble
+/// ahead of it and the token count is invariant.
+///
+/// The state graph counts every interleaving of the token positions —
+/// exponential in `n` — while the unfolding segment stays polynomial: this
+/// is the structure where the unfolding flow should win outright.
+///
+/// All stations are outputs (the ring is autonomous, like
+/// [`independent_cycles`]), and unlike that family the ring is connected,
+/// so the spec lints clean.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller rings cannot hold a token and a bubble).
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::generators::token_ring;
+///
+/// let stg = token_ring(8);
+/// assert_eq!(stg.signal_count(), 8);
+/// assert_eq!(stg.net().place_count(), 4 * 8);
+/// assert_eq!(stg.initial_code().map(ToString::to_string).as_deref(), Some("10010000"));
+/// ```
+pub fn token_ring(n: usize) -> Stg {
+    assert!(n >= 3, "ring needs at least three stations");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("token-ring-{n}"));
+    let sigs: Vec<SignalId> = (0..n).map(|i| b.output(format!("g{i}"))).collect();
+    let rises: Vec<_> = sigs.iter().map(|&s| b.rise(s)).collect();
+    let falls: Vec<_> = sigs.iter().map(|&s| b.fall(s)).collect();
+
+    // Tokens at every third station, never closer than two stations to the
+    // seam, so blocks stay singletons under cyclic adjacency.
+    let high = |i: usize| i.is_multiple_of(3) && i + 3 <= n;
+    let mut code = BinaryCode::zeros(n);
+    for (i, &s) in sigs.iter().enumerate() {
+        if high(i) {
+            code.set(s, true);
+        }
+    }
+
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let a = b.arc_tt(rises[i], rises[j]);
+        let bb = b.arc_tt(rises[j], falls[i]);
+        let c = b.arc_tt(falls[i], falls[j]);
+        let d = b.arc_tt(falls[j], rises[i]);
+        // Exactly one of the edge's four places is marked: the one encoding
+        // the initial values of (gᵢ, gⱼ).
+        b.mark(match (high(i), high(j)) {
+            (true, false) => a,
+            (true, true) => bb,
+            (false, true) => c,
+            (false, false) => d,
+        });
+    }
+    b.set_initial_code(code);
+    b.must_build()
+}
+
 /// Builds `k` fully independent two-transition signal loops (`aᵢ+ → aᵢ− →
 /// aᵢ+`). All loops are concurrent, so the state graph has `2^k` states while
 /// the unfolding segment stays linear in `k`.
@@ -440,6 +514,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn token_ring_shape_and_safety() {
+        for n in [3, 5, 8, 9] {
+            let stg = token_ring(n);
+            assert_eq!(stg.signal_count(), n);
+            assert_eq!(stg.net().place_count(), 4 * n);
+            assert_eq!(stg.net().transition_count(), 2 * n);
+            // One marked place per edge.
+            assert_eq!(stg.net().initial_marking().len(), n);
+            stg.validate().expect("valid");
+            let rg = ReachabilityGraph::explore(stg.net(), 1_000_000).expect("safe");
+            assert!(rg.deadlocks().is_empty(), "deadlock at n={n}");
+        }
+    }
+
+    #[test]
+    fn token_ring_states_grow_exponentially_with_stations() {
+        let count = |n: usize| {
+            ReachabilityGraph::explore(token_ring(n).net(), 1_000_000)
+                .expect("safe")
+                .len()
+        };
+        let (s6, s9, s12) = (count(6), count(9), count(12));
+        // Each extra token triple multiplies the interleavings.
+        assert!(s9 > 3 * s6, "s6={s6} s9={s9}");
+        assert!(s12 > 3 * s9, "s9={s9} s12={s12}");
+    }
+
+    #[test]
+    #[should_panic(expected = "three stations")]
+    fn tiny_token_ring_panics() {
+        token_ring(2);
     }
 
     #[test]

@@ -11,11 +11,19 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use si_cubes::par::par_map;
 use si_petri::{BitSet, Marking, PlaceId, TransitionId};
 use si_stg::{BinaryCode, SignalTransition, Stg};
 
+use crate::comat::CoMatrix;
 use crate::error::UnfoldError;
 use crate::ids::{ConditionId, EventId};
+
+/// Estimated number of co-membership probes below which extension search
+/// runs inline: segment construction is dominated by tiny searches (a few
+/// partner conditions per place), and spawning scoped workers for those
+/// costs more than the search itself.
+const PAR_EXTENSION_THRESHOLD: u64 = 4096;
 
 /// The adequate order used to declare cutoffs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,8 +42,13 @@ pub enum AdequateOrder {
 pub struct UnfoldingOptions {
     /// Cutoff order.
     pub order: AdequateOrder,
-    /// Maximum number of events before construction aborts.
+    /// Maximum number of events the segment may store, `⊥` included — the
+    /// same "max stored" semantics as explicit reachability's state budget.
     pub event_budget: usize,
+    /// Worker threads for possible-extension enumeration (`None` = one per
+    /// available CPU). Output is byte-identical at any worker count; small
+    /// searches run inline regardless.
+    pub workers: Option<usize>,
 }
 
 impl Default for UnfoldingOptions {
@@ -43,6 +56,7 @@ impl Default for UnfoldingOptions {
         UnfoldingOptions {
             order: AdequateOrder::McMillan,
             event_budget: 200_000,
+            workers: None,
         }
     }
 }
@@ -74,8 +88,6 @@ pub(crate) struct ConditionData {
     pub place: PlaceId,
     pub producer: EventId,
     pub consumers: Vec<EventId>,
-    /// Conditions concurrent with this one.
-    pub co: BitSet,
     /// Produced by a cutoff event: excluded from extension search.
     pub frozen: bool,
 }
@@ -100,6 +112,8 @@ pub(crate) struct ConditionData {
 pub struct StgUnfolding {
     pub(crate) events: Vec<EventData>,
     pub(crate) conditions: Vec<ConditionData>,
+    /// Packed symmetric concurrency relation over condition indices.
+    pub(crate) co: CoMatrix,
     pub(crate) initial_code: BinaryCode,
     pub(crate) codes: Vec<BinaryCode>,
     pub(crate) signal_count: usize,
@@ -155,11 +169,21 @@ impl StgUnfolding {
     ///   exists (wrong polarity alternation, concurrent instances of one
     ///   signal, or code mismatch between equal markings);
     /// * [`UnfoldError::Unsafe`] when two instances of a place can coexist;
-    /// * [`UnfoldError::BudgetExceeded`] when the segment grows past
-    ///   `options.event_budget`.
+    /// * [`UnfoldError::BudgetExceeded`] when storing one more event would
+    ///   exceed `options.event_budget` (`⊥` counts, exactly like the
+    ///   max-states-stored bound of explicit reachability).
     pub fn build(stg: &Stg, options: &UnfoldingOptions) -> Result<Self, UnfoldError> {
         if !stg.is_fully_labelled() {
             return Err(UnfoldError::DummyTransitions);
+        }
+        if options.event_budget == 0 {
+            // Even ⊥ does not fit; mirror `explore()`'s budget-0 behaviour
+            // instead of returning a partial segment.
+            return Err(UnfoldError::BudgetExceeded {
+                budget: 0,
+                events: 0,
+                next_transition: "⊥".to_owned(),
+            });
         }
         let net = stg.net();
         for t in net.transitions() {
@@ -181,19 +205,24 @@ impl StgUnfolding {
             stg,
             events: Vec::new(),
             conditions: Vec::new(),
+            co: CoMatrix::new(),
             by_place: vec![Vec::new(); net.place_count()],
             queue: BinaryHeap::new(),
             seen: HashSet::new(),
             reps: HashMap::new(),
             order: options.order,
             budget: options.event_budget,
+            workers: options.workers,
             v0: &mut v0,
         };
         builder.add_root()?;
         builder.run()?;
 
         let Builder {
-            events, conditions, ..
+            events,
+            conditions,
+            co,
+            ..
         } = builder;
 
         let mut initial_code = BinaryCode::zeros(n);
@@ -218,6 +247,7 @@ impl StgUnfolding {
         Ok(StgUnfolding {
             events,
             conditions,
+            co,
             initial_code,
             codes,
             signal_count: n,
@@ -229,6 +259,9 @@ struct Builder<'a> {
     stg: &'a Stg,
     events: Vec<EventData>,
     conditions: Vec<ConditionData>,
+    /// Packed symmetric concurrency relation, one row per condition, kept
+    /// in lockstep with `conditions`.
+    co: CoMatrix,
     /// Non-frozen conditions per original place, for extension search.
     by_place: Vec<Vec<ConditionId>>,
     queue: BinaryHeap<Candidate>,
@@ -238,6 +271,7 @@ struct Builder<'a> {
     reps: HashMap<Marking, EventId>,
     order: AdequateOrder,
     budget: usize,
+    workers: Option<usize>,
     v0: &'a mut Vec<Option<bool>>,
 }
 
@@ -274,16 +308,21 @@ impl Builder<'_> {
         self.reps
             .insert(self.stg.net().initial_marking().clone(), EventId::ROOT);
         for (idx, &b) in post.iter().enumerate() {
-            self.find_extensions(b, &post[..idx])?;
+            self.find_extensions(b, &post[..idx]);
         }
         Ok(())
     }
 
     fn run(&mut self) -> Result<(), UnfoldError> {
         while let Some(cand) = self.queue.pop() {
-            if self.events.len() > self.budget {
+            // Exact "max events stored" semantics: fail before storing the
+            // event that would push the count past the budget, so a
+            // successful build always satisfies `event_count() <= budget`.
+            if self.events.len() >= self.budget {
                 return Err(UnfoldError::BudgetExceeded {
                     budget: self.budget,
+                    events: self.events.len(),
+                    next_transition: self.stg.transition_label_string(cand.transition),
                 });
             }
             self.add_event(cand)?;
@@ -302,9 +341,9 @@ impl Builder<'_> {
             place,
             producer,
             consumers: Vec::new(),
-            co: BitSet::new(),
             frozen,
         });
+        self.co.push_row();
         if !frozen {
             self.by_place[place.index()].push(id);
         }
@@ -312,8 +351,7 @@ impl Builder<'_> {
     }
 
     fn link_co(&mut self, a: ConditionId, b: ConditionId) {
-        self.conditions[a.index()].co.insert(b.index());
-        self.conditions[b.index()].co.insert(a.index());
+        self.co.set_pair(a.index(), b.index());
     }
 
     /// Creates the event for a popped candidate, decides cutoff status, adds
@@ -344,9 +382,9 @@ impl Builder<'_> {
             Some(v) if v != required_v0 => {
                 return Err(UnfoldError::Inconsistent {
                     signal: stg.signal_name(label.signal).to_owned(),
+                    transition: stg.transition_label_string(cand.transition),
                     detail: format!(
-                        "instance {} fires with the signal already at {}",
-                        stg.transition_label_string(cand.transition),
+                        "the instance fires with the signal already at {}",
                         u8::from(label.polarity.target_value()),
                     ),
                 });
@@ -416,6 +454,7 @@ impl Builder<'_> {
                 if !rep_code_matches {
                     return Err(UnfoldError::Inconsistent {
                         signal: stg.signal_name(label.signal).to_owned(),
+                        transition: stg.transition_label_string(cand.transition),
                         detail: "two configurations reach the same marking with \
                                  different binary codes"
                             .to_owned(),
@@ -452,21 +491,15 @@ impl Builder<'_> {
         }
 
         // Create the postset conditions and their concurrency rows:
-        // co(e) = ⋂_{b ∈ •e} co(b) minus •e; co(b_new) = co(e) ∪ siblings.
-        let mut co_event = match cand.preset.first() {
-            Some(&b0) => self.conditions[b0.index()].co.clone(),
-            None => BitSet::new(),
-        };
-        for &b in &cand.preset[1..] {
-            co_event.intersect_with(&self.conditions[b.index()].co);
-        }
-        for &b in &cand.preset {
-            co_event.remove(b.index());
-        }
+        // co(e) = ⋂_{b ∈ •e} co(b); co(b_new) = co(e) ∪ siblings. The
+        // intersection is a word-wise AND over packed matrix rows; preset
+        // members drop out on their own (no row contains its own index).
+        let preset_rows: Vec<usize> = cand.preset.iter().map(|b| b.index()).collect();
+        let co_event: Vec<usize> = self.co.intersect_rows(&preset_rows);
         let mut post = Vec::new();
         for &p in net.postset(cand.transition) {
             let b = self.new_condition(p, id, cutoff)?;
-            for other in co_event.iter() {
+            for &other in &co_event {
                 if self.conditions[other].place == p {
                     return Err(UnfoldError::Unsafe {
                         place: net.place_name(p).to_owned(),
@@ -501,11 +534,12 @@ impl Builder<'_> {
             let concurrent = self.events[id.index()].postset.iter().any(|&b| {
                 oe.postset
                     .iter()
-                    .any(|&b2| self.conditions[b.index()].co.contains(b2.index()))
+                    .any(|&b2| self.co.get(b.index(), b2.index()))
             });
             if concurrent {
                 return Err(UnfoldError::Inconsistent {
                     signal: stg.signal_name(label.signal).to_owned(),
+                    transition: stg.transition_label_string(cand.transition),
                     detail: "two concurrent instances of the same signal".to_owned(),
                 });
             }
@@ -514,7 +548,7 @@ impl Builder<'_> {
         if !cutoff {
             let post = self.events[id.index()].postset.clone();
             for (idx, &b) in post.iter().enumerate() {
-                self.find_extensions(b, &post[..idx])?;
+                self.find_extensions(b, &post[..idx]);
             }
         }
         Ok(())
@@ -524,36 +558,91 @@ impl Builder<'_> {
     /// otherwise only conditions with smaller ids (so each co-set is
     /// generated exactly once) — `earlier_siblings` are same-postset
     /// conditions created before `b_new` that are allowed as partners.
-    fn find_extensions(
-        &mut self,
-        b_new: ConditionId,
-        earlier_siblings: &[ConditionId],
-    ) -> Result<(), UnfoldError> {
+    ///
+    /// Enumeration over the consuming transitions is a pure read of the
+    /// segment, so when the estimated search is large enough it fans out on
+    /// the shared scoped worker pool; results are merged back in transition
+    /// order, making the queued candidate set — and therefore the whole
+    /// segment — byte-identical at any worker count.
+    fn find_extensions(&mut self, b_new: ConditionId, earlier_siblings: &[ConditionId]) {
         let place = self.conditions[b_new.index()].place;
         let net = self.stg.net();
-        for &t in net.place_postset(place) {
-            let preset_places: Vec<PlaceId> = net.preset(t).to_vec();
-            let mut chosen: Vec<ConditionId> = Vec::with_capacity(preset_places.len());
-            self.assemble(t, &preset_places, 0, b_new, earlier_siblings, &mut chosen)?;
+        let transitions: Vec<TransitionId> = net.place_postset(place).to_vec();
+        if transitions.is_empty() {
+            return;
         }
-        Ok(())
+        // Upper-bound the probe count: the product of partner-pool sizes
+        // per preset place, summed over transitions.
+        let estimate: u64 = transitions
+            .iter()
+            .map(|&t| {
+                net.preset(t)
+                    .iter()
+                    .map(|&p| {
+                        if p == place {
+                            1
+                        } else {
+                            self.by_place[p.index()].len().max(1) as u64
+                        }
+                    })
+                    .fold(1u64, u64::saturating_mul)
+            })
+            .fold(0u64, u64::saturating_add);
+        let presets: Vec<Vec<Vec<ConditionId>>> =
+            if transitions.len() > 1 && estimate >= PAR_EXTENSION_THRESHOLD {
+                let this: &Self = self;
+                par_map(&transitions, self.workers, |_, &t| {
+                    this.extension_presets(t, b_new, earlier_siblings)
+                })
+            } else {
+                transitions
+                    .iter()
+                    .map(|&t| self.extension_presets(t, b_new, earlier_siblings))
+                    .collect()
+            };
+        for (&t, found) in transitions.iter().zip(&presets) {
+            for preset in found {
+                self.push_candidate(t, preset.clone());
+            }
+        }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn assemble(
-        &mut self,
+    /// Collects every co-set of `t`'s preset places that contains `b_new`.
+    /// Pure (no mutation), so it can run on a worker thread.
+    fn extension_presets(
+        &self,
         t: TransitionId,
+        b_new: ConditionId,
+        earlier_siblings: &[ConditionId],
+    ) -> Vec<Vec<ConditionId>> {
+        let preset_places: Vec<PlaceId> = self.stg.net().preset(t).to_vec();
+        let mut chosen: Vec<ConditionId> = Vec::with_capacity(preset_places.len());
+        let mut out = Vec::new();
+        self.assemble(
+            &preset_places,
+            0,
+            b_new,
+            earlier_siblings,
+            &mut chosen,
+            &mut out,
+        );
+        out
+    }
+
+    fn assemble(
+        &self,
         places: &[PlaceId],
         idx: usize,
         b_new: ConditionId,
         earlier_siblings: &[ConditionId],
         chosen: &mut Vec<ConditionId>,
-    ) -> Result<(), UnfoldError> {
+        out: &mut Vec<Vec<ConditionId>>,
+    ) {
         if idx == places.len() {
             if chosen.contains(&b_new) {
-                self.push_candidate(t, chosen.clone())?;
+                out.push(chosen.clone());
             }
-            return Ok(());
+            return;
         }
         let p = places[idx];
         let candidates: Vec<ConditionId> = if p == self.conditions[b_new.index()].place {
@@ -564,32 +653,27 @@ impl Builder<'_> {
                 .copied()
                 .filter(|&b| {
                     (b < b_new || earlier_siblings.contains(&b))
-                        && self.conditions[b_new.index()].co.contains(b.index())
+                        && self.co.get(b_new.index(), b.index())
                 })
                 .collect()
         };
         for b in candidates {
             if chosen
                 .iter()
-                .all(|&c| c == b || self.conditions[c.index()].co.contains(b.index()))
+                .all(|&c| c == b || self.co.get(c.index(), b.index()))
             {
                 chosen.push(b);
-                self.assemble(t, places, idx + 1, b_new, earlier_siblings, chosen)?;
+                self.assemble(places, idx + 1, b_new, earlier_siblings, chosen, out);
                 chosen.pop();
             }
         }
-        Ok(())
     }
 
-    fn push_candidate(
-        &mut self,
-        t: TransitionId,
-        mut preset: Vec<ConditionId>,
-    ) -> Result<(), UnfoldError> {
+    fn push_candidate(&mut self, t: TransitionId, mut preset: Vec<ConditionId>) {
         preset.sort();
         preset.dedup();
         if !self.seen.insert((t, preset.clone())) {
-            return Ok(());
+            return;
         }
         let mut causes = BitSet::new();
         for &b in &preset {
@@ -617,7 +701,6 @@ impl Builder<'_> {
             size,
             parikh,
         });
-        Ok(())
     }
 }
 
@@ -783,8 +866,87 @@ mod tests {
                     ..Default::default()
                 }
             ),
-            Err(UnfoldError::BudgetExceeded { budget: 3 })
+            Err(UnfoldError::BudgetExceeded {
+                budget: 3,
+                events: 3,
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // "Max events stored" semantics, mirroring `explore()`: a budget of
+        // exactly the final event count succeeds, one less fails, zero never
+        // returns a partial segment.
+        let stg = paper_fig1();
+        let full = StgUnfolding::build(&stg, &UnfoldingOptions::default())
+            .expect("builds")
+            .event_count();
+        let exactly = StgUnfolding::build(
+            &stg,
+            &UnfoldingOptions {
+                event_budget: full,
+                ..Default::default()
+            },
+        )
+        .expect("exact budget fits");
+        assert_eq!(exactly.event_count(), full);
+        assert!(matches!(
+            StgUnfolding::build(
+                &stg,
+                &UnfoldingOptions {
+                    event_budget: full - 1,
+                    ..Default::default()
+                }
+            ),
+            Err(UnfoldError::BudgetExceeded { events, .. }) if events == full - 1
+        ));
+        assert!(matches!(
+            StgUnfolding::build(
+                &stg,
+                &UnfoldingOptions {
+                    event_budget: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(UnfoldError::BudgetExceeded {
+                budget: 0,
+                events: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_segment() {
+        for stg in [paper_fig1(), muller_pipeline(6)] {
+            let base = StgUnfolding::build(
+                &stg,
+                &UnfoldingOptions {
+                    workers: Some(1),
+                    ..Default::default()
+                },
+            )
+            .expect("builds");
+            for workers in [None, Some(2), Some(4)] {
+                let other = StgUnfolding::build(
+                    &stg,
+                    &UnfoldingOptions {
+                        workers,
+                        ..Default::default()
+                    },
+                )
+                .expect("builds");
+                assert_eq!(other.event_count(), base.event_count());
+                for (a, b) in base.events().zip(other.events()) {
+                    assert_eq!(base.transition(a), other.transition(b));
+                    assert_eq!(base.preset(a), other.preset(b));
+                    assert_eq!(base.is_cutoff(a), other.is_cutoff(b));
+                    assert_eq!(base.code(a), other.code(b));
+                }
+            }
+        }
     }
 
     #[test]

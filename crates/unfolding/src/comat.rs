@@ -1,0 +1,152 @@
+//! Packed concurrency-relation matrix over conditions.
+//!
+//! The unfolding algorithm consults the condition concurrency relation `co`
+//! on every extension probe — `O(|preset|)` membership tests per candidate
+//! partner — so its representation is the hottest data structure in segment
+//! construction. Earlier revisions kept one sparse
+//! [`BitSet`](si_petri::BitSet) per condition; this module packs the whole
+//! symmetric relation into a single stride-aligned `Vec<u64>` so a row is a
+//! contiguous word slice, row intersection (the `co(e) = ⋂ co(•e)` step) is
+//! a word-wise AND, and growth re-strides geometrically instead of
+//! reallocating per condition.
+
+/// Symmetric bit matrix over condition indices, one stride-aligned row of
+/// `u64` words per condition.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoMatrix {
+    words: Vec<u64>,
+    /// Words per row; doubled (geometric re-stride) when the condition
+    /// count outgrows `stride * 64`.
+    stride: usize,
+    rows: usize,
+}
+
+impl CoMatrix {
+    pub fn new() -> Self {
+        CoMatrix {
+            words: Vec::new(),
+            stride: 1,
+            rows: 0,
+        }
+    }
+
+    /// Appends an all-zero row, re-striding first if the new index would
+    /// not fit in the current row width.
+    pub fn push_row(&mut self) -> usize {
+        let id = self.rows;
+        if id >= self.stride * 64 {
+            self.restride(self.stride * 2);
+        }
+        self.rows += 1;
+        self.words.resize(self.rows * self.stride, 0);
+        id
+    }
+
+    fn restride(&mut self, new_stride: usize) {
+        debug_assert!(new_stride > self.stride);
+        let mut words = vec![0u64; self.rows * new_stride];
+        for r in 0..self.rows {
+            words[r * new_stride..r * new_stride + self.stride]
+                .copy_from_slice(&self.words[r * self.stride..(r + 1) * self.stride]);
+        }
+        self.words = words;
+        self.stride = new_stride;
+    }
+
+    /// Marks `a co b` (symmetrically). Both rows must exist.
+    pub fn set_pair(&mut self, a: usize, b: usize) {
+        debug_assert!(a < self.rows && b < self.rows);
+        self.words[a * self.stride + b / 64] |= 1u64 << (b % 64);
+        self.words[b * self.stride + a / 64] |= 1u64 << (a % 64);
+    }
+
+    /// Returns `true` if `a co b`.
+    pub fn get(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.rows && b < self.rows);
+        self.words[a * self.stride + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// The packed row of `a`.
+    pub fn row(&self, a: usize) -> &[u64] {
+        &self.words[a * self.stride..(a + 1) * self.stride]
+    }
+
+    /// Word-wise AND of the given rows, as the sorted indices of the
+    /// surviving bits. An empty row list yields the empty set.
+    pub fn intersect_rows(&self, rows: &[usize]) -> Vec<usize> {
+        let Some((&first, rest)) = rows.split_first() else {
+            return Vec::new();
+        };
+        let mut acc: Vec<u64> = self.row(first).to_vec();
+        for &r in rest {
+            for (w, &other) in acc.iter_mut().zip(self.row(r)) {
+                *w &= other;
+            }
+        }
+        iter_bits(&acc).collect()
+    }
+}
+
+/// Iterates the indices of the set bits in a packed word slice.
+pub(crate) fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut bits = w;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let tz = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(wi * 64 + tz)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_survive_restride() {
+        let mut m = CoMatrix::new();
+        let mut last = 0;
+        for _ in 0..300 {
+            last = m.push_row();
+        }
+        assert_eq!(last, 299);
+        m.set_pair(0, 63);
+        m.set_pair(0, 64);
+        m.set_pair(2, 299);
+        for _ in 0..200 {
+            m.push_row(); // forces another re-stride past 512 columns
+        }
+        m.set_pair(3, 450);
+        assert!(m.get(0, 63) && m.get(63, 0));
+        assert!(m.get(0, 64) && m.get(64, 0));
+        assert!(m.get(2, 299) && m.get(299, 2));
+        assert!(m.get(3, 450) && m.get(450, 3));
+        assert!(!m.get(1, 2));
+    }
+
+    #[test]
+    fn row_intersection_matches_pairwise_membership() {
+        let mut m = CoMatrix::new();
+        for _ in 0..130 {
+            m.push_row();
+        }
+        for b in [3usize, 70, 129] {
+            m.set_pair(0, b);
+            m.set_pair(1, b);
+        }
+        m.set_pair(0, 5); // only in row 0
+        assert_eq!(m.intersect_rows(&[0, 1]), vec![3, 70, 129]);
+        assert_eq!(m.intersect_rows(&[]), Vec::<usize>::new());
+        assert_eq!(m.intersect_rows(&[0]), vec![3, 5, 70, 129]);
+    }
+
+    #[test]
+    fn iter_bits_walks_word_boundaries() {
+        let words = [1u64 << 63 | 1, 1u64 << 1];
+        assert_eq!(iter_bits(&words).collect::<Vec<_>>(), vec![0, 63, 65]);
+    }
+}

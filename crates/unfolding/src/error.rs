@@ -16,6 +16,8 @@ pub enum UnfoldError {
     Inconsistent {
         /// The offending signal's name.
         signal: String,
+        /// The offending transition instance's label (e.g. `a+/2`).
+        transition: String,
         /// Human-readable explanation.
         detail: String,
     },
@@ -25,11 +27,15 @@ pub enum UnfoldError {
         /// The offending place's name.
         place: String,
     },
-    /// The segment exceeded the event budget (the STG may be unbounded, or
-    /// simply too large for the configured limit).
+    /// Storing one more event would exceed the event budget (the STG may
+    /// be unbounded, or simply too large for the configured limit).
     BudgetExceeded {
         /// The event budget that was exceeded.
         budget: usize,
+        /// Events stored when construction gave up (`⊥` included).
+        events: usize,
+        /// Label of the transition whose next instance did not fit.
+        next_transition: String,
     },
     /// The STG contains dummy (unlabelled) transitions, which the synthesis
     /// algorithms do not support.
@@ -45,14 +51,31 @@ pub enum UnfoldError {
 impl fmt::Display for UnfoldError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UnfoldError::Inconsistent { signal, detail } => {
-                write!(f, "inconsistent state assignment on `{signal}`: {detail}")
+            UnfoldError::Inconsistent {
+                signal,
+                transition,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "inconsistent state assignment on `{signal}` at instance \
+                     `{transition}`: {detail}"
+                )
             }
             UnfoldError::Unsafe { place } => {
                 write!(f, "net is not 1-safe: place `{place}` can hold two tokens")
             }
-            UnfoldError::BudgetExceeded { budget } => {
-                write!(f, "unfolding exceeded the budget of {budget} events")
+            UnfoldError::BudgetExceeded {
+                budget,
+                events,
+                next_transition,
+            } => {
+                write!(
+                    f,
+                    "unfolding exceeded the budget of {budget} events \
+                     ({events} stored, next instance of `{next_transition}` \
+                     does not fit)"
+                )
             }
             UnfoldError::DummyTransitions => {
                 f.write_str("STG contains dummy transitions; label every transition")
@@ -75,18 +98,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(UnfoldError::Inconsistent {
+        let inconsistent = UnfoldError::Inconsistent {
             signal: "a".into(),
-            detail: "x".into()
-        }
-        .to_string()
-        .contains("`a`"));
+            transition: "a+/2".into(),
+            detail: "x".into(),
+        };
+        assert!(inconsistent.to_string().contains("`a`"));
+        assert!(inconsistent.to_string().contains("`a+/2`"));
         assert!(UnfoldError::Unsafe { place: "p".into() }
             .to_string()
             .contains("1-safe"));
-        assert!(UnfoldError::BudgetExceeded { budget: 5 }
-            .to_string()
-            .contains('5'));
+        let budget = UnfoldError::BudgetExceeded {
+            budget: 5,
+            events: 5,
+            next_transition: "req+".into(),
+        };
+        assert!(budget.to_string().contains('5'));
+        assert!(budget.to_string().contains("`req+`"));
         assert!(UnfoldError::DummyTransitions.to_string().contains("dummy"));
     }
 }

@@ -31,6 +31,7 @@
 
 mod build;
 mod checks;
+mod comat;
 mod dot;
 mod error;
 mod ids;

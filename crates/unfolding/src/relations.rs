@@ -127,14 +127,14 @@ impl StgUnfolding {
         self.conditions[b.index()].frozen
     }
 
-    /// The conditions concurrent with `b`, as a bit set of condition indices.
-    pub fn co_conditions(&self, b: ConditionId) -> &BitSet {
-        &self.conditions[b.index()].co
-    }
-
     /// Returns `true` if the two conditions are concurrent.
     pub fn conditions_co(&self, a: ConditionId, b: ConditionId) -> bool {
-        self.conditions[a.index()].co.contains(b.index())
+        self.co.get(a.index(), b.index())
+    }
+
+    /// Iterates the conditions concurrent with `b`, in index order.
+    pub fn co_conditions(&self, b: ConditionId) -> impl Iterator<Item = ConditionId> + '_ {
+        crate::comat::iter_bits(self.co.row(b.index())).map(|i| ConditionId(i as u32))
     }
 
     /// Causal order on events: `a ≤ b` iff `a ∈ ⌈b⌉` (with `⊥ ≤` everything).
@@ -169,9 +169,7 @@ impl StgUnfolding {
         if preset.contains(&b) {
             return false;
         }
-        preset
-            .iter()
-            .all(|&p| self.conditions[b.index()].co.contains(p.index()))
+        preset.iter().all(|&p| self.co.get(b.index(), p.index()))
     }
 
     /// Causal order between a condition and an event: `b < e` iff some

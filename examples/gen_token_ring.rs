@@ -1,0 +1,20 @@
+//! Regenerates the checked-in `benchmarks/token_ring_*.g` samples.
+//!
+//! ```text
+//! cargo run --release --example gen_token_ring -- 12 > benchmarks/token_ring_12.g
+//! ```
+//!
+//! The station count is the single positional argument (default 12). Kept
+//! as an example (not a bench bin) so the benchmark series can be
+//! re-emitted or extended without touching library code.
+
+use si_synth::stg::generators::token_ring;
+use si_synth::stg::write_g;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<usize>().expect("station count must be a number"))
+        .unwrap_or(12);
+    print!("{}", write_g(&token_ring(n)));
+}

@@ -70,6 +70,10 @@ fn sg_parallel_output_is_byte_identical_to_sequential() {
 
 #[test]
 fn unfolding_parallel_output_is_byte_identical_to_sequential() {
+    // In the default (approximate) mode the cover representation is a pure
+    // performance knob too: implicit diagrams and explicit cube lists must
+    // agree not just on the gates but on the full fingerprint (refined
+    // on/off covers included), at every worker count.
     for stg in [muller_pipeline(4), paper_fig4ab(), vme_read_csc()] {
         let sequential = unfolding_fingerprint(
             &stg,
@@ -78,20 +82,58 @@ fn unfolding_parallel_output_is_byte_identical_to_sequential() {
                 ..Default::default()
             },
         );
-        for workers in [None, Some(2), Some(4)] {
-            let parallel = unfolding_fingerprint(
-                &stg,
-                &SynthesisOptions {
-                    workers,
-                    ..Default::default()
-                },
-            );
-            assert_eq!(
-                sequential,
-                parallel,
-                "{}: workers={workers:?} diverged from sequential",
-                stg.name()
-            );
+        for implicit_covers in [true, false] {
+            for workers in [None, Some(2), Some(4)] {
+                let parallel = unfolding_fingerprint(
+                    &stg,
+                    &SynthesisOptions {
+                        workers,
+                        implicit_covers,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "{}: workers={workers:?} implicit={implicit_covers} diverged from sequential",
+                    stg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_mode_gates_are_identical_across_representations_and_workers() {
+    // Exact mode stores its pre-minimisation covers in representation
+    // native form (disjoint diagram paths vs canonical minterms), so only
+    // the minimised gates — the actual output — are compared here.
+    use si_synth::synthesis::CoverMode;
+    let gates = |stg: &Stg, implicit_covers: bool, workers| -> String {
+        let options = SynthesisOptions {
+            mode: CoverMode::Exact,
+            implicit_covers,
+            workers,
+            ..Default::default()
+        };
+        let result = synthesize_from_unfolding(stg, &options).expect("synthesis succeeds");
+        result
+            .gates
+            .iter()
+            .map(|g| format!("{}|{:?}\n", g.equation(stg), g.gate))
+            .collect()
+    };
+    for stg in [muller_pipeline(4), paper_fig4ab(), vme_read_csc()] {
+        let sequential = gates(&stg, false, Some(1));
+        for implicit_covers in [true, false] {
+            for workers in [None, Some(2), Some(4)] {
+                assert_eq!(
+                    sequential,
+                    gates(&stg, implicit_covers, workers),
+                    "{}: workers={workers:?} implicit={implicit_covers} diverged",
+                    stg.name()
+                );
+            }
         }
     }
 }

@@ -145,6 +145,84 @@ proptest! {
     }
 
     #[test]
+    fn representation_and_workers_never_change_the_output(bp in blueprint()) {
+        // The cover representation (implicit diagrams vs explicit cube
+        // lists) and the worker count are pure performance knobs: every
+        // combination must produce byte-identical equations — or the same
+        // structured error — as the sequential explicit baseline.
+        let stg = build(&bp);
+        for mode in [CoverMode::Approximate, CoverMode::Exact] {
+            let baseline = synthesize_from_unfolding(&stg, &SynthesisOptions {
+                mode,
+                workers: Some(1),
+                implicit_covers: false,
+                ..SynthesisOptions::default()
+            });
+            for implicit_covers in [false, true] {
+                for workers in [Some(1), Some(4)] {
+                    let other = synthesize_from_unfolding(&stg, &SynthesisOptions {
+                        mode,
+                        workers,
+                        implicit_covers,
+                        ..SynthesisOptions::default()
+                    });
+                    match (&baseline, &other) {
+                        (Ok(a), Ok(b)) => {
+                            let eq = |r: &si_synth::synthesis::UnfoldingSynthesis| -> Vec<String> {
+                                r.gates.iter().map(|g| g.equation(&stg)).collect()
+                            };
+                            prop_assert_eq!(
+                                eq(a), eq(b),
+                                "implicit={} workers={:?} changed the equations",
+                                implicit_covers, workers
+                            );
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(
+                            std::mem::discriminant(a), std::mem::discriminant(b),
+                            "implicit={} workers={:?} changed the error: {a} vs {b}",
+                            implicit_covers, workers
+                        ),
+                        (a, b) => {
+                            return Err(TestCaseError::fail(format!(
+                                "implicit={implicit_covers} workers={workers:?}: \
+                                 baseline={:?} other={:?}",
+                                a.as_ref().map(|r| r.literal_count()),
+                                b.as_ref().map(|r| r.literal_count())
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_flows_verify_through_the_unified_surface(bp in blueprint()) {
+        // The FlowEngine trait erases the flow; whatever either flow
+        // produces on a random net must pass the shared oracle, and a CSC
+        // conflict must be reported by both flows or neither.
+        use si_synth::synthesis::{FlowEngine, FlowError, SgFlow, UnfoldingFlow};
+        let stg = build(&bp);
+        let flows: [Box<dyn FlowEngine>; 2] =
+            [Box::new(SgFlow::default()), Box::new(UnfoldingFlow::default())];
+        let mut csc = [false, false];
+        for (i, flow) in flows.iter().enumerate() {
+            match flow.synthesize(&stg) {
+                Ok(result) => {
+                    flow.verify(&stg, &result, 1_000_000, si_synth::stategraph::SgEngine::Explicit)
+                        .expect("synthesised circuits must verify");
+                }
+                Err(FlowError::Sg(si_synth::stategraph::SgError::CscViolation { .. }))
+                | Err(FlowError::Unfolding(SynthesisError::CscViolation { .. })) => csc[i] = true,
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!("unexpected error: {other}")));
+                }
+            }
+        }
+        prop_assert_eq!(csc[0], csc[1], "flows disagree on the CSC verdict");
+    }
+
+    #[test]
     fn exact_and_approximate_modes_agree_pointwise(bp in blueprint()) {
         let stg = build(&bp);
         let approx = synthesize_from_unfolding(&stg, &SynthesisOptions::default());
