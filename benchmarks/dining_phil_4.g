@@ -1,0 +1,26 @@
+.model dining-philosophers-4
+.outputs l0 l1 l2 l3 r0 r1 r2 r3
+.graph
+l0+ r0+
+r0+ l0-
+l0- r0- f0
+r0- l0+ f1
+l1+ r1+
+r1+ l1-
+l1- r1- f1
+r1- l1+ f2
+l2+ r2+
+r2+ l2-
+l2- r2- f2
+r2- l2+ f3
+l3+ r3+
+r3+ l3-
+l3- r3- f3
+r3- l3+ f0
+f0 l0+ r3+
+f1 r0+ l1+
+f2 r1+ l2+
+f3 r2+ l3+
+.marking { f0 f1 f2 f3 <r0-,l0+> <r1-,l1+> <r2-,l2+> <r3-,l3+> }
+.initial { l0=0 l1=0 l2=0 l3=0 r0=0 r1=0 r2=0 r3=0 }
+.end

@@ -1,0 +1,46 @@
+.model dining-philosophers-8
+.outputs l0 l1 l2 l3 l4 l5 l6 l7 r0 r1 r2 r3 r4 r5 r6 r7
+.graph
+l0+ r0+
+r0+ l0-
+l0- r0- f0
+r0- l0+ f1
+l1+ r1+
+r1+ l1-
+l1- r1- f1
+r1- l1+ f2
+l2+ r2+
+r2+ l2-
+l2- r2- f2
+r2- l2+ f3
+l3+ r3+
+r3+ l3-
+l3- r3- f3
+r3- l3+ f4
+l4+ r4+
+r4+ l4-
+l4- r4- f4
+r4- l4+ f5
+l5+ r5+
+r5+ l5-
+l5- r5- f5
+r5- l5+ f6
+l6+ r6+
+r6+ l6-
+l6- r6- f6
+r6- l6+ f7
+l7+ r7+
+r7+ l7-
+l7- r7- f7
+r7- l7+ f0
+f0 l0+ r7+
+f1 r0+ l1+
+f2 r1+ l2+
+f3 r2+ l3+
+f4 r3+ l4+
+f5 r4+ l5+
+f6 r5+ l6+
+f7 r6+ l7+
+.marking { f0 f1 f2 f3 f4 f5 f6 f7 <r0-,l0+> <r1-,l1+> <r2-,l2+> <r3-,l3+> <r4-,l4+> <r5-,l5+> <r6-,l6+> <r7-,l7+> }
+.initial { l0=0 l1=0 l2=0 l3=0 l4=0 l5=0 l6=0 l7=0 r0=0 r1=0 r2=0 r3=0 r4=0 r5=0 r6=0 r7=0 }
+.end

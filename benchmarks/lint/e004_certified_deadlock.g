@@ -1,0 +1,14 @@
+# SI-E004: the `y` cycle is an unmarked siphon and the surviving chain
+# `x+ → x-` admits no T-invariant, so every run of this 1-safety-certified
+# net provably ends in a reachable dead marking.
+.model e004-certified-deadlock
+.outputs x y
+.graph
+start x+
+x+ x-
+x- done
+y+ y-
+y- y+
+.marking { start }
+.initial { x=0 y=0 }
+.end

@@ -1,0 +1,12 @@
+# SI-W011: the minimal siphon `{start}` contains no initially marked trap
+# (its only consumer `x+` produces nothing back), so the Commoner-style
+# deadlock-freedom certificate cannot be issued.
+.model w011-siphon-no-trap
+.outputs x
+.graph
+start x+
+x+ x-
+x- done
+.marking { start }
+.initial { x=0 }
+.end

@@ -1,0 +1,14 @@
+# SI-W012: the kill transition `b+` consumes the cycle token without
+# returning it, pushing rank(C) to 2 while the net has only 2 clusters —
+# the free-choice rank condition rank = clusters − 1 fails, so no marking
+# makes this net both live and safe.
+.model w012-rank-violation
+.outputs a b
+.graph
+p0 a+ b+
+a+ p1
+p1 a-
+a- p0
+.marking { p0 }
+.initial { a=0 b=0 }
+.end

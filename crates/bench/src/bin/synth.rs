@@ -271,7 +271,13 @@ fn main() -> ExitCode {
                     // The flow is pinned to sg, so the structural policy
                     // only decides the traversal engine: explicit when the
                     // certificate bounds the state count within budget.
-                    let decision = choose_flow(&stg, state_budget);
+                    let decision = match choose_flow(&stg, state_budget) {
+                        Ok(d) => d,
+                        Err(refusal) => {
+                            eprintln!("{refusal}");
+                            return ExitCode::from(2);
+                        }
+                    };
                     let engine = match decision.choice {
                         FlowChoice::SgExplicit => SgEngine::Explicit,
                         FlowChoice::Unfolding | FlowChoice::SgSymbolic => SgEngine::Symbolic,
@@ -287,7 +293,13 @@ fn main() -> ExitCode {
         }
         Flow::Unfolding => run_unfolding(&stg, &args, None),
         Flow::Auto => {
-            let decision = choose_flow(&stg, state_budget);
+            let decision = match choose_flow(&stg, state_budget) {
+                Ok(d) => d,
+                Err(refusal) => {
+                    eprintln!("{refusal}");
+                    return ExitCode::from(2);
+                }
+            };
             match decision.choice {
                 FlowChoice::SgExplicit => run_sg(
                     &stg,
@@ -315,6 +327,7 @@ fn main() -> ExitCode {
 /// infos leave the exit code at 0 so CI can gate on errors alone; any
 /// error-severity diagnostic (or a syntactically broken file) exits 2.
 fn run_lint(text: &str, args: &Args) -> ExitCode {
+    let lint_start = Instant::now();
     let report = match lint_text(text) {
         Ok(report) => report,
         Err(e) => {
@@ -322,10 +335,14 @@ fn run_lint(text: &str, args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let lint_time = lint_start.elapsed();
     match args.lint {
         LintMode::Json => println!("{}", report.to_json()),
         _ => print!("{}", report.render()),
     }
+    // The analysis-pass timing goes to stderr so stdout stays exactly the
+    // report (greppable text or one JSON object).
+    eprintln!("{:>10} {:>10}", "analysis", secs(lint_time));
     if report.has_errors() {
         ExitCode::from(2)
     } else {

@@ -14,7 +14,9 @@
 use std::error::Error;
 use std::fmt;
 
-use si_petri::structural::{certify_one_safe, classify, structural_state_bound};
+use si_petri::structural::{
+    certified_deadlock_witness, certify_one_safe, classify, structural_state_bound,
+};
 use si_stategraph::{synthesize_from_sg, SgEngine, SgError, SgSynthesis, SgSynthesisOptions};
 use si_stg::Stg;
 
@@ -212,10 +214,39 @@ pub struct FlowDecision {
     pub reason: String,
 }
 
+/// A structured refusal from [`choose_flow`]: the specification carries a
+/// **certified reachable deadlock** (a never-marked siphon plus the
+/// termination of every surviving transition — see
+/// [`certified_deadlock_witness`]), so running any engine would only spend
+/// a budget discovering the same dead marking dynamically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRefusal {
+    /// Names of the places of the never-marked siphon witnessing the
+    /// deadlock, in id order.
+    pub siphon: Vec<String>,
+}
+
+impl fmt::Display for FlowRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certified reachable deadlock: siphon {{{}}} can never be (re)marked and the \
+             surviving transitions terminate; refusing to run a synthesis engine \
+             (`--lint` reports this as SI-E004)",
+            self.siphon.join(", ")
+        )
+    }
+}
+
+impl Error for FlowRefusal {}
+
 /// Picks a flow for `stg` from structure alone, in polynomial time.
 ///
 /// The policy, in order:
 ///
+/// 0. If the structural pass *certifies a reachable deadlock* (never-marked
+///    siphon plus termination of the surviving transitions), refuse with a
+///    [`FlowRefusal`] before any engine spends a budget.
 /// 1. If the unary-invariant 1-safety certificate yields a structural
 ///    state bound within `state_budget`, the explicit SG flow is safe and
 ///    exact — take it.
@@ -224,44 +255,56 @@ pub struct FlowDecision {
 ///    state count is exponential — take the unfolding flow.
 /// 3. Otherwise fall back to the symbolic SG flow, which handles both
 ///    large state spaces and arbitration.
-pub fn choose_flow(stg: &Stg, state_budget: usize) -> FlowDecision {
+///
+/// # Errors
+///
+/// Returns [`FlowRefusal`] only for certified-deadlocking specifications.
+pub fn choose_flow(stg: &Stg, state_budget: usize) -> Result<FlowDecision, FlowRefusal> {
     let net = stg.net();
     let cert = certify_one_safe(net);
+    if let Some(siphon) = certified_deadlock_witness(net, &cert) {
+        return Err(FlowRefusal {
+            siphon: siphon
+                .iter()
+                .map(|&p| net.place_name(p).to_owned())
+                .collect(),
+        });
+    }
     if let Some(bound) = structural_state_bound(net, &cert) {
         if bound <= state_budget as u128 {
-            return FlowDecision {
+            return Ok(FlowDecision {
                 choice: FlowChoice::SgExplicit,
                 reason: format!("structural state bound {bound} <= budget {state_budget}"),
-            };
+            });
         }
         if classify(net).marked_graph {
-            return FlowDecision {
+            return Ok(FlowDecision {
                 choice: FlowChoice::Unfolding,
                 reason: format!(
                     "structural state bound {bound} > budget {state_budget}, \
                      choice-free net keeps the prefix polynomial"
                 ),
-            };
+            });
         }
-        return FlowDecision {
+        return Ok(FlowDecision {
             choice: FlowChoice::SgSymbolic,
             reason: format!(
                 "structural state bound {bound} > budget {state_budget}, \
                  net has choice"
             ),
-        };
+        });
     }
     if classify(net).marked_graph {
-        return FlowDecision {
+        return Ok(FlowDecision {
             choice: FlowChoice::Unfolding,
             reason: "no structural state bound, choice-free net keeps the prefix polynomial"
                 .to_owned(),
-        };
+        });
     }
-    FlowDecision {
+    Ok(FlowDecision {
         choice: FlowChoice::SgSymbolic,
         reason: "no structural state bound, net has choice".to_owned(),
-    }
+    })
 }
 
 /// Builds the [`FlowEngine`] a [`FlowDecision`] names, from the given
@@ -383,14 +426,14 @@ mod tests {
 
     #[test]
     fn auto_policy_routes_small_nets_to_explicit_sg() {
-        let decision = choose_flow(&si_stg::suite::paper_fig1(), 2_000_000);
+        let decision = choose_flow(&si_stg::suite::paper_fig1(), 2_000_000).expect("no refusal");
         assert_eq!(
             decision.choice,
             FlowChoice::SgExplicit,
             "{}",
             decision.reason
         );
-        let decision = choose_flow(&muller_pipeline(4), 2_000_000);
+        let decision = choose_flow(&muller_pipeline(4), 2_000_000).expect("no refusal");
         assert_eq!(
             decision.choice,
             FlowChoice::SgExplicit,
@@ -405,7 +448,7 @@ mod tests {
         // bound (a product over invariants) is conservative — the policy
         // only sees structure, and unfolding handles the net fine.
         for stg in [token_ring(8), token_ring(12), muller_pipeline(20)] {
-            let decision = choose_flow(&stg, 2_000_000);
+            let decision = choose_flow(&stg, 2_000_000).expect("no refusal");
             assert_eq!(
                 decision.choice,
                 FlowChoice::Unfolding,
@@ -418,7 +461,7 @@ mod tests {
 
     #[test]
     fn auto_policy_routes_large_choice_nets_to_symbolic_sg() {
-        let decision = choose_flow(&wide_arbiter(16), 2_000_000);
+        let decision = choose_flow(&wide_arbiter(16), 2_000_000).expect("no refusal");
         assert_eq!(
             decision.choice,
             FlowChoice::SgSymbolic,
@@ -428,13 +471,44 @@ mod tests {
     }
 
     #[test]
+    fn certified_deadlocking_spec_is_refused_before_any_engine_runs() {
+        // A terminating x+ ; x- chain beside a never-marked y-cycle: the
+        // structural pass certifies a reachable dead marking, and the
+        // policy must refuse instead of picking a flow.
+        let mut b = si_stg::StgBuilder::new();
+        let x = b.output("x");
+        let y = b.output("y");
+        let xp = b.rise(x);
+        let xm = b.fall(x);
+        let start = b.place("start");
+        let done = b.place("done");
+        b.arc_pt(start, xp);
+        b.arc_tt(xp, xm);
+        b.arc_tp(xm, done);
+        b.mark(start);
+        let yp = b.rise(y);
+        let ym = b.fall(y);
+        b.arc_tt(yp, ym);
+        b.arc_tt(ym, yp);
+        b.initial_all_zero();
+        let stg = b.must_build();
+
+        let refusal = choose_flow(&stg, 2_000_000).expect_err("must refuse");
+        assert!(
+            refusal.siphon.iter().any(|p| p.contains("y+")),
+            "witness names the never-marked cycle: {refusal:?}"
+        );
+        assert!(refusal.to_string().contains("SI-E004"));
+    }
+
+    #[test]
     fn auto_policy_decisions_synthesise_and_verify() {
         for stg in [
             si_stg::suite::paper_fig1(),
             token_ring(8),
             muller_pipeline(6),
         ] {
-            let decision = choose_flow(&stg, 2_000_000);
+            let decision = choose_flow(&stg, 2_000_000).expect("no refusal");
             let engine = engine_for(
                 decision.choice,
                 &SgSynthesisOptions::default(),

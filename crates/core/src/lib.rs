@@ -56,8 +56,8 @@ mod verify;
 pub use arch::{synthesize_excitation_functions, ExcitationImplementation, MemoryElement};
 pub use error::SynthesisError;
 pub use flow::{
-    choose_flow, engine_for, FlowChoice, FlowDecision, FlowEngine, FlowError, FlowSynthesis,
-    SgFlow, UnfoldingFlow,
+    choose_flow, engine_for, FlowChoice, FlowDecision, FlowEngine, FlowError, FlowRefusal,
+    FlowSynthesis, SgFlow, UnfoldingFlow,
 };
 pub use netlist::{excitation_to_verilog, to_eqn, to_verilog};
 pub use synth::{

@@ -9,6 +9,7 @@
 //! | `SI-E001` | error | transition with an empty preset (always enabled) |
 //! | `SI-E002` | error | net has transitions but no initial token |
 //! | `SI-E003` | error | dummy (unlabelled) transition — unsupported by synthesis |
+//! | `SI-E004` | error | certified reachable deadlock (never-marked siphon + termination) |
 //! | `SI-W001` | warning | declared signal with no transitions |
 //! | `SI-W002` | warning | 1-safety not structurally certified |
 //! | `SI-W003` | warning | initially unmarked siphon (structurally dead transitions) |
@@ -19,11 +20,15 @@
 //! | `SI-W008` | warning | signal only rises or only falls |
 //! | `SI-W009` | warning | accumulator place (producers but no consumer) |
 //! | `SI-W010` | warning | transition outside every T-invariant (fires finitely often) |
+//! | `SI-W011` | warning | siphon–trap property fails (a minimal siphon has no marked trap) |
+//! | `SI-W012` | warning | free-choice rank condition fails (no marking is live and safe) |
 //! | `SI-I001` | info | structural net class |
 //! | `SI-I002` | info | invariant/safety-certificate summary |
+//! | `SI-I003` | info | deadlock-freedom certificate (siphon–trap property verified) |
 
 use std::fmt;
 
+use si_petri::structural::DeadlockCertificate;
 use si_petri::NetError;
 
 use super::{analyze, StgAnalysis};
@@ -61,6 +66,7 @@ pub enum DiagCode {
     E001,
     E002,
     E003,
+    E004,
     W001,
     W002,
     W003,
@@ -71,8 +77,11 @@ pub enum DiagCode {
     W008,
     W009,
     W010,
+    W011,
+    W012,
     I001,
     I002,
+    I003,
 }
 
 impl DiagCode {
@@ -82,6 +91,7 @@ impl DiagCode {
             DiagCode::E001 => "SI-E001",
             DiagCode::E002 => "SI-E002",
             DiagCode::E003 => "SI-E003",
+            DiagCode::E004 => "SI-E004",
             DiagCode::W001 => "SI-W001",
             DiagCode::W002 => "SI-W002",
             DiagCode::W003 => "SI-W003",
@@ -92,16 +102,19 @@ impl DiagCode {
             DiagCode::W008 => "SI-W008",
             DiagCode::W009 => "SI-W009",
             DiagCode::W010 => "SI-W010",
+            DiagCode::W011 => "SI-W011",
+            DiagCode::W012 => "SI-W012",
             DiagCode::I001 => "SI-I001",
             DiagCode::I002 => "SI-I002",
+            DiagCode::I003 => "SI-I003",
         }
     }
 
     /// The severity class of the code.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::E001 | DiagCode::E002 | DiagCode::E003 => Severity::Error,
-            DiagCode::I001 | DiagCode::I002 => Severity::Info,
+            DiagCode::E001 | DiagCode::E002 | DiagCode::E003 | DiagCode::E004 => Severity::Error,
+            DiagCode::I001 | DiagCode::I002 | DiagCode::I003 => Severity::Info,
             _ => Severity::Warning,
         }
     }
@@ -113,6 +126,7 @@ impl DiagCode {
             DiagCode::E001,
             DiagCode::E002,
             DiagCode::E003,
+            DiagCode::E004,
             DiagCode::W001,
             DiagCode::W002,
             DiagCode::W003,
@@ -123,8 +137,11 @@ impl DiagCode {
             DiagCode::W008,
             DiagCode::W009,
             DiagCode::W010,
+            DiagCode::W011,
+            DiagCode::W012,
             DiagCode::I001,
             DiagCode::I002,
+            DiagCode::I003,
         ]
     }
 }
@@ -348,6 +365,20 @@ pub fn lint_with_analysis(
         });
     }
 
+    // SI-E004: certified reachable deadlock.
+    if let DeadlockCertificate::CertifiedDeadlock { siphon } = &analysis.deadlock {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::E004,
+            message: format!(
+                "certified reachable deadlock: the siphon {} can never be (re)marked and \
+                 the surviving transitions admit no T-invariant — every run of this \
+                 1-safety-certified net ends in a dead marking",
+                place_names(siphon)
+            ),
+            line: siphon.first().and_then(|&p| p_line(p)),
+        });
+    }
+
     // SI-W001: dead signals.
     for &s in &analysis.signals.dead_signals {
         diagnostics.push(Diagnostic {
@@ -503,6 +534,38 @@ pub fn lint_with_analysis(
         }
     }
 
+    // SI-W011: siphon–trap property fails with a concrete witness.
+    if let DeadlockCertificate::SiphonWithoutMarkedTrap { siphon } = &analysis.deadlock {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::W011,
+            message: format!(
+                "siphon–trap property fails: the minimal siphon {} contains no initially \
+                 marked trap, so deadlock-freedom cannot be certified — once this siphon \
+                 drains it stays empty forever",
+                place_names(siphon)
+            ),
+            line: siphon.first().and_then(|&p| p_line(p)),
+        });
+    }
+
+    // SI-W012: free-choice rank condition fails.
+    if analysis.class.free_choice && analysis.components <= 1 && net.transition_count() > 0 {
+        if let Some(rank) = &analysis.rank {
+            if !rank.holds() {
+                diagnostics.push(Diagnostic {
+                    code: DiagCode::W012,
+                    message: format!(
+                        "free-choice rank condition fails: rank(C) = {} but the net has {} \
+                         cluster(s) (well-formedness requires rank = clusters − 1) — no \
+                         initial marking makes this net live and safe",
+                        rank.rank, rank.clusters
+                    ),
+                    line: None,
+                });
+            }
+        }
+    }
+
     // SI-I001: net class.
     diagnostics.push(Diagnostic {
         code: DiagCode::I001,
@@ -536,6 +599,22 @@ pub fn lint_with_analysis(
         ),
         line: None,
     });
+
+    // SI-I003: deadlock-freedom certificate summary.
+    if let DeadlockCertificate::DeadlockFree { siphons_checked } = analysis.deadlock {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::I003,
+            message: if siphons_checked == 0 {
+                "deadlock-free: a permanently enabled transition rules out dead markings".to_owned()
+            } else {
+                format!(
+                    "deadlock-freedom certificate: every one of the {siphons_checked} minimal \
+                     siphon(s) contains an initially marked trap — no reachable marking is dead"
+                )
+            },
+            line: None,
+        });
+    }
 
     // Severity-rank the report: errors, warnings, infos; then code; then
     // source line (unknown lines last); insertion order breaks ties.
@@ -578,7 +657,7 @@ ack- req+
         assert!(report.is_clean(), "{}", report.render());
         assert!(!report.has_errors());
         let codes: Vec<DiagCode> = report.diagnostics.iter().map(|d| d.code).collect();
-        assert_eq!(codes, vec![DiagCode::I001, DiagCode::I002]);
+        assert_eq!(codes, vec![DiagCode::I001, DiagCode::I002, DiagCode::I003]);
         assert!(report.render().contains("0 errors, 0 warnings"));
     }
 
@@ -672,6 +751,6 @@ a- a+
             assert!(seen.insert(code.as_str()), "duplicate {code}");
             assert!(code.as_str().starts_with("SI-"));
         }
-        assert_eq!(seen.len(), 15);
+        assert_eq!(seen.len(), 19);
     }
 }

@@ -23,9 +23,9 @@ pub use lint::{lint, lint_text, lint_with_analysis, DiagCode, Diagnostic, LintRe
 pub use signals::{signal_findings, SignalFindings};
 
 use si_petri::structural::{
-    self, certify_one_safe, classify, connected_components, dead_by_siphon, duplicate_places,
-    non_repeatable_transitions, structural_state_bound, unmarked_siphon, Incidence, NetClass,
-    SafetyCertificate,
+    self, certify_deadlock, certify_one_safe, classify, connected_components, dead_by_siphon,
+    duplicate_places, non_repeatable_transitions, rank_check, structural_state_bound,
+    unmarked_siphon, DeadlockCertificate, Incidence, NetClass, RankCheck, SafetyCertificate,
 };
 use si_petri::{NetError, PlaceId, TransitionId};
 
@@ -77,6 +77,14 @@ pub struct StgAnalysis {
     pub code_width: Option<StgError>,
     /// Signal-level findings.
     pub signals: SignalFindings,
+    /// The structural deadlock verdict: siphon–trap deadlock-freedom
+    /// certificate, certified reachable deadlock, a failing siphon witness,
+    /// or no conclusion.
+    pub deadlock: DeadlockCertificate,
+    /// The free-choice rank-theorem data (`None` when the exact rank
+    /// computation overflowed). Only meaningful for connected free-choice
+    /// nets; see [`RankCheck::holds`].
+    pub rank: Option<RankCheck>,
 }
 
 /// Runs the full structural pass over `stg`.
@@ -95,11 +103,14 @@ pub fn analyze(stg: &Stg) -> StgAnalysis {
         .places()
         .filter(|&p| !net.place_preset(p).is_empty() && net.place_postset(p).is_empty())
         .collect();
+    let deadlock = certify_deadlock(net, &safety);
     StgAnalysis {
         p_invariants: structural::p_invariant_basis(&incidence),
         t_invariants: structural::t_invariant_basis(&incidence),
         non_repeatable: non_repeatable_transitions(&incidence),
         incidence,
+        deadlock,
+        rank: rank_check(net),
         safety,
         state_bound,
         class: classify(net),
@@ -167,5 +178,13 @@ mod tests {
         // One P-invariant (the cycle), one T-invariant (the full cycle).
         assert_eq!(a.p_invariants.as_deref().map(<[_]>::len), Some(1));
         assert_eq!(a.t_invariants.as_deref().map(<[_]>::len), Some(1));
+        // The single minimal siphon (the handshake cycle) is its own
+        // initially marked trap: certified deadlock-free.
+        assert_eq!(
+            a.deadlock,
+            DeadlockCertificate::DeadlockFree { siphons_checked: 1 }
+        );
+        // A live safe marked graph satisfies the rank equation.
+        assert_eq!(a.rank.map(|r| r.holds()), Some(true));
     }
 }

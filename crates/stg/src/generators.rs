@@ -12,6 +12,8 @@
 //!   state-explosion case (`2^k` states, linear unfolding).
 //! * [`sequencer`] — a purely sequential ring of `n` signals: the
 //!   no-concurrency base case.
+//! * [`dining_philosophers`] — the deadlock-prone ring: the workload the
+//!   liveness diagnostics (`SI-W011`, reachable deadlocks) are aimed at.
 
 use crate::binary::BinaryCode;
 use crate::model::{Stg, StgBuilder};
@@ -374,6 +376,79 @@ pub fn independent_cycles(k: usize) -> Stg {
     b.must_build()
 }
 
+/// Builds the classic `n`-philosopher dining ring as an STG: the
+/// deadlock-prone workload for the liveness analyses.
+///
+/// Philosopher `i` cycles `think → has-left → eat → done → think`, picking
+/// up the left fork `fᵢ` on `lᵢ+`, the right fork `fᵢ₊₁` on `rᵢ+`, and
+/// releasing them on `lᵢ−`/`rᵢ−`. All forks start on the table and all
+/// philosophers start thinking, so the net is 1-safe with unary covers —
+/// but the round where everybody grabs their left fork reaches a total
+/// reachable deadlock. Structurally, the siphon collecting the forks with
+/// the eat/done places contains no initially marked trap, so the
+/// siphon–trap property fails: `--lint` reports `SI-W011` (and no
+/// deadlock-freedom certificate), making this the canonical fixture for
+/// the liveness diagnostics.
+///
+/// Signals `lᵢ`, `rᵢ` are outputs (the ring is autonomous).
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a single philosopher owns both forks).
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::generators::dining_philosophers;
+///
+/// let stg = dining_philosophers(4);
+/// assert_eq!(stg.signal_count(), 8);
+/// assert_eq!(stg.net().place_count(), 5 * 4);
+/// ```
+pub fn dining_philosophers(n: usize) -> Stg {
+    assert!(n >= 2, "the ring needs at least two philosophers");
+    let mut b = StgBuilder::new();
+    b.set_name(format!("dining-philosophers-{n}"));
+    let left: Vec<SignalId> = (0..n).map(|i| b.output(format!("l{i}"))).collect();
+    let right: Vec<SignalId> = (0..n).map(|i| b.output(format!("r{i}"))).collect();
+    let forks: Vec<_> = (0..n)
+        .map(|i| {
+            let f = b.place(format!("f{i}"));
+            b.mark(f);
+            f
+        })
+        .collect();
+    for i in 0..n {
+        let think = b.place(format!("think{i}"));
+        let hasl = b.place(format!("hasl{i}"));
+        let eat = b.place(format!("eat{i}"));
+        let done = b.place(format!("done{i}"));
+        b.mark(think);
+        let take_l = b.rise(left[i]);
+        let take_r = b.rise(right[i]);
+        let drop_l = b.fall(left[i]);
+        let drop_r = b.fall(right[i]);
+        // take left: think + left fork → has-left
+        b.arc_pt(think, take_l);
+        b.arc_pt(forks[i], take_l);
+        b.arc_tp(take_l, hasl);
+        // take right: has-left + right fork → eat
+        b.arc_pt(hasl, take_r);
+        b.arc_pt(forks[(i + 1) % n], take_r);
+        b.arc_tp(take_r, eat);
+        // release left: eat → done (left fork returns)
+        b.arc_pt(eat, drop_l);
+        b.arc_tp(drop_l, done);
+        b.arc_tp(drop_l, forks[i]);
+        // release right: done → think (right fork returns)
+        b.arc_pt(done, drop_r);
+        b.arc_tp(drop_r, think);
+        b.arc_tp(drop_r, forks[(i + 1) % n]);
+    }
+    b.initial_all_zero();
+    b.must_build()
+}
+
 /// Builds a purely sequential ring over `n` signals: `s0+ → s1+ → … →
 /// s(n−1)+ → s0− → … → s(n−1)− → s0+`. The state graph is linear in `n`
 /// (2n states), as is the unfolding.
@@ -556,6 +631,27 @@ mod tests {
         let rg = ReachabilityGraph::explore(stg.net(), 10_000).expect("safe");
         assert_eq!(rg.len(), 1024);
         assert!(rg.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn dining_philosophers_is_safe_but_deadlocks() {
+        for n in [2, 3, 4] {
+            let stg = dining_philosophers(n);
+            assert_eq!(stg.signal_count(), 2 * n);
+            assert_eq!(stg.net().place_count(), 5 * n);
+            assert_eq!(stg.net().transition_count(), 4 * n);
+            stg.validate().expect("valid");
+            // 1-safe, but the all-left-forks round is a reachable total
+            // deadlock — the exact behaviour the liveness lints flag.
+            let rg = ReachabilityGraph::explore(stg.net(), 1_000_000).expect("safe");
+            assert!(!rg.deadlocks().is_empty(), "no deadlock at n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two philosophers")]
+    fn lone_philosopher_panics() {
+        dining_philosophers(1);
     }
 
     #[test]

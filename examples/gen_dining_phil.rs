@@ -1,0 +1,24 @@
+//! Regenerates the checked-in `benchmarks/dining_phil_*.g` samples.
+//!
+//! ```text
+//! cargo run --release --example gen_dining_phil -- 4 > benchmarks/dining_phil_4.g
+//! ```
+//!
+//! The philosopher count is the single positional argument (default 4).
+//! Unlike the rest of the benchmark series these specs are deliberately
+//! deadlock-prone — they exist to exercise the liveness diagnostics
+//! (`SI-W011`) and are excluded from the lint-clean benchmark sweep.
+
+use si_synth::stg::generators::dining_philosophers;
+use si_synth::stg::write_g;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .map(|s| {
+            s.parse::<usize>()
+                .expect("philosopher count must be a number")
+        })
+        .unwrap_or(4);
+    print!("{}", write_g(&dining_philosophers(n)));
+}

@@ -24,6 +24,7 @@ const TARGETS: &[(DiagCode, &str)] = &[
     (DiagCode::E001, "e001_source_transition.g"),
     (DiagCode::E002, "e002_empty_marking.g"),
     (DiagCode::E003, "e003_dummy.g"),
+    (DiagCode::E004, "e004_certified_deadlock.g"),
     (DiagCode::W001, "w001_dead_signal.g"),
     (DiagCode::W002, "w002_not_one_safe.g"),
     (DiagCode::W003, "w003_unmarked_siphon.g"),
@@ -34,8 +35,11 @@ const TARGETS: &[(DiagCode, &str)] = &[
     (DiagCode::W008, "w008_single_polarity.g"),
     (DiagCode::W009, "w009_accumulator.g"),
     (DiagCode::W010, "w010_non_repeatable.g"),
+    (DiagCode::W011, "w011_siphon_no_trap.g"),
+    (DiagCode::W012, "w012_rank_violation.g"),
     (DiagCode::I001, "clean_handshake.g"),
     (DiagCode::I002, "clean_handshake.g"),
+    (DiagCode::I003, "clean_handshake.g"),
 ];
 
 #[test]
@@ -90,7 +94,12 @@ fn every_fixture_has_lines_on_spanned_diagnostics() {
     for &(code, file) in TARGETS {
         if matches!(
             code,
-            DiagCode::E002 | DiagCode::W005 | DiagCode::I001 | DiagCode::I002
+            DiagCode::E002
+                | DiagCode::W005
+                | DiagCode::W012
+                | DiagCode::I001
+                | DiagCode::I002
+                | DiagCode::I003
         ) {
             continue;
         }
@@ -119,17 +128,52 @@ fn shipped_benchmarks_lint_clean() {
         }
         let text = std::fs::read_to_string(&path).expect("readable benchmark");
         let report = lint_text(&text).expect("benchmark parses");
-        assert!(
-            report.is_clean(),
-            "{}: shipped benchmarks must lint clean:\n{}",
-            path.display(),
-            report.render()
-        );
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("dining_phil") {
+            // The dining-philosopher specs are deliberately deadlock-prone:
+            // they must trip the siphon–trap warning and nothing worse.
+            assert_eq!(report.error_count(), 0, "{}", report.render());
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == DiagCode::W011),
+                "{}: expected SI-W011 on a dining-philosophers spec:\n{}",
+                path.display(),
+                report.render()
+            );
+        } else {
+            assert!(
+                report.is_clean(),
+                "{}: shipped benchmarks must lint clean:\n{}",
+                path.display(),
+                report.render()
+            );
+        }
         checked += 1;
     }
     assert!(
         checked >= 6,
         "expected the shipped benchmarks, found {checked}"
+    );
+}
+
+#[test]
+fn liveness_verdicts_match_reachability_on_the_corpus() {
+    use si_synth::petri::ReachabilityGraph;
+    use si_synth::stg::parse_g_lenient;
+    // The structural verdicts are claims about behaviour: the
+    // certified-deadlock fixture must actually reach a dead marking and the
+    // certificate-carrying clean fixture must not.
+    let explore = |file: &str| {
+        let text = std::fs::read_to_string(corpus_path(file)).expect("read fixture");
+        let (stg, _) = parse_g_lenient(&text).expect("parses");
+        ReachabilityGraph::explore(stg.net(), 100_000).expect("1-safe fixture")
+    };
+    assert!(
+        !explore("e004_certified_deadlock.g").deadlocks().is_empty(),
+        "the SI-E004 fixture must reach a dead marking"
+    );
+    assert!(
+        explore("clean_handshake.g").deadlocks().is_empty(),
+        "the SI-I003 fixture must be deadlock-free"
     );
 }
 

@@ -139,6 +139,46 @@ fn exact_mode_gates_are_identical_across_representations_and_workers() {
 }
 
 #[test]
+fn cutoff_pruning_is_byte_identical_across_workers() {
+    // The T-invariant cutoff-lookup pruning is a pure skip of guaranteed
+    // hash misses: with it on or off, at any worker count, the unfolding
+    // flow must produce the same full fingerprint (covers included).
+    use si_synth::unfolding::UnfoldingOptions;
+    for stg in [muller_pipeline(4), paper_fig4ab(), vme_read_csc()] {
+        let unpruned = unfolding_fingerprint(
+            &stg,
+            &SynthesisOptions {
+                workers: Some(1),
+                unfolding: UnfoldingOptions {
+                    prune_non_repeatable: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for workers in [None, Some(2), Some(4)] {
+            let pruned = unfolding_fingerprint(
+                &stg,
+                &SynthesisOptions {
+                    workers,
+                    unfolding: UnfoldingOptions {
+                        prune_non_repeatable: true,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                unpruned,
+                pruned,
+                "{}: workers={workers:?} pruning changed the output",
+                stg.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn sg_synthesis_is_deterministic_across_runs() {
     // The exact on/off-sets are deduplicated through a HashSet; the covers
     // must nevertheless come out in canonical order every run, or gate

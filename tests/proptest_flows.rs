@@ -197,6 +197,37 @@ proptest! {
     }
 
     #[test]
+    fn cutoff_pruning_never_changes_the_segment(
+        bp in blueprint(),
+        workers_idx in 0usize..3,
+    ) {
+        // The T-invariant cutoff-lookup pruning must be invisible: the
+        // segment with pruning on — at any worker count — is byte-identical
+        // to the unpruned sequential build on every random composition.
+        let stg = build(&bp);
+        let workers = [Some(1), Some(2), None][workers_idx];
+        let unpruned = StgUnfolding::build(&stg, &UnfoldingOptions {
+            prune_non_repeatable: false,
+            workers: Some(1),
+            ..UnfoldingOptions::default()
+        })
+        .expect("by-construction consistent and safe");
+        let pruned = StgUnfolding::build(&stg, &UnfoldingOptions {
+            prune_non_repeatable: true,
+            workers,
+            ..UnfoldingOptions::default()
+        })
+        .expect("by-construction consistent and safe");
+        prop_assert_eq!(unpruned.event_count(), pruned.event_count());
+        for (a, b) in unpruned.events().zip(pruned.events()) {
+            prop_assert_eq!(unpruned.transition(a), pruned.transition(b));
+            prop_assert_eq!(unpruned.preset(a), pruned.preset(b));
+            prop_assert_eq!(unpruned.is_cutoff(a), pruned.is_cutoff(b));
+            prop_assert_eq!(unpruned.code(a), pruned.code(b));
+        }
+    }
+
+    #[test]
     fn both_flows_verify_through_the_unified_surface(bp in blueprint()) {
         // The FlowEngine trait erases the flow; whatever either flow
         // produces on a random net must pass the shared oracle, and a CSC

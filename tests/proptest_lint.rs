@@ -59,6 +59,41 @@ proptest! {
         let s: String = chars.iter().map(|&i| ALPHABET[i]).collect();
         let _ = lint_text(&s);
     }
+
+    #[test]
+    fn trap_and_siphon_enumeration_never_panics(
+        places in 1usize..7,
+        transitions in 1usize..7,
+        arcs in proptest::collection::vec((0usize..64, 0usize..64, any::<bool>()), 0..20),
+        within in proptest::collection::vec(0usize..64, 0..6),
+        budget in 0usize..64,
+    ) {
+        use si_synth::petri::structural::{max_trap_within, minimal_siphons};
+        use si_synth::petri::{PetriNet, PlaceId, TransitionId};
+        let mut net = PetriNet::new();
+        let ps: Vec<PlaceId> = (0..places).map(|i| net.add_place(format!("p{i}"))).collect();
+        let ts: Vec<TransitionId> = (0..transitions)
+            .map(|i| net.add_transition(format!("t{i}")))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for &(p, t, pt) in &arcs {
+            let (p, t) = (p % places, t % transitions);
+            if seen.insert((p, t, pt)) {
+                if pt {
+                    net.add_arc_pt(ps[p], ts[t]);
+                } else {
+                    net.add_arc_tp(ts[t], ps[p]);
+                }
+            }
+        }
+        // Arbitrary nets, arbitrary (even zero) budgets, arbitrary trap
+        // scopes: enumeration may give up (`None`) but must never panic.
+        let _ = minimal_siphons(&net, budget);
+        let mut scope: Vec<PlaceId> = within.iter().map(|&i| ps[i % places]).collect();
+        scope.sort();
+        scope.dedup();
+        let _ = max_trap_within(&net, &scope);
+    }
 }
 
 /// Characters that occur in (and around) the `.g` grammar — enough to make

@@ -1,0 +1,148 @@
+//! Differential check of the structural deadlock certificates against
+//! explicit reachability, over random small nets: whatever
+//! [`certify_deadlock`] claims must agree with what
+//! [`ReachabilityGraph`] actually finds. A `DeadlockFree` certificate with
+//! a reachable dead marking — or a `CertifiedDeadlock` on a net whose
+//! exploration finds none — would be a soundness bug, not a precision gap.
+//! The witness-only verdicts (`SiphonWithoutMarkedTrap`, `Unknown`) claim
+//! nothing and are only required not to panic.
+
+use proptest::prelude::*;
+use si_synth::petri::structural::{certify_deadlock, certify_one_safe, DeadlockCertificate};
+use si_synth::petri::{PetriNet, PlaceId, ReachabilityGraph, TransitionId};
+
+/// A raw net description: indices are taken modulo the node counts, so any
+/// random vector is a valid spec.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    places: usize,
+    transitions: usize,
+    /// `(place, transition, place→transition?)`, modulo the counts.
+    arcs: Vec<(usize, usize, bool)>,
+    marked: Vec<usize>,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..6,
+        1usize..6,
+        proptest::collection::vec((0usize..64, 0usize..64, any::<bool>()), 0..16),
+        proptest::collection::vec(0usize..64, 0..4),
+    )
+        .prop_map(|(places, transitions, arcs, marked)| NetSpec {
+            places,
+            transitions,
+            arcs,
+            marked,
+        })
+}
+
+fn build(spec: &NetSpec) -> PetriNet {
+    let mut net = PetriNet::new();
+    let ps: Vec<PlaceId> = (0..spec.places)
+        .map(|i| net.add_place(format!("p{i}")))
+        .collect();
+    let ts: Vec<TransitionId> = (0..spec.transitions)
+        .map(|i| net.add_transition(format!("t{i}")))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(p, t, pt) in &spec.arcs {
+        let (p, t) = (p % spec.places, t % spec.transitions);
+        if seen.insert((p, t, pt)) {
+            if pt {
+                net.add_arc_pt(ps[p], ts[t]);
+            } else {
+                net.add_arc_tp(ts[t], ps[p]);
+            }
+        }
+    }
+    let mut marked = std::collections::HashSet::new();
+    for &m in &spec.marked {
+        if marked.insert(m % spec.places) {
+            net.mark_initially(ps[m % spec.places]);
+        }
+    }
+    net
+}
+
+const STATE_BUDGET: usize = 50_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn certificates_never_contradict_reachability(spec in net_spec()) {
+        let net = build(&spec);
+        let safety = certify_one_safe(&net);
+        // Certification must never panic, whatever the net looks like.
+        let verdict = certify_deadlock(&net, &safety);
+        // The certificate's behavioural claims only apply to nets explicit
+        // exploration can actually decide: unsafe nets error out of
+        // `explore` (and can never carry a 1-safety certificate anyway).
+        let Ok(rg) = ReachabilityGraph::explore(&net, STATE_BUDGET) else {
+            return Ok(());
+        };
+        let dead = rg.deadlocks();
+        match &verdict {
+            DeadlockCertificate::DeadlockFree { .. } => prop_assert!(
+                dead.is_empty(),
+                "certified deadlock-free, but exploration found {} dead marking(s)",
+                dead.len()
+            ),
+            DeadlockCertificate::CertifiedDeadlock { siphon } => prop_assert!(
+                !dead.is_empty(),
+                "certified a reachable deadlock (siphon {siphon:?}), \
+                 but exploration found none"
+            ),
+            DeadlockCertificate::SiphonWithoutMarkedTrap { .. }
+            | DeadlockCertificate::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn certified_deadlock_implies_every_run_terminates(spec in net_spec()) {
+        // Stronger than "some dead marking exists": the certificate's
+        // argument is that *every* maximal run is finite, so no reachable
+        // marking may sit on a cycle of the reachability graph. A
+        // self-successor or any strongly connected behaviour would refute
+        // the T-invariant half of the certificate.
+        let net = build(&spec);
+        let safety = certify_one_safe(&net);
+        if !matches!(
+            certify_deadlock(&net, &safety),
+            DeadlockCertificate::CertifiedDeadlock { .. }
+        ) {
+            return Ok(());
+        }
+        let Ok(rg) = ReachabilityGraph::explore(&net, STATE_BUDGET) else {
+            return Ok(());
+        };
+        // Kahn-style peeling on the finite state graph: if some states can
+        // never be peeled, the graph has a cycle and some run is infinite.
+        let n = rg.len();
+        let mut out_degree = vec![0usize; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (s, degree) in out_degree.iter_mut().enumerate() {
+            for &(_, succ) in rg.successors(s) {
+                *degree += 1;
+                preds[succ].push(s);
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&s| out_degree[s] == 0).collect();
+        let mut peeled = 0usize;
+        while let Some(s) = stack.pop() {
+            peeled += 1;
+            for &p in &preds[s] {
+                out_degree[p] -= 1;
+                if out_degree[p] == 0 {
+                    stack.push(p);
+                }
+            }
+        }
+        prop_assert_eq!(
+            peeled,
+            n,
+            "certified every run finite, but the reachability graph has a cycle"
+        );
+    }
+}

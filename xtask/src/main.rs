@@ -8,6 +8,11 @@
 //!   `unreachable!` carrying the invariant; panicking adapters are the one
 //!   idiom the gate bans, because a poisoned synthesis run must surface as
 //!   an `Err` the caller can report, not a backtrace.
+//! * `forbid-unsafe` — CI gate: the same crates must not contain `unsafe`
+//!   blocks or functions. Every library crate already carries
+//!   `#![forbid(unsafe_code)]`; the textual gate keeps that true even if an
+//!   attribute is dropped in a refactor, without waiting for a reviewer to
+//!   notice.
 //!
 //! The scanner is intentionally textual (no syn/proc-macro dependencies in
 //! the offline build): it walks `crates/<crate>/src/**/*.rs`, drops `//`
@@ -20,7 +25,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose library code the panic gate covers. `bench` (binaries,
+/// Crates whose library code the gates cover. `bench` (binaries,
 /// process-exit on bad CLI args is fine) and the vendored shims are out of
 /// scope by design.
 const GATED_CRATES: &[&str] = &[
@@ -36,19 +41,33 @@ const GATED_CRATES: &[&str] = &[
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("forbid-panics") => forbid_panics(),
+        Some("forbid-panics") => run_gate(
+            "forbid-panics",
+            scan_panics,
+            "return a typed error or match exhaustively instead",
+        ),
+        Some("forbid-unsafe") => run_gate(
+            "forbid-unsafe",
+            scan_unsafe,
+            "the library crates are `#![forbid(unsafe_code)]`; keep them that way",
+        ),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: forbid-panics");
+            eprintln!("unknown task `{other}`; available tasks: forbid-panics, forbid-unsafe");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- <task>\n\ntasks:\n  forbid-panics");
+            eprintln!(
+                "usage: cargo run -p xtask -- <task>\n\ntasks:\n  forbid-panics\n  forbid-unsafe"
+            );
             ExitCode::from(2)
         }
     }
 }
 
-fn forbid_panics() -> ExitCode {
+/// Walks every gated crate's sources through `scan`, reporting violations
+/// with `hint` and the conventional exit codes (0 clean, 1 violations,
+/// 2 operational error).
+fn run_gate(name: &str, scan: fn(&Path, &str, &mut Vec<String>), hint: &str) -> ExitCode {
     let root = workspace_root();
     let mut files = Vec::new();
     for krate in GATED_CRATES {
@@ -67,19 +86,18 @@ fn forbid_panics() -> ExitCode {
             }
         };
         scanned += 1;
-        scan_file(file, &text, &mut violations);
+        scan(file, &text, &mut violations);
     }
 
     if violations.is_empty() {
-        println!("forbid-panics: {scanned} files clean");
+        println!("{name}: {scanned} files clean");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
             eprintln!("{v}");
         }
         eprintln!(
-            "forbid-panics: {} violation(s) in non-test library code — return a typed \
-             error or match exhaustively instead",
+            "{name}: {} violation(s) in non-test library code — {hint}",
             violations.len()
         );
         ExitCode::FAILURE
@@ -88,18 +106,8 @@ fn forbid_panics() -> ExitCode {
 
 /// Scans one file's text, pushing `path:line: …` strings for every
 /// `.unwrap()` / `.expect(` outside comments and test code.
-fn scan_file(path: &Path, text: &str, violations: &mut Vec<String>) {
-    let mut in_tests = false;
-    for (idx, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            // Test modules are the last item of every file in this
-            // codebase, so the rest of the file is out of scope.
-            in_tests = true;
-        }
-        if in_tests {
-            continue;
-        }
-        let code = strip_comments(line);
+fn scan_panics(path: &Path, text: &str, violations: &mut Vec<String>) {
+    for (idx, code) in library_code_lines(text) {
         for needle in [".unwrap()", ".expect("] {
             if let Some(col) = code.find(needle) {
                 violations.push(format!(
@@ -114,8 +122,53 @@ fn scan_file(path: &Path, text: &str, violations: &mut Vec<String>) {
     }
 }
 
+/// Scans one file's text for the `unsafe` keyword outside comments and test
+/// code. Word-boundary matching keeps `#![forbid(unsafe_code)]` (and
+/// identifiers like `unsafe_net_reported`) out of scope: only a bare
+/// `unsafe` token — a block or function qualifier — violates the gate.
+fn scan_unsafe(path: &Path, text: &str, violations: &mut Vec<String>) {
+    for (idx, code) in library_code_lines(text) {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("unsafe") {
+            let col = from + pos;
+            let before_ok = col == 0
+                || !code[..col]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after_ok = !code[col + "unsafe".len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                violations.push(format!(
+                    "{}:{}:{}: `unsafe`",
+                    path.display(),
+                    idx + 1,
+                    col + 1
+                ));
+            }
+            from = col + "unsafe".len();
+        }
+    }
+}
+
+/// The non-test, comment-stripped lines of a source file, with their
+/// 0-based indices — the shared input of every textual gate.
+fn library_code_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut in_tests = false;
+    text.lines().enumerate().filter_map(move |(idx, line)| {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Test modules are the last item of every file in this
+            // codebase, so the rest of the file is out of scope.
+            in_tests = true;
+        }
+        (!in_tests).then(|| (idx, strip_comments(line)))
+    })
+}
+
 /// Removes `//` line comments (good enough for this codebase: no `//`
-/// inside string literals on lines that also call unwrap/expect).
+/// inside string literals on lines that also trip a gate needle).
 fn strip_comments(line: &str) -> &str {
     match line.find("//") {
         Some(pos) => &line[..pos],
@@ -156,7 +209,7 @@ mod tests {
     fn finds_violations_outside_tests() {
         let text = "fn f() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
         let mut v = Vec::new();
-        scan_file(Path::new("demo.rs"), text, &mut v);
+        scan_panics(Path::new("demo.rs"), text, &mut v);
         assert_eq!(v.len(), 1);
         assert!(v[0].starts_with("demo.rs:2:"));
     }
@@ -165,13 +218,32 @@ mod tests {
     fn comments_are_ignored() {
         let text = "// x.unwrap() in a comment\nlet a = b; // trailing .expect( too\n";
         let mut v = Vec::new();
-        scan_file(Path::new("demo.rs"), text, &mut v);
+        scan_panics(Path::new("demo.rs"), text, &mut v);
         assert!(v.is_empty());
     }
 
     #[test]
+    fn unsafe_blocks_are_flagged_but_the_attribute_is_not() {
+        let text = "#![forbid(unsafe_code)]\nfn f() {\n    unsafe { go() }\n}\nunsafe fn g() {}\nfn unsafe_sounding_name() {}\n";
+        let mut v = Vec::new();
+        scan_unsafe(Path::new("demo.rs"), text, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].starts_with("demo.rs:3:"));
+        assert!(v[1].starts_with("demo.rs:5:"));
+    }
+
+    #[test]
+    fn unsafe_in_tests_and_comments_is_ignored() {
+        let text =
+            "// unsafe in a comment\n#[cfg(test)]\nmod tests {\n    fn f() { unsafe { } }\n}\n";
+        let mut v = Vec::new();
+        scan_unsafe(Path::new("demo.rs"), text, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn gated_crates_are_clean() {
-        // The gate, self-applied: the same check CI runs.
+        // Both gates, self-applied: the same checks CI runs.
         let root = workspace_root();
         let mut files = Vec::new();
         for krate in GATED_CRATES {
@@ -181,11 +253,12 @@ mod tests {
         let mut violations = Vec::new();
         for file in &files {
             let text = std::fs::read_to_string(file).expect("readable source");
-            scan_file(file, &text, &mut violations);
+            scan_panics(file, &text, &mut violations);
+            scan_unsafe(file, &text, &mut violations);
         }
         assert!(
             violations.is_empty(),
-            "panicking adapters in library code:\n{}",
+            "gate violations in library code:\n{}",
             violations.join("\n")
         );
     }
