@@ -21,6 +21,17 @@
 //! handles from the same manager are equal iff the functions are equal, so
 //! equality, emptiness and fixpoint-convergence tests are O(1).
 //!
+//! The node substrate is concurrent (safe Rust only): the unique table and
+//! operation caches are sharded behind fine-grained locks, and
+//! [`set_threads`](BddManager::set_threads) turns the `ite`/`exists`/
+//! `and_exists` kernels into work-stealing parallel operations over the
+//! shared tables. Long-running operations can also run *reentrant*
+//! maintenance ([`set_maintenance`](BddManager::set_maintenance)): kernels
+//! poll a live-node checkpoint and unwind for a GC/reorder pass mid-call
+//! instead of only between driver iterations. Node ids become
+//! schedule-dependent under threads, but canonicity within a run — and
+//! every extracted artifact — does not.
+//!
 //! ## Example
 //!
 //! ```
@@ -49,10 +60,12 @@
 #![warn(missing_docs)]
 
 mod convert;
+mod core;
 mod manager;
 mod order;
+mod par;
 mod sift;
 
-pub use manager::{Bdd, BddManager};
+pub use manager::{Bdd, BddManager, OpCounts, ReentrantConfig};
 pub use order::order_from_adjacency;
 pub use sift::{AutoReorder, ReorderPolicy};

@@ -1,15 +1,17 @@
 //! The node manager: hash-consed unique table, ITE kernel, quantification,
-//! root protection and mark-and-sweep garbage collection.
+//! root protection, mark-and-sweep garbage collection, and the retry loop
+//! that gives long-running operations reentrant GC/reorder checkpoints.
+//!
+//! The tables themselves live in [`crate::core`] (sharded, lock-guarded,
+//! shared by the parallel workers); this module owns the external surface:
+//! variable order, root protection, operation dispatch (serial or
+//! work-stealing parallel), and the maintenance policy that fires when a
+//! kernel trips its live-node checkpoint mid-operation.
 
 use std::collections::HashMap;
 
-/// Terminal node id for the constant 0 function.
-pub(crate) const ZERO: u32 = 0;
-/// Terminal node id for the constant 1 function.
-pub(crate) const ONE: u32 = 1;
-/// Level sentinel marking a pool slot freed by [`BddManager::gc`] (terminal
-/// slots use `u32::MAX`, so the two are never confused).
-pub(crate) const FREE: u32 = u32::MAX - 1;
+use crate::core::{Core, OpCtx, Task, FREE, ONE, ZERO};
+use crate::sift::ReorderPolicy;
 
 /// A handle to a Boolean function owned by a [`BddManager`].
 ///
@@ -38,9 +40,41 @@ impl Bdd {
     }
 }
 
+/// Reentrant maintenance policy: when an operation's live pool crosses
+/// `live_limit` at a kernel checkpoint, the operation unwinds, the manager
+/// collects garbage (and reorders, per `reorder`), and the operation
+/// retries — so one monster `and_exists` can no longer blow the node budget
+/// between the driver's own fixpoint checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct ReentrantConfig {
+    /// Live-node count that trips a mid-operation maintenance pass.
+    pub live_limit: usize,
+    /// Whether maintenance may also sift (`Off` collects only).
+    pub reorder: ReorderPolicy,
+    /// Growth cap passed to [`BddManager::reorder_sift`] when sifting.
+    pub max_growth: f64,
+}
+
+/// Deterministic per-manager operation counters: incremented once per
+/// public [`ite`](BddManager::ite) / [`exists`](BddManager::exists) /
+/// [`and_exists`](BddManager::and_exists) call. Because every driver
+/// decision is made on canonical sets, the public call sequence — and hence
+/// these counts — is identical at any thread count, which makes them the
+/// perf proxy CI can pin on a 1-CPU runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Public ITE calls (including the `and`/`or`/`not`/`xor`/`diff`
+    /// wrappers, which each cost one — `xor` two — ITEs).
+    pub ite: u64,
+    /// Public existential-quantification calls.
+    pub exists: u64,
+    /// Public relational-product calls.
+    pub and_exists: u64,
+}
+
 /// A reduced ordered BDD node pool over a fixed variable count, with a
-/// unique table (hash-consing), memoised operation caches, an external-root
-/// protection set and a mark-and-sweep collector.
+/// sharded unique table (hash-consing), memoised operation caches, an
+/// external-root protection set and a mark-and-sweep collector.
 ///
 /// Nodes branch on *levels*; the variable order maps external variable
 /// indices to levels, so callers always speak in variable indices. The order
@@ -53,28 +87,47 @@ impl Bdd {
 /// they still need with [`protect`](Self::protect) (a refcounted root set),
 /// everything unreachable from the roots is swept onto a free list and the
 /// slots are reused by later allocations.
-#[derive(Debug, Clone)]
+///
+/// With [`set_threads`](Self::set_threads) above 1, `ite`/`exists`/
+/// `and_exists` on large pools fan their cofactor frontier out to a
+/// work-stealing thread pool over the shared sharded tables. Node *ids*
+/// become schedule-dependent, but canonicity within a run is preserved
+/// (hash-consing is maintained under the shard locks), so handle equality,
+/// extracted covers, witnesses and counts are identical at any thread
+/// count.
 pub struct BddManager {
-    pub(crate) num_vars: usize,
+    pub(crate) core: Core,
     /// `level_of[var]` = position of `var` in the order (0 = topmost).
     pub(crate) level_of: Vec<u32>,
     /// `var_at[level]` = variable placed at that level.
     pub(crate) var_at: Vec<u32>,
-    /// `(level, lo, hi)`; entries 0/1 are terminal placeholders, freed
-    /// slots carry the [`FREE`] level sentinel.
-    pub(crate) nodes: Vec<(u32, u32, u32)>,
-    /// Per-level unique subtables: `unique[level][(lo, hi)]` = node id.
-    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
-    /// Slots freed by [`gc`](Self::gc), reused by later allocations.
-    pub(crate) free: Vec<u32>,
     /// External root protection: node id → protect count.
     pub(crate) roots: HashMap<u32, usize>,
-    pub(crate) ite_cache: HashMap<(u32, u32, u32), u32>,
-    pub(crate) exists_cache: HashMap<(u32, u32), u32>,
-    pub(crate) and_exists_cache: HashMap<(u32, u32, u32), u32>,
+    threads: usize,
+    maint: Option<ReentrantConfig>,
+    op_counts: OpCounts,
+    maintenance_runs: usize,
+    parallel_floor: usize,
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.core.num_vars)
+            .field("pool_size", &self.pool_size())
+            .field("allocated_size", &self.allocated_size())
+            .field("protected", &self.roots.len())
+            .field("threads", &self.threads)
+            .field("order", &self.order())
+            .finish()
+    }
 }
 
 impl BddManager {
+    /// Live-pool size below which parallel dispatch is skipped: thread
+    /// fan-out on a small diagram costs more than it saves.
+    pub const DEFAULT_PARALLEL_FLOOR: usize = 1 << 15;
+
     /// Creates a manager over `num_vars` variables in natural order
     /// (variable `i` at level `i`).
     pub fn new(num_vars: usize) -> Self {
@@ -101,22 +154,21 @@ impl BddManager {
             var_at[level] = var as u32;
         }
         BddManager {
-            num_vars: n,
+            core: Core::new(n),
             level_of,
             var_at,
-            nodes: vec![(u32::MAX, 0, 0), (u32::MAX, 1, 1)],
-            unique: vec![HashMap::new(); n],
-            free: Vec::new(),
             roots: HashMap::new(),
-            ite_cache: HashMap::new(),
-            exists_cache: HashMap::new(),
-            and_exists_cache: HashMap::new(),
+            threads: 1,
+            maint: None,
+            op_counts: OpCounts::default(),
+            maintenance_runs: 0,
+            parallel_floor: Self::DEFAULT_PARALLEL_FLOOR,
         }
     }
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
-        self.num_vars
+        self.core.num_vars
     }
 
     /// The level (order position) of `var` under the *current* order.
@@ -159,19 +211,68 @@ impl BddManager {
     /// nodes that became unreachable since the last collection still count
     /// until the next one.
     pub fn pool_size(&self) -> usize {
-        self.nodes.len() - 2 - self.free.len()
+        self.core.pool_size()
     }
 
     /// Number of pool slots ever allocated (live or freed). Never shrinks;
     /// the gap to [`pool_size`](Self::pool_size) is the reuse headroom the
     /// collector has reclaimed.
     pub fn allocated_size(&self) -> usize {
-        self.nodes.len() - 2
+        self.core.allocated_size()
+    }
+
+    /// Sets the worker count for parallel `ite`/`exists`/`and_exists`
+    /// dispatch (clamped to at least 1; 1 = fully serial). The choice
+    /// affects wall-clock and node *ids* only — never which functions any
+    /// computation produces.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs (or removes, with `None`) the reentrant mid-operation
+    /// maintenance policy. See [`ReentrantConfig`].
+    pub fn set_maintenance(&mut self, cfg: Option<ReentrantConfig>) {
+        self.maint = cfg;
+    }
+
+    /// The installed reentrant maintenance policy, if any.
+    pub fn maintenance(&self) -> Option<ReentrantConfig> {
+        self.maint
+    }
+
+    /// Number of mid-operation maintenance passes (GC and/or reorder at a
+    /// kernel checkpoint) run so far. Schedule-dependent: do not pin.
+    pub fn maintenance_runs(&self) -> usize {
+        self.maintenance_runs
+    }
+
+    /// Deterministic per-manager operation counters (see [`OpCounts`]).
+    pub fn op_counts(&self) -> OpCounts {
+        self.op_counts
+    }
+
+    /// The largest live-pool size observed at any kernel checkpoint or
+    /// operation boundary — visible even when the peak occurred in the
+    /// middle of one operation. Schedule-dependent: do not pin.
+    pub fn peak_pool(&self) -> usize {
+        self.core.peak_pool()
+    }
+
+    /// Overrides the pool size below which parallel dispatch is skipped
+    /// ([`DEFAULT_PARALLEL_FLOOR`](Self::DEFAULT_PARALLEL_FLOOR)); tests
+    /// use 0 to force the parallel path on small pools.
+    pub fn set_parallel_floor(&mut self, floor: usize) {
+        self.parallel_floor = floor;
     }
 
     /// Returns `true` if `f` is a terminal or a live (not collected) node.
     pub fn is_live(&self, f: Bdd) -> bool {
-        f.0 <= ONE || self.nodes[f.0 as usize].0 != FREE
+        f.0 <= ONE || self.core.store.level(f.0) != FREE
     }
 
     /// Checked node accessor: `(level, lo, hi)`. Every walk goes through
@@ -179,54 +280,12 @@ impl BddManager {
     /// reading a freed (possibly reused) slot.
     #[inline]
     pub(crate) fn node(&self, n: u32) -> (u32, u32, u32) {
-        debug_assert!(
-            self.nodes[n as usize].0 != FREE,
-            "stale Bdd handle: node {n} was garbage-collected"
-        );
-        self.nodes[n as usize]
+        self.core.node(n)
     }
 
     #[inline]
     pub(crate) fn level(&self, n: u32) -> u32 {
-        if n <= ONE {
-            self.num_vars as u32
-        } else {
-            self.node(n).0
-        }
-    }
-
-    /// Allocates a pool slot (reusing the free list) without touching the
-    /// unique table — the caller registers the key.
-    pub(crate) fn alloc(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
-        match self.free.pop() {
-            Some(slot) => {
-                self.nodes[slot as usize] = (level, lo, hi);
-                slot
-            }
-            None => {
-                let id = self.nodes.len() as u32;
-                self.nodes.push((level, lo, hi));
-                id
-            }
-        }
-    }
-
-    /// Hash-consed node constructor with the `lo == hi` reduction.
-    fn mk(&mut self, level: u32, lo: u32, hi: u32) -> u32 {
-        debug_assert!(
-            self.is_live(Bdd(lo)) && self.is_live(Bdd(hi)),
-            "stale Bdd handle: child of a new node was garbage-collected"
-        );
-        if lo == hi {
-            return lo;
-        }
-        let key = (lo, hi);
-        if let Some(&id) = self.unique[level as usize].get(&key) {
-            return id;
-        }
-        let id = self.alloc(level, lo, hi);
-        self.unique[level as usize].insert(key, id);
-        id
+        self.core.level(n)
     }
 
     /// Pins `f` as an external root: it (and everything it reaches)
@@ -273,62 +332,33 @@ impl BddManager {
     /// Handles to collected nodes become stale — touching one afterwards is
     /// a logic error caught by a debug assertion.
     pub fn gc(&mut self) -> usize {
-        let mut marked = vec![false; self.nodes.len()];
+        let len = self.core.store.len();
+        let mut marked = vec![false; len];
         let mut stack: Vec<u32> = self.roots.keys().copied().collect();
         while let Some(n) = stack.pop() {
             if marked[n as usize] {
                 continue;
             }
             marked[n as usize] = true;
-            let (_, lo, hi) = self.node(n);
+            let (_, lo, hi) = self.core.node(n);
             for c in [lo, hi] {
                 if c > ONE && !marked[c as usize] {
                     stack.push(c);
                 }
             }
         }
-        let alive = |n: u32| n <= ONE || marked[n as usize];
-        self.ite_cache
-            .retain(|&(f, g, h), r| alive(f) && alive(g) && alive(h) && alive(*r));
-        self.exists_cache
-            .retain(|&(f, cube), r| alive(f) && alive(cube) && alive(*r));
-        self.and_exists_cache
-            .retain(|&(f, g, cube), r| alive(f) && alive(g) && alive(cube) && alive(*r));
+        self.core.purge_caches(|n| n > ONE && !marked[n as usize]);
         let mut collected = 0usize;
-        for (id, is_marked) in marked.iter().enumerate().skip(2) {
-            let (level, lo, hi) = self.nodes[id];
-            if level == FREE || *is_marked {
+        for (id, live) in marked.iter().enumerate().take(len).skip(2) {
+            let (level, lo, hi) = self.core.store.raw(id as u32);
+            if level == FREE || *live {
                 continue;
             }
-            let removed = self.unique[level as usize].remove(&(lo, hi));
-            debug_assert_eq!(removed, Some(id as u32), "unique table out of sync");
-            self.nodes[id] = (FREE, 0, 0);
-            self.free.push(id as u32);
+            self.core.unique_remove(level, lo, hi, id as u32);
+            self.core.release_slot(id as u32);
             collected += 1;
         }
         collected
-    }
-
-    /// Drops every memoised operation result. Reordering calls this before
-    /// swapping: swaps preserve what every surviving id denotes, but they
-    /// kill nodes without mark information, so entries cannot be purged
-    /// selectively the way [`gc`](Self::gc) does.
-    pub(crate) fn clear_caches(&mut self) {
-        self.ite_cache.clear();
-        self.exists_cache.clear();
-        self.and_exists_cache.clear();
-    }
-
-    /// Splits `n` at `level`: its children if it branches there, `(n, n)`
-    /// if the level is unconstrained.
-    fn children_at(&self, n: u32, level: u32) -> (u32, u32) {
-        if n > ONE {
-            let (l, lo, hi) = self.node(n);
-            if l == level {
-                return (lo, hi);
-            }
-        }
-        (n, n)
     }
 
     /// The function of variable `var`.
@@ -337,9 +367,9 @@ impl BddManager {
     ///
     /// Panics if `var >= num_vars`.
     pub fn var(&mut self, var: usize) -> Bdd {
-        assert!(var < self.num_vars, "variable {var} out of range");
+        assert!(var < self.num_vars(), "variable {var} out of range");
         let level = self.level_of[var];
-        Bdd(self.mk(level, ZERO, ONE))
+        Bdd(self.core.mk_unchecked(level, ZERO, ONE))
     }
 
     /// The function of the negated variable `var`.
@@ -348,44 +378,16 @@ impl BddManager {
     ///
     /// Panics if `var >= num_vars`.
     pub fn nvar(&mut self, var: usize) -> Bdd {
-        assert!(var < self.num_vars, "variable {var} out of range");
+        assert!(var < self.num_vars(), "variable {var} out of range");
         let level = self.level_of[var];
-        Bdd(self.mk(level, ONE, ZERO))
+        Bdd(self.core.mk_unchecked(level, ONE, ZERO))
     }
 
     /// If-then-else: the function `f·g + f̅·h` — the complete kernel every
     /// binary operation reduces to (memoised).
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        Bdd(self.ite_rec(f.0, g.0, h.0))
-    }
-
-    pub(crate) fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
-        // Terminal short-circuits.
-        if f == ONE {
-            return g;
-        }
-        if f == ZERO {
-            return h;
-        }
-        if g == h {
-            return g;
-        }
-        if g == ONE && h == ZERO {
-            return f;
-        }
-        let key = (f, g, h);
-        if let Some(&r) = self.ite_cache.get(&key) {
-            return r;
-        }
-        let level = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = self.children_at(f, level);
-        let (g0, g1) = self.children_at(g, level);
-        let (h0, h1) = self.children_at(h, level);
-        let lo = self.ite_rec(f0, g0, h0);
-        let hi = self.ite_rec(f1, g1, h1);
-        let r = self.mk(level, lo, hi);
-        self.ite_cache.insert(key, r);
-        r
+        self.op_counts.ite += 1;
+        Bdd(self.run_op(Task::Ite(f.0, g.0, h.0)))
     }
 
     /// Conjunction `f · g`.
@@ -435,7 +437,7 @@ impl BddManager {
         let mut lits: Vec<(u32, bool)> = literals
             .iter()
             .map(|&(v, b)| {
-                assert!(v < self.num_vars, "variable {v} out of range");
+                assert!(v < self.num_vars(), "variable {v} out of range");
                 (self.level_of[v], b)
             })
             .collect();
@@ -451,9 +453,9 @@ impl BddManager {
         let mut acc = ONE;
         for &(level, value) in lits.iter().rev() {
             acc = if value {
-                self.mk(level, ZERO, acc)
+                self.core.mk_unchecked(level, ZERO, acc)
             } else {
-                self.mk(level, acc, ZERO)
+                self.core.mk_unchecked(level, acc, ZERO)
             };
         }
         Bdd(acc)
@@ -462,91 +464,69 @@ impl BddManager {
     /// Existential quantification `∃ vars. f`, where `vars` is a positive
     /// cube from [`cube_vars`](Self::cube_vars) (memoised).
     pub fn exists(&mut self, f: Bdd, vars: Bdd) -> Bdd {
-        Bdd(self.exists_rec(f.0, vars.0))
-    }
-
-    fn exists_rec(&mut self, f: u32, mut cube: u32) -> u32 {
-        if f <= ONE {
-            return f;
-        }
-        // Quantifying a variable above f's support is the identity.
-        while cube > ONE && self.level(cube) < self.level(f) {
-            cube = self.node(cube).2;
-        }
-        if cube == ONE {
-            return f;
-        }
-        let key = (f, cube);
-        if let Some(&r) = self.exists_cache.get(&key) {
-            return r;
-        }
-        let level = self.level(f);
-        let (f0, f1) = self.children_at(f, level);
-        let r = if self.level(cube) == level {
-            let rest = self.node(cube).2;
-            let lo = self.exists_rec(f0, rest);
-            if lo == ONE {
-                ONE
-            } else {
-                let hi = self.exists_rec(f1, rest);
-                self.ite_rec(lo, ONE, hi)
-            }
-        } else {
-            let lo = self.exists_rec(f0, cube);
-            let hi = self.exists_rec(f1, cube);
-            self.mk(level, lo, hi)
-        };
-        self.exists_cache.insert(key, r);
-        r
+        self.op_counts.exists += 1;
+        Bdd(self.run_op(Task::Exists(f.0, vars.0)))
     }
 
     /// The relational product `∃ vars. f · g` computed in one pass, without
     /// materialising the conjunction (memoised) — the workhorse of symbolic
     /// image computation.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: Bdd) -> Bdd {
-        Bdd(self.and_exists_rec(f.0, g.0, vars.0))
+        self.op_counts.and_exists += 1;
+        Bdd(self.run_op(Task::AndExists(f.0, g.0, vars.0)))
     }
 
-    fn and_exists_rec(&mut self, f: u32, g: u32, mut cube: u32) -> u32 {
-        if f == ZERO || g == ZERO {
-            return ZERO;
-        }
-        if f == ONE {
-            return self.exists_rec(g, cube);
-        }
-        if g == ONE || f == g {
-            return self.exists_rec(f, cube);
-        }
-        let top = self.level(f).min(self.level(g));
-        while cube > ONE && self.level(cube) < top {
-            cube = self.node(cube).2;
-        }
-        if cube == ONE {
-            return self.ite_rec(f, g, ZERO);
-        }
-        // Conjunction is commutative: normalise the key.
-        let key = if f > g { (g, f, cube) } else { (f, g, cube) };
-        if let Some(&r) = self.and_exists_cache.get(&key) {
-            return r;
-        }
-        let (f0, f1) = self.children_at(f, top);
-        let (g0, g1) = self.children_at(g, top);
-        let r = if self.level(cube) == top {
-            let rest = self.node(cube).2;
-            let lo = self.and_exists_rec(f0, g0, rest);
-            if lo == ONE {
-                ONE
-            } else {
-                let hi = self.and_exists_rec(f1, g1, rest);
-                self.ite_rec(lo, ONE, hi)
-            }
-        } else {
-            let lo = self.and_exists_rec(f0, g0, cube);
-            let hi = self.and_exists_rec(f1, g1, cube);
-            self.mk(top, lo, hi)
+    /// Runs one public operation to completion: dispatch serial or
+    /// parallel, and when a kernel trips its live-node checkpoint, unwind,
+    /// run the reentrant maintenance pass, raise the effective limit enough
+    /// to guarantee progress, and retry against the (gc'd, possibly
+    /// reordered, cache-warmed) pool.
+    fn run_op(&mut self, task: Task) -> u32 {
+        let base_limit = match &self.maint {
+            Some(cfg) => cfg.live_limit,
+            None => usize::MAX,
         };
-        self.and_exists_cache.insert(key, r);
-        r
+        let mut effective = base_limit;
+        loop {
+            self.core.arm_trip(effective);
+            let result = if self.threads > 1 && self.core.pool_size() >= self.parallel_floor {
+                crate::par::run(&self.core, self.threads, task)
+            } else {
+                self.core.run_task(task, &mut OpCtx::default())
+            };
+            self.core.arm_trip(usize::MAX);
+            match result {
+                Ok(r) => return r,
+                Err(_) => {
+                    self.maintain_mid_op(task);
+                    // Maintenance may not reach base_limit (the operands
+                    // genuinely need more); give the retry headroom to
+                    // double the surviving pool so it always progresses.
+                    effective = effective
+                        .max(self.core.pool_size().saturating_mul(2))
+                        .max(base_limit);
+                }
+            }
+        }
+    }
+
+    /// The mid-operation maintenance pass: protect the interrupted
+    /// operation's operands (nothing else pins them mid-call), collect, and
+    /// — if the policy allows and the pool is still over the limit — sift.
+    fn maintain_mid_op(&mut self, task: Task) {
+        let Some(cfg) = self.maint else { return };
+        let operands = task_operands(task);
+        for &id in &operands {
+            self.protect(Bdd(id));
+        }
+        self.gc();
+        if cfg.reorder != ReorderPolicy::Off && self.core.pool_size() > cfg.live_limit {
+            self.reorder_sift(cfg.max_growth);
+        }
+        for &id in &operands {
+            self.unprotect(Bdd(id));
+        }
+        self.maintenance_runs += 1;
     }
 
     /// Number of satisfying assignments over the full `2^num_vars` space,
@@ -597,7 +577,7 @@ impl BddManager {
 
     /// The variables `f` depends on, in index order.
     pub fn support(&self, f: Bdd) -> Vec<usize> {
-        let mut on_level = vec![false; self.num_vars];
+        let mut on_level = vec![false; self.num_vars()];
         let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
         let mut stack = vec![f.0];
         while let Some(n) = stack.pop() {
@@ -609,7 +589,7 @@ impl BddManager {
             stack.push(lo);
             stack.push(hi);
         }
-        let mut vars: Vec<usize> = (0..self.num_vars)
+        let mut vars: Vec<usize> = (0..self.num_vars())
             .filter(|&l| on_level[l])
             .map(|l| self.var_at[l] as usize)
             .collect();
@@ -624,7 +604,7 @@ impl BddManager {
     ///
     /// Panics if `bits.len() != num_vars`.
     pub fn eval(&self, f: Bdd, bits: &[bool]) -> bool {
-        assert_eq!(bits.len(), self.num_vars, "assignment width mismatch");
+        assert_eq!(bits.len(), self.num_vars(), "assignment width mismatch");
         let mut n = f.0;
         while n > ONE {
             let (level, lo, hi) = self.node(n);
@@ -640,26 +620,28 @@ impl BddManager {
     /// Checks every structural invariant of the pool, panicking with a
     /// description on the first violation: live nodes are reduced
     /// (`lo != hi`), reference only live strictly-deeper children, and are
-    /// registered exactly once in their level's unique subtable (so no two
-    /// live nodes share a `(level, lo, hi)` triple); the free list matches
-    /// the freed slots; the order arrays are a consistent permutation; and
-    /// every protected root is live. Intended for tests and debugging —
-    /// cost is a full pool scan.
+    /// registered exactly once in the unique table (so no two live nodes
+    /// share a `(level, lo, hi)` triple); the free list matches the freed
+    /// slots; the order arrays are a consistent permutation; and every
+    /// protected root is live. Intended for tests and debugging — cost is a
+    /// full pool scan.
     pub fn assert_invariants(&self) {
+        let len = self.core.store.len();
         let mut live = 0usize;
-        for (i, &(level, lo, hi)) in self.nodes.iter().enumerate().skip(2) {
+        for i in 2..len {
+            let (level, lo, hi) = self.core.store.raw(i as u32);
             if level == FREE {
                 continue;
             }
             live += 1;
             assert!(
-                (level as usize) < self.num_vars,
+                (level as usize) < self.num_vars(),
                 "node {i}: level {level} out of range"
             );
             assert!(lo != hi, "node {i}: redundant (lo == hi == {lo})");
             for c in [lo, hi] {
                 assert!(
-                    c <= ONE || self.nodes[c as usize].0 != FREE,
+                    c <= ONE || self.core.store.level(c) != FREE,
                     "node {i}: references freed child {c}"
                 );
                 assert!(
@@ -668,22 +650,22 @@ impl BddManager {
                 );
             }
             assert_eq!(
-                self.unique[level as usize].get(&(lo, hi)),
-                Some(&(i as u32)),
+                self.core.unique_get(level, lo, hi),
+                Some(i as u32),
                 "node {i}: unique table misses it or maps its key elsewhere"
             );
         }
-        let table_total: usize = self.unique.iter().map(HashMap::len).sum();
         assert_eq!(
-            table_total, live,
+            self.core.unique_len(),
+            live,
             "unique table holds entries for dead nodes"
         );
         assert_eq!(
-            live + self.free.len(),
-            self.nodes.len() - 2,
+            live + self.core.free_len(),
+            len - 2,
             "free list out of sync with freed slots"
         );
-        for v in 0..self.num_vars {
+        for v in 0..self.num_vars() {
             assert_eq!(
                 self.var_at[self.level_of[v] as usize] as usize, v,
                 "level_of/var_at are not inverse permutations at variable {v}"
@@ -691,10 +673,20 @@ impl BddManager {
         }
         for &id in self.roots.keys() {
             assert!(
-                id <= ONE || self.nodes[id as usize].0 != FREE,
+                id <= ONE || self.core.store.level(id) != FREE,
                 "protected root {id} was collected"
             );
         }
+    }
+}
+
+/// The operand ids a task holds across a maintenance pass (terminals are
+/// harmless to protect: `protect` ignores them).
+fn task_operands(task: Task) -> [u32; 3] {
+    match task {
+        Task::Ite(f, g, h) => [f, g, h],
+        Task::Exists(f, cube) => [f, cube, ZERO],
+        Task::AndExists(f, g, cube) => [f, g, cube],
     }
 }
 
@@ -992,5 +984,86 @@ mod tests {
         let t2b = mgr.or(c2, d2);
         assert_eq!(mgr.xor(t1b, t2b), f);
         mgr.unprotect(f);
+    }
+
+    #[test]
+    fn op_counts_track_public_calls() {
+        let mut mgr = BddManager::new(4);
+        assert_eq!(mgr.op_counts(), OpCounts::default());
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b); // 1 ite
+        let g = mgr.xor(f, a); // not + ite = 2
+        let q = mgr.cube_vars(&[0]);
+        let _ = mgr.exists(g, q);
+        let _ = mgr.and_exists(f, g, q);
+        let counts = mgr.op_counts();
+        assert_eq!(counts.ite, 3);
+        assert_eq!(counts.exists, 1);
+        assert_eq!(counts.and_exists, 1);
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_serial_results() {
+        // Force the parallel path on a small pool and check handle-level
+        // equality against the serial manager: canonicity makes results
+        // comparable through evaluation and sat counts.
+        let build = |mgr: &mut BddManager| {
+            let mut f = mgr.zero();
+            for i in 0..4 {
+                let a = mgr.var(i);
+                let b = mgr.var(i + 4);
+                let t = mgr.xor(a, b);
+                f = mgr.or(f, t);
+            }
+            f
+        };
+        let mut serial = BddManager::new(8);
+        let fs = build(&mut serial);
+        for threads in [2, 4] {
+            let mut par = BddManager::new(8);
+            par.set_threads(threads);
+            par.set_parallel_floor(0);
+            let fp = build(&mut par);
+            assert_eq!(serial.sat_count(fs), par.sat_count(fp), "{threads} threads");
+            let q_serial = serial.cube_vars(&[0, 4]);
+            let q_par = par.cube_vars(&[0, 4]);
+            let es = serial.exists(fs, q_serial);
+            let ep = par.exists(fp, q_par);
+            assert_eq!(serial.sat_count(es), par.sat_count(ep));
+            let gs = serial.and_exists(fs, es, q_serial);
+            let gp = par.and_exists(fp, ep, q_par);
+            assert_eq!(serial.sat_count(gs), par.sat_count(gp));
+            for bits in assignments(8) {
+                assert_eq!(serial.eval(fs, &bits), par.eval(fp, &bits), "{bits:?}");
+            }
+            par.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn reentrant_maintenance_completes_an_over_budget_op() {
+        // A conjunction of xors whose intermediate results overflow a tiny
+        // live limit: without reentrant maintenance the pool simply grows;
+        // with it, the op must trip, collect, and still produce the right
+        // function.
+        let mut mgr = BddManager::new(16);
+        mgr.set_maintenance(Some(ReentrantConfig {
+            live_limit: 64,
+            reorder: ReorderPolicy::Off,
+            max_growth: BddManager::DEFAULT_MAX_GROWTH,
+        }));
+        let mut f = mgr.one();
+        for i in 0..8 {
+            let a = mgr.var(i);
+            let b = mgr.var(15 - i);
+            let x = mgr.xor(a, b);
+            f = mgr.and(f, x);
+        }
+        assert_eq!(mgr.sat_count(f), 1 << 8);
+        // The op counters must be unaffected by retries: 8 xor (2 ites
+        // each) + 8 and = 24 public ites.
+        assert_eq!(mgr.op_counts().ite, 24);
+        mgr.assert_invariants();
     }
 }

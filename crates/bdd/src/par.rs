@@ -1,0 +1,106 @@
+//! Work-stealing parallel dispatch for `ite`/`exists`/`and_exists`.
+//!
+//! The strategy is frontier decomposition rather than fork–join inside the
+//! kernel: the root call is expanded breadth-first (mirroring the kernel's
+//! own normalisation via [`Core::probe`]) into a deduplicated set of
+//! independent subproblems — a few per worker — which are distributed over
+//! per-worker deques and run to completion with the ordinary serial kernel
+//! against the shared sharded tables. Idle workers steal from the back of
+//! other deques. A final serial pass from the root then stitches the
+//! results together; because every distributed subtask is exactly a
+//! recursive call the kernel would have made, the finish pass runs almost
+//! entirely on warmed caches.
+//!
+//! Correctness never depends on the expansion: workers only populate the
+//! shared memo tables, and the finish pass recomputes anything missing. The
+//! expansion only decides how much of the work runs concurrently.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::core::{lock, Core, Interrupted, OpCtx, OpResult, Probe, Task};
+
+/// Subproblems to aim for per worker; a few per thread smooths out uneven
+/// subtree sizes without flooding the queues.
+const TASKS_PER_WORKER: usize = 4;
+
+/// Cap on expansion probes, as a multiple of the target: diagrams that
+/// resolve near the root (cache hits, terminal rules) stop expanding early
+/// and fall back to the serial path.
+const EXPANSION_BUDGET: usize = 8;
+
+/// Runs `root` using `threads` workers over the shared tables. Returns the
+/// same node the serial kernel would (canonicity makes that well-defined),
+/// or [`Interrupted`] if any worker — or the finish pass — tripped the
+/// live-node checkpoint.
+pub(crate) fn run(core: &Core, threads: usize, root: Task) -> OpResult {
+    let target = threads * TASKS_PER_WORKER;
+    let mut frontier: VecDeque<Task> = VecDeque::new();
+    let mut seen: HashSet<Task> = HashSet::new();
+    frontier.push_back(root);
+    seen.insert(root);
+    let mut budget = target * EXPANSION_BUDGET;
+    while frontier.len() < target && budget > 0 {
+        let Some(task) = frontier.pop_front() else {
+            break;
+        };
+        budget -= 1;
+        if let Probe::Fork(subtasks) = core.probe(task) {
+            for t in subtasks {
+                if seen.insert(t) {
+                    frontier.push_back(t);
+                }
+            }
+        }
+    }
+    if frontier.len() < 2 {
+        // Everything resolved near the root — nothing worth distributing.
+        return core.run_task(root, &mut OpCtx::default());
+    }
+
+    let queues: Vec<Mutex<VecDeque<Task>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, task) in frontier.into_iter().enumerate() {
+        lock(&queues[i % threads]).push_back(task);
+    }
+    let interrupted = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let interrupted = &interrupted;
+            scope.spawn(move || {
+                let mut ctx = OpCtx::default();
+                loop {
+                    if interrupted.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Own work from the front; steal from the back of the
+                    // others (the back holds the larger, later-forked
+                    // subtrees less likely to be contended).
+                    let mut task = lock(&queues[me]).pop_front();
+                    if task.is_none() {
+                        for other in 1..threads {
+                            task = lock(&queues[(me + other) % threads]).pop_back();
+                            if task.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(task) = task else { return };
+                    if core.run_task(task, &mut ctx).is_err() {
+                        interrupted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if interrupted.load(Ordering::Relaxed) {
+        return Err(Interrupted);
+    }
+    // Stitch the distributed results together: every subtask result is a
+    // cache hit now, so this touches only the frontier's interior.
+    core.run_task(root, &mut OpCtx::default())
+}

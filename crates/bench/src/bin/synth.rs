@@ -29,6 +29,11 @@
 //!                          the historical explicit cube lists — gate
 //!                          equations are byte-identical either way
 //!   --workers N            worker threads (default: one per CPU)
+//!   --bdd-threads N        (symbolic engine) worker threads inside the
+//!                          BDD kernels themselves (default: --workers).
+//!                          Purely a wall-clock knob: equations, witnesses
+//!                          and operation counts are identical at any
+//!                          thread count
 //!   --budget N             traversal budget: max states (explicit sg),
 //!                          max live BDD nodes (symbolic sg) or slice
 //!                          budget (unfolding); defaults: 2000000 states /
@@ -103,6 +108,7 @@ struct Args {
     exact: bool,
     implicit_covers: bool,
     workers: Option<usize>,
+    bdd_threads: Option<usize>,
     budget: Option<usize>,
     reorder: ReorderPolicy,
     order_seed: OrderSeed,
@@ -112,8 +118,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "Usage: synth <spec.g> [--flow sg|unfolding|auto] [--engine explicit|symbolic|auto] \
-     [--cover exact|approx] [--covers implicit|explicit] [--workers N] [--budget N] \
-     [--reorder off|sift|auto] [--order-seed adjacency|invariants] [--invert] \
+     [--cover exact|approx] [--covers implicit|explicit] [--workers N] [--bdd-threads N] \
+     [--budget N] [--reorder off|sift|auto] [--order-seed adjacency|invariants] [--invert] \
      [--lint | --lint-json]"
 }
 
@@ -125,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
     let mut exact = false;
     let mut implicit_covers = true;
     let mut workers = None;
+    let mut bdd_threads = None;
     let mut budget = None;
     let mut reorder = ReorderPolicy::Auto;
     let mut order_seed = OrderSeed::SignalAdjacency;
@@ -176,6 +183,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a positive integer")?;
                 workers = Some(n);
             }
+            "--bdd-threads" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--bdd-threads needs a positive integer")?;
+                bdd_threads = Some(n);
+            }
             "--budget" => {
                 let n = args
                     .next()
@@ -225,6 +240,7 @@ fn parse_args() -> Result<Args, String> {
         exact,
         implicit_covers,
         workers,
+        bdd_threads,
         budget,
         reorder,
         order_seed,
@@ -234,6 +250,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    let wall_start = Instant::now();
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -289,9 +306,9 @@ fn main() -> ExitCode {
                     (engine, Some(format!("{name} ({})", decision.reason)))
                 }
             };
-            run_sg(&stg, &args, engine, note)
+            run_sg(&stg, &args, engine, note, wall_start)
         }
-        Flow::Unfolding => run_unfolding(&stg, &args, None),
+        Flow::Unfolding => run_unfolding(&stg, &args, None, wall_start),
         Flow::Auto => {
             let decision = match choose_flow(&stg, state_budget) {
                 Ok(d) => d,
@@ -306,17 +323,20 @@ fn main() -> ExitCode {
                     &args,
                     SgEngine::Explicit,
                     Some(format!("sg flow, explicit engine ({})", decision.reason)),
+                    wall_start,
                 ),
                 FlowChoice::SgSymbolic => run_sg(
                     &stg,
                     &args,
                     SgEngine::Symbolic,
                     Some(format!("sg flow, symbolic engine ({})", decision.reason)),
+                    wall_start,
                 ),
                 FlowChoice::Unfolding => run_unfolding(
                     &stg,
                     &args,
                     Some(format!("unfolding flow ({})", decision.reason)),
+                    wall_start,
                 ),
             }
         }
@@ -350,7 +370,13 @@ fn run_lint(text: &str, args: &Args) -> ExitCode {
     }
 }
 
-fn run_sg(stg: &Stg, args: &Args, engine: SgEngine, auto_note: Option<String>) -> ExitCode {
+fn run_sg(
+    stg: &Stg,
+    args: &Args,
+    engine: SgEngine,
+    auto_note: Option<String>,
+    wall_start: Instant,
+) -> ExitCode {
     let defaults = SgSynthesisOptions::default();
     let options = SgSynthesisOptions {
         engine,
@@ -361,6 +387,7 @@ fn run_sg(stg: &Stg, args: &Args, engine: SgEngine, auto_note: Option<String>) -
         exact_minimization: args.exact,
         allow_inversion: args.invert,
         workers: args.workers,
+        bdd_threads: args.bdd_threads,
         implicit_covers: args.implicit_covers,
         ..defaults
     };
@@ -447,6 +474,18 @@ fn run_sg(stg: &Stg, args: &Args, engine: SgEngine, auto_note: Option<String>) -
             stats.reorder_runs,
             stats.peak_live_nodes
         );
+        // Deterministic kernel-call counters (identical at any thread
+        // count — the cross-machine perf proxy) plus the schedule-dependent
+        // mid-operation figures.
+        println!(
+            "  symbolic ops: ite {} / exists {} / and-exists {} \
+             (reentrant maintenance {}, peak pool {})",
+            stats.ops.ite,
+            stats.ops.exists,
+            stats.ops.and_exists,
+            stats.reentrant_maintenance,
+            stats.peak_pool
+        );
     }
     println!("{:>10} {:>10}", "synth", secs(syn_time));
     println!(
@@ -455,10 +494,20 @@ fn run_sg(stg: &Stg, args: &Args, engine: SgEngine, auto_note: Option<String>) -
         secs(reach_time + syn_time),
         result.literal_count()
     );
+    println!(
+        "{:>10} {:>10}   (end-to-end wall clock)",
+        "Wall",
+        secs(wall_start.elapsed())
+    );
     ExitCode::SUCCESS
 }
 
-fn run_unfolding(stg: &Stg, args: &Args, auto_note: Option<String>) -> ExitCode {
+fn run_unfolding(
+    stg: &Stg,
+    args: &Args,
+    auto_note: Option<String>,
+    wall_start: Instant,
+) -> ExitCode {
     let options = SynthesisOptions {
         mode: if args.exact {
             CoverMode::Exact
@@ -504,6 +553,11 @@ fn run_unfolding(stg: &Stg, args: &Args, auto_note: Option<String>) -> ExitCode 
         secs(result.timing.minimize),
         secs(result.timing.total()),
         result.literal_count()
+    );
+    println!(
+        "{:>10} {:>10}   (end-to-end wall clock)",
+        "Wall",
+        secs(wall_start.elapsed())
     );
     ExitCode::SUCCESS
 }

@@ -694,6 +694,14 @@ pub enum DeadlockCertificate {
         /// How many minimal siphons the certificate rests on.
         siphons_checked: usize,
     },
+    /// Marked-graph fast path: every place has at most one producer and
+    /// one consumer, so the minimal siphons are exactly the simple cycles
+    /// — and every cycle carries an initially marked place, which never
+    /// drains (each firing on a cycle consumes one token and returns one).
+    /// Commoner's condition verified in linear time, where the general
+    /// siphon enumeration blows its budget on long pipelines and token
+    /// rings.
+    DeadlockFreeMarkedGraph,
     /// A certified reachable deadlock: `siphon` is initially unmarked and
     /// can never be re-marked, the net is certified 1-safe (so runs cannot
     /// grow markings forever), and the transitions not killed by the siphon
@@ -720,7 +728,10 @@ pub enum DeadlockCertificate {
 impl DeadlockCertificate {
     /// Whether this is a sound deadlock-freedom certificate.
     pub fn is_deadlock_free(&self) -> bool {
-        matches!(self, DeadlockCertificate::DeadlockFree { .. })
+        matches!(
+            self,
+            DeadlockCertificate::DeadlockFree { .. } | DeadlockCertificate::DeadlockFreeMarkedGraph
+        )
     }
 
     /// Whether this certifies a reachable dead marking.
@@ -796,6 +807,31 @@ pub fn certify_deadlock(net: &PetriNet, safety: &SafetyCertificate) -> DeadlockC
     if let Some(siphon) = certified_deadlock_witness(net, safety) {
         return DeadlockCertificate::CertifiedDeadlock { siphon };
     }
+    if is_marked_graph(net) {
+        // A source place feeding a transition is a one-place siphon whose
+        // maximal trap is empty: once drained it never refills, so the
+        // siphon–trap property fails exactly as the general enumeration
+        // would conclude. It must be ruled out first — the cycle argument
+        // below assumes every consumed place has a producer.
+        if let Some(p) = net
+            .places()
+            .find(|&p| net.place_preset(p).is_empty() && !net.place_postset(p).is_empty())
+        {
+            return DeadlockCertificate::SiphonWithoutMarkedTrap { siphon: vec![p] };
+        }
+        // With that ruled out, the minimal siphons of a marked graph are
+        // exactly its simple cycles (a dead marking leaves some cycle of
+        // token-starved transitions, and cycle token counts are invariant),
+        // so the siphon–trap property reduces to "every cycle is initially
+        // marked" — checked in linear time instead of enumerating a
+        // combinatorial family (a 20-stage pipeline has ~2^20 siphons).
+        return match unmarked_cycle(net) {
+            None => DeadlockCertificate::DeadlockFreeMarkedGraph,
+            // An unmarked cycle is its own (unmarked) maximal trap: the
+            // siphon–trap property fails with the cycle as witness.
+            Some(siphon) => DeadlockCertificate::SiphonWithoutMarkedTrap { siphon },
+        };
+    }
     match minimal_siphons(net, SIPHON_ENUM_BUDGET) {
         None => DeadlockCertificate::Unknown,
         Some(siphons) => {
@@ -809,6 +845,73 @@ pub fn certify_deadlock(net: &PetriNet, safety: &SafetyCertificate) -> DeadlockC
             }
             DeadlockCertificate::DeadlockFree { siphons_checked }
         }
+    }
+}
+
+/// A marked graph: every place has at most one producing and at most one
+/// consuming transition (pipelines, token rings, latch chains).
+fn is_marked_graph(net: &PetriNet) -> bool {
+    net.places()
+        .all(|p| net.place_preset(p).len() <= 1 && net.place_postset(p).len() <= 1)
+}
+
+/// Finds a directed cycle running entirely through initially unmarked
+/// places, or `None` when every cycle of the marked graph carries a token.
+///
+/// Kahn elimination on the transition graph restricted to unmarked places
+/// is linear: when it empties the graph, every cycle is marked. Otherwise
+/// the residue consists of the unmarked cycles plus their descendants, and
+/// a backward walk inside the residue — every residue node keeps at least
+/// one residue predecessor — must revisit a transition; the places pushed
+/// between the two visits are one concrete unmarked cycle, returned in id
+/// order.
+fn unmarked_cycle(net: &PetriNet) -> Option<Vec<PlaceId>> {
+    let tn = net.transition_count();
+    let mut out: Vec<Vec<TransitionId>> = vec![Vec::new(); tn];
+    let mut incoming: Vec<Vec<(TransitionId, PlaceId)>> = vec![Vec::new(); tn];
+    let mut indegree = vec![0usize; tn];
+    for p in net.places() {
+        if net.initial_marking().contains(p) {
+            continue;
+        }
+        if let (&[src], &[dst]) = (net.place_preset(p), net.place_postset(p)) {
+            out[src.index()].push(dst);
+            incoming[dst.index()].push((src, p));
+            indegree[dst.index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..tn).filter(|&t| indegree[t] == 0).collect();
+    let mut remaining = tn;
+    while let Some(t) = queue.pop() {
+        remaining -= 1;
+        for dst in &out[t] {
+            indegree[dst.index()] -= 1;
+            if indegree[dst.index()] == 0 {
+                queue.push(dst.index());
+            }
+        }
+    }
+    if remaining == 0 {
+        return None;
+    }
+    // After elimination, `indegree[t] > 0` marks the residue, and counts
+    // only edges from residue predecessors.
+    let start = (0..tn).find(|&t| indegree[t] > 0)?;
+    let mut visited_at = vec![usize::MAX; tn];
+    let mut path: Vec<PlaceId> = Vec::new();
+    let mut cur = start;
+    loop {
+        if visited_at[cur] != usize::MAX {
+            let mut places = path[visited_at[cur]..].to_vec();
+            places.sort_unstable_by_key(|p| p.index());
+            return Some(places);
+        }
+        visited_at[cur] = path.len();
+        let &(src, p) = incoming[cur]
+            .iter()
+            .find(|(src, _)| indegree[src.index()] > 0)?;
+        path.push(p);
+        cur = src.index();
     }
 }
 
@@ -1291,11 +1394,75 @@ mod tests {
 
     #[test]
     fn live_cycle_is_certified_deadlock_free() {
+        // A single marked cycle is a marked graph: the linear fast path
+        // answers, not the siphon enumeration.
         let net = cycle();
         let cert = certify_one_safe(&net);
         assert_eq!(
             certify_deadlock(&net, &cert),
-            DeadlockCertificate::DeadlockFree { siphons_checked: 1 }
+            DeadlockCertificate::DeadlockFreeMarkedGraph
+        );
+        assert!(certify_deadlock(&net, &cert).is_deadlock_free());
+    }
+
+    #[test]
+    fn marked_graph_fast_path_beats_the_siphon_budget() {
+        // A 64-stage pipeline of chained cycles has one minimal siphon per
+        // simple cycle — far beyond SIPHON_ENUM_BUDGET enumeration on the
+        // non-MG encoding of larger nets, and historically `Unknown` here.
+        // The marked-graph path certifies it in linear time.
+        let mut net = PetriNet::new();
+        let stages = 64;
+        let mut fwd_places = Vec::new();
+        let transitions: Vec<_> = (0..=stages)
+            .map(|i| net.add_transition(format!("t{i}")))
+            .collect();
+        for i in 0..stages {
+            // Request/acknowledge place pair between neighbouring stages:
+            // forward place unmarked, backward place marked (a Muller
+            // pipeline's empty initial state).
+            let f = net.add_place(format!("f{i}"));
+            let b = net.add_place(format!("b{i}"));
+            net.add_arc_tp(transitions[i], f);
+            net.add_arc_pt(f, transitions[i + 1]);
+            net.add_arc_tp(transitions[i + 1], b);
+            net.add_arc_pt(b, transitions[i]);
+            net.mark_initially(b);
+            fwd_places.push(f);
+        }
+        let cert = certify_one_safe(&net);
+        assert_eq!(
+            certify_deadlock(&net, &cert),
+            DeadlockCertificate::DeadlockFreeMarkedGraph
+        );
+
+        // An unmarked stage cycle next to a live marked one: the marked
+        // cycle's T-invariant blocks the certified-deadlock witness (the
+        // net never terminates), and the fast path names the unmarked
+        // two-place cycle as the failing siphon.
+        let mut broken = PetriNet::new();
+        let t0 = broken.add_transition("t0");
+        let t1 = broken.add_transition("t1");
+        let f = broken.add_place("f");
+        let b = broken.add_place("b");
+        broken.add_arc_tp(t0, f);
+        broken.add_arc_pt(f, t1);
+        broken.add_arc_tp(t1, b);
+        broken.add_arc_pt(b, t0);
+        let u0 = broken.add_transition("u0");
+        let u1 = broken.add_transition("u1");
+        let q0 = broken.add_place("q0");
+        let q1 = broken.add_place("q1");
+        broken.add_arc_tp(u0, q0);
+        broken.add_arc_pt(q0, u1);
+        broken.add_arc_tp(u1, q1);
+        broken.add_arc_pt(q1, u0);
+        broken.mark_initially(q0);
+        let cert = certify_one_safe(&broken);
+        assert_eq!(certified_deadlock_witness(&broken, &cert), None);
+        assert_eq!(
+            certify_deadlock(&broken, &cert),
+            DeadlockCertificate::SiphonWithoutMarkedTrap { siphon: vec![f, b] }
         );
     }
 

@@ -43,7 +43,7 @@
 
 use std::time::{Duration, Instant};
 
-use si_bdd::{AutoReorder, Bdd, BddManager, ReorderPolicy};
+use si_bdd::{AutoReorder, Bdd, BddManager, OpCounts, ReentrantConfig, ReorderPolicy};
 
 use crate::error::NetError;
 use crate::marking::Marking;
@@ -113,6 +113,23 @@ pub struct SymbolicOptions {
     /// dead weight; without it, skipping turns an [`NetError::Unsafe`]
     /// diagnosis into a silently wrong reachable set.
     pub assume_one_safe: bool,
+    /// Worker threads for the BDD kernels themselves (`None` = 1, serial).
+    /// Affects wall-clock and node ids only: the reachable set, enabling
+    /// sets, state counts and [`SymbolicStats::ops`] are identical at any
+    /// thread count.
+    pub bdd_threads: Option<usize>,
+    /// Pool size below which operations stay serial even with
+    /// `bdd_threads > 1` (`None` = the manager default): forking workers
+    /// over a small diagram costs more than it saves. Tests set `Some(0)`
+    /// to force the parallel path on small nets.
+    pub bdd_parallel_floor: Option<usize>,
+    /// Arm the manager's reentrant maintenance: long-running kernels poll
+    /// the live-node budget at recursion checkpoints and run a GC (plus a
+    /// sift, under the `Sift`/`Auto` policies) *mid-operation* instead of
+    /// only between fixpoint iterations — so one monster `and_exists`
+    /// cannot blow the budget before the policy gets a look. The
+    /// between-iteration budget check is unchanged.
+    pub reentrant: bool,
 }
 
 impl Default for SymbolicOptions {
@@ -128,6 +145,9 @@ impl Default for SymbolicOptions {
             gc_threshold: 1 << 20,
             reorder_threshold: AutoReorder::DEFAULT_THRESHOLD,
             assume_one_safe: false,
+            bdd_threads: None,
+            bdd_parallel_floor: None,
+            reentrant: true,
         }
     }
 }
@@ -152,6 +172,18 @@ pub struct SymbolicStats {
     /// this is the exact live peak — the smallest
     /// [`SymbolicOptions::node_budget`] the run fits in.
     pub peak_live_nodes: usize,
+    /// Deterministic operation counters: public `ite`/`exists`/`and_exists`
+    /// calls issued by the run. Identical at any thread count and under any
+    /// GC/reorder schedule — the perf proxy CI pins on a 1-CPU runner.
+    pub ops: OpCounts,
+    /// Reentrant mid-operation maintenance passes (GC/reorder at a kernel
+    /// checkpoint). Schedule-dependent: do not pin.
+    pub reentrant_maintenance: usize,
+    /// Largest pool size sampled at kernel checkpoints or operation
+    /// boundaries — visible even when the peak occurred *inside* one
+    /// operation, which [`peak_live_nodes`](Self::peak_live_nodes) cannot
+    /// see. Schedule-dependent: do not pin.
+    pub peak_pool: usize,
 }
 
 /// Per-transition partitioned relation: everything an image step needs.
@@ -222,6 +254,17 @@ impl SymbolicReach {
             .unwrap_or_else(|| (0..n).collect::<Vec<_>>());
         assert_eq!(order.len(), n, "order must cover every logical variable");
         let mut mgr = BddManager::with_order(order);
+        mgr.set_threads(options.bdd_threads.unwrap_or(1));
+        if let Some(floor) = options.bdd_parallel_floor {
+            mgr.set_parallel_floor(floor);
+        }
+        if options.reentrant {
+            mgr.set_maintenance(Some(ReentrantConfig {
+                live_limit: options.node_budget,
+                reorder: options.reorder,
+                max_growth: BddManager::DEFAULT_MAX_GROWTH,
+            }));
+        }
 
         // Initial state: one complete minterm over places and auxiliaries.
         let mut literals: Vec<(usize, bool)> = Vec::with_capacity(n);
@@ -246,6 +289,15 @@ impl SymbolicReach {
         let mut stats = SymbolicStats::default();
         let mut reachable = init;
         let mut frontier = init;
+        // Reentrant maintenance can collect *mid-operation*, when the
+        // manager protects only the interrupted operation's own operands.
+        // Every loop-carried handle must therefore stay pinned by this
+        // driver for as long as it is needed — not just across the
+        // between-iteration checkpoint. Intermediates (`firing`, `freed`,
+        // `image`) need no pin: whenever one is still needed it is an
+        // operand of the operation in flight.
+        mgr.protect(reachable);
+        mgr.protect(frontier);
         let mut steps = 0usize;
         while !frontier.is_false() {
             steps += 1;
@@ -274,10 +326,20 @@ impl SymbolicReach {
                 }
                 let freed = mgr.exists(firing, rel.changed);
                 let image = mgr.and(freed, rel.result);
-                next = mgr.or(next, image);
+                let merged = mgr.or(next, image);
+                mgr.protect(merged);
+                mgr.unprotect(next);
+                next = merged;
             }
-            frontier = mgr.diff(next, reachable);
-            reachable = mgr.or(reachable, frontier);
+            let advanced = mgr.diff(next, reachable);
+            mgr.protect(advanced);
+            mgr.unprotect(frontier);
+            frontier = advanced;
+            let grown = mgr.or(reachable, frontier);
+            mgr.protect(grown);
+            mgr.unprotect(reachable);
+            reachable = grown;
+            mgr.unprotect(next);
             Self::maintain(
                 &mut mgr,
                 &mut auto,
@@ -295,22 +357,37 @@ impl SymbolicReach {
                 let lits: Vec<(usize, bool)> =
                     net.preset(t).iter().map(|p| (p.index(), true)).collect();
                 let preset = mgr.cube(&lits);
-                mgr.and(reachable, preset)
+                let e = mgr.and(reachable, preset);
+                // Pinned at creation: a reentrant collection during a later
+                // transition's conjunction must not sweep this one. The pin
+                // doubles as the permanent root the struct hands out.
+                mgr.protect(e);
+                e
             })
             .collect();
 
-        // The stored sets outlive explore: pin them (and release the
-        // relation cubes) so a caller-driven `gc` through `manager_mut`
-        // cannot free what the struct hands out.
+        // The stored sets outlive explore: `reachable` keeps its fixpoint
+        // pin and every enabling set was pinned at creation, so a
+        // caller-driven `gc` through `manager_mut` cannot free what the
+        // struct hands out. The relation cubes are done — release them.
         for rel in &relations {
             for b in [rel.guard, rel.changed, rel.result] {
                 mgr.unprotect(b);
             }
         }
-        mgr.protect(reachable);
-        for &e in &enabling {
-            mgr.protect(e);
-        }
+
+        stats.ops = mgr.op_counts();
+        stats.reentrant_maintenance = mgr.maintenance_runs();
+        stats.peak_pool = mgr.peak_pool();
+
+        // The reentrant checkpoints are an explore-internal discipline:
+        // this driver pins every loop-carried handle, but downstream
+        // consumers (per-signal projections, consistency checks) hold
+        // intermediates across op calls without pinning them, as the
+        // pre-reentrant contract allowed. A mid-operation collection there
+        // would sweep those handles out from under the caller, so the
+        // policy must not outlive the fixpoint.
+        mgr.set_maintenance(None);
 
         Ok(SymbolicReach {
             mgr,
@@ -865,6 +942,93 @@ mod tests {
         assert!(
             n_auto < n_off,
             "sifting should shrink the reachable set: {n_auto} vs {n_off}"
+        );
+    }
+
+    #[test]
+    fn bdd_threads_match_serial_results_and_op_counts() {
+        let net = independent_cycles(10);
+        let reference =
+            SymbolicReach::explore(&net, &SymbolicOptions::default()).expect("explores");
+        for threads in [2, 4] {
+            let options = SymbolicOptions {
+                bdd_threads: Some(threads),
+                // Force the parallel path: this net never reaches the
+                // manager's default floor.
+                bdd_parallel_floor: Some(0),
+                ..SymbolicOptions::default()
+            };
+            let reach = SymbolicReach::explore(&net, &options).expect("explores");
+            assert_eq!(
+                reach.state_count(),
+                reference.state_count(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                reach.stats().ops,
+                reference.stats().ops,
+                "{threads} threads: op counts must not depend on the schedule"
+            );
+            for t in net.transitions() {
+                assert_eq!(
+                    reach.manager().sat_count(reach.enabling(t)),
+                    reference.manager().sat_count(reference.enabling(t)),
+                    "{threads} threads: enabling({t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reentrant_checkpoint_completes_an_over_budget_operation() {
+        // Maximally separating each cycle's place pair (all "even" places,
+        // then the "odd" ones reversed) makes every reachable-set diagram
+        // exponential in the cycle count, so single operations run tens of
+        // thousands of kernel steps and allocate far past the live
+        // checkpoint sizes. The non-reentrant engine blows straight through
+        // the budget *mid-operation* (visible in `peak_pool`); the
+        // reentrant engine trips the in-kernel checkpoint, collects, and
+        // completes the same fixpoint under the armed budget.
+        let net = independent_cycles(12);
+        let n = net.place_count();
+        let bad: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2).rev()).collect();
+        let reference = SymbolicOptions {
+            order: Some(bad.clone()),
+            gc_threshold: 0, // collect every iteration: checkpoint peaks are exact
+            reentrant: false,
+            ..SymbolicOptions::default()
+        };
+        let r = SymbolicReach::explore(&net, &reference).expect("explores");
+        let live_peak = r.stats().peak_live_nodes;
+        let pool_peak = r.stats().peak_pool;
+        assert!(
+            pool_peak > live_peak,
+            "mid-operation allocation must overshoot the checkpoint peak: \
+             {pool_peak} vs {live_peak}"
+        );
+
+        // A budget the between-iteration checkpoints satisfy exactly but
+        // single operations exceed mid-flight: without reentrancy this run
+        // overshoots (per `pool_peak` above); with it, the kernel
+        // checkpoint must fire and the run must still finish.
+        let reentrant = SymbolicOptions {
+            order: Some(bad),
+            gc_threshold: 0,
+            node_budget: live_peak,
+            reentrant: true,
+            ..SymbolicOptions::default()
+        };
+        let reach = SymbolicReach::explore(&net, &reentrant)
+            .expect("reentrant maintenance keeps the run under budget");
+        assert_eq!(reach.state_count(), r.state_count());
+        assert!(
+            reach.stats().reentrant_maintenance > 0,
+            "the in-kernel checkpoint must actually have fired"
+        );
+        assert_eq!(
+            reach.stats().ops,
+            r.stats().ops,
+            "reentrant retries must not change the public op counts"
         );
     }
 

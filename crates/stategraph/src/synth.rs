@@ -393,6 +393,12 @@ pub struct SgSynthesisOptions {
     /// byte-identical under every seed (pinned by the equivalence tests);
     /// only diagram sizes differ.
     pub symbolic_order_seed: OrderSeed,
+    /// Worker threads inside the symbolic engine's BDD kernels; `None`
+    /// inherits [`workers`](Self::workers) (so one `--workers` knob speeds
+    /// up both the traversal and the per-signal minimisation). Purely a
+    /// wall-clock knob: equations, witnesses and operation counts are
+    /// identical at any thread count.
+    pub bdd_threads: Option<usize>,
 }
 
 impl Default for SgSynthesisOptions {
@@ -409,6 +415,7 @@ impl Default for SgSynthesisOptions {
             workers: None,
             implicit_covers: true,
             symbolic_order_seed: tuning.order_seed,
+            bdd_threads: None,
         }
     }
 }
@@ -421,6 +428,10 @@ impl SgSynthesisOptions {
             reorder: self.symbolic_reorder,
             gc_threshold: self.symbolic_gc_threshold,
             order_seed: self.symbolic_order_seed,
+            bdd_threads: self
+                .bdd_threads
+                .or(self.workers)
+                .or_else(|| std::thread::available_parallelism().map(|p| p.get()).ok()),
             ..SymbolicTuning::default()
         }
     }

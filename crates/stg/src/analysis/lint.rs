@@ -601,19 +601,33 @@ pub fn lint_with_analysis(
     });
 
     // SI-I003: deadlock-freedom certificate summary.
-    if let DeadlockCertificate::DeadlockFree { siphons_checked } = analysis.deadlock {
-        diagnostics.push(Diagnostic {
-            code: DiagCode::I003,
-            message: if siphons_checked == 0 {
-                "deadlock-free: a permanently enabled transition rules out dead markings".to_owned()
-            } else {
-                format!(
-                    "deadlock-freedom certificate: every one of the {siphons_checked} minimal \
-                     siphon(s) contains an initially marked trap — no reachable marking is dead"
-                )
-            },
-            line: None,
-        });
+    match analysis.deadlock {
+        DeadlockCertificate::DeadlockFree { siphons_checked } => {
+            diagnostics.push(Diagnostic {
+                code: DiagCode::I003,
+                message: if siphons_checked == 0 {
+                    "deadlock-free: a permanently enabled transition rules out dead markings"
+                        .to_owned()
+                } else {
+                    format!(
+                        "deadlock-freedom certificate: every one of the {siphons_checked} minimal \
+                         siphon(s) contains an initially marked trap — no reachable marking is dead"
+                    )
+                },
+                line: None,
+            });
+        }
+        DeadlockCertificate::DeadlockFreeMarkedGraph => {
+            diagnostics.push(Diagnostic {
+                code: DiagCode::I003,
+                message: "deadlock-freedom certificate: the net is a marked graph and every \
+                          directed cycle is initially marked (cycle token counts are invariant) \
+                          — no reachable marking is dead"
+                    .to_owned(),
+                line: None,
+            });
+        }
+        _ => {}
     }
 
     // Severity-rank the report: errors, warnings, infos; then code; then

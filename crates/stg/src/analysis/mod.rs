@@ -178,12 +178,9 @@ mod tests {
         // One P-invariant (the cycle), one T-invariant (the full cycle).
         assert_eq!(a.p_invariants.as_deref().map(<[_]>::len), Some(1));
         assert_eq!(a.t_invariants.as_deref().map(<[_]>::len), Some(1));
-        // The single minimal siphon (the handshake cycle) is its own
-        // initially marked trap: certified deadlock-free.
-        assert_eq!(
-            a.deadlock,
-            DeadlockCertificate::DeadlockFree { siphons_checked: 1 }
-        );
+        // The handshake cycle is a marked graph whose single cycle is
+        // initially marked: certified deadlock-free via the linear path.
+        assert_eq!(a.deadlock, DeadlockCertificate::DeadlockFreeMarkedGraph);
         // A live safe marked graph satisfies the rank equation.
         assert_eq!(a.rank.map(|r| r.holds()), Some(true));
     }

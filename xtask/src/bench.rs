@@ -1,0 +1,287 @@
+//! `cargo xtask bench` — symbolic-engine scaling harness.
+//!
+//! Runs the SG flow's BDD engine over the large `benchmarks/*.g`
+//! specifications at several `bdd_threads` settings and reports, per run:
+//! end-to-end wall clock, the reach/synth split, peak live nodes at the
+//! fixpoint checkpoints, and the deterministic kernel operation counts.
+//! Every multi-threaded run is cross-checked against the single-threaded
+//! reference: gate equations (byte-for-byte), state counts and op counts
+//! must be identical, so the harness doubles as a determinism gate.
+//!
+//! With `--json`, the rows are also written to `BENCH_symbolic.json` at
+//! the workspace root. Wall-clock scaling needs a multi-core host — on a
+//! single-CPU runner the threaded rows mostly measure scheduling overhead
+//! — which is why the JSON records `host_cpus` alongside the timings and
+//! why CI pins the machine-independent columns (op counts, peak live
+//! nodes, equations) rather than the wall clock.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use si_stategraph::{
+    synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesisOptions, SymbolicSg,
+};
+use si_stg::parse_g;
+
+/// Default benchmark set: the specifications the concurrent-engine work
+/// targets (wide enough for the parallel apply to matter) plus one small
+/// control.
+const DEFAULT_BENCHES: &[&str] = &[
+    "muller_pipeline_20",
+    "muller_pipeline_24",
+    "wide_arbiter_20",
+    "token_ring_12",
+];
+
+/// Determinism reference from the single-threaded run: equations, state
+/// count, `(ite, exists, and_exists)` op counts.
+type Fingerprint = (Vec<String>, u128, (u64, u64, u64));
+
+/// One measured run.
+struct Row {
+    benchmark: String,
+    bdd_threads: usize,
+    wall_ms: f64,
+    reach_ms: f64,
+    states: u128,
+    peak_live_nodes: usize,
+    peak_pool: usize,
+    ops_ite: u64,
+    ops_exists: u64,
+    ops_and_exists: u64,
+    literals: usize,
+    matches_reference: bool,
+}
+
+pub fn run(args: Vec<String>) -> ExitCode {
+    let mut json = false;
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--threads" => {
+                let Some(list) = iter.next() else {
+                    eprintln!("--threads needs a comma-separated list, e.g. --threads 1,2,4");
+                    return ExitCode::from(2);
+                };
+                match list.split(',').map(str::parse).collect() {
+                    Ok(t) => threads = t,
+                    Err(e) => {
+                        eprintln!("bad --threads list `{list}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            name => names.push(name.trim_end_matches(".g").to_owned()),
+        }
+    }
+    if names.is_empty() {
+        names = DEFAULT_BENCHES.iter().map(|s| (*s).to_owned()).collect();
+    }
+    if threads.is_empty() || threads[0] != 1 {
+        // The single-threaded run is the determinism reference; make sure
+        // it exists and comes first.
+        threads.retain(|&t| t != 1);
+        threads.insert(0, 1);
+    }
+
+    let root = crate::workspace_root();
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<20} {:>7} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>5}",
+        "benchmark", "threads", "wall-ms", "reach-ms", "states", "peak-live", "ite", "exists", "ok"
+    );
+    for name in &names {
+        let path = root.join("benchmarks").join(format!("{name}.g"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let stg = match parse_g(&text) {
+            Ok(stg) => stg,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+
+        // Reference fingerprint from the single-threaded run, filled on the
+        // first iteration: equations, state count, op counts.
+        let mut reference: Option<Fingerprint> = None;
+        for &t in &threads {
+            // `Auto` reordering matches the `synth` CLI default: the
+            // wide-arbiter family has no good static order and runs for
+            // minutes without it (see README).
+            let options = SgSynthesisOptions {
+                engine: SgEngine::Symbolic,
+                symbolic_reorder: ReorderPolicy::Auto,
+                bdd_threads: Some(t),
+                ..SgSynthesisOptions::default()
+            };
+            let wall_start = Instant::now();
+            let sym = match SymbolicSg::build(&stg, &options.symbolic_tuning()) {
+                Ok(sym) => sym,
+                Err(e) => {
+                    eprintln!("{name} (bdd_threads {t}): symbolic reachability failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reach_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            let result = match synthesize_from_symbolic_sg(&stg, &sym, &options) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{name} (bdd_threads {t}): synthesis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+            let stats = sym.reach().stats();
+            let equations: Vec<String> = result.gates.iter().map(|g| g.equation(&stg)).collect();
+            let fingerprint = (
+                equations,
+                sym.state_count(),
+                (stats.ops.ite, stats.ops.exists, stats.ops.and_exists),
+            );
+            let matches_reference = match &reference {
+                None => {
+                    reference = Some(fingerprint);
+                    true
+                }
+                Some(reference) => *reference == fingerprint,
+            };
+
+            let row = Row {
+                benchmark: name.clone(),
+                bdd_threads: t,
+                wall_ms,
+                reach_ms,
+                states: sym.state_count(),
+                peak_live_nodes: stats.peak_live_nodes,
+                peak_pool: stats.peak_pool,
+                ops_ite: stats.ops.ite,
+                ops_exists: stats.ops.exists,
+                ops_and_exists: stats.ops.and_exists,
+                literals: result.literal_count(),
+                matches_reference,
+            };
+            println!(
+                "{:<20} {:>7} {:>9.1} {:>9.1} {:>12} {:>10} {:>8} {:>8} {:>5}",
+                row.benchmark,
+                row.bdd_threads,
+                row.wall_ms,
+                row.reach_ms,
+                row.states,
+                row.peak_live_nodes,
+                row.ops_ite,
+                row.ops_exists,
+                if row.matches_reference { "yes" } else { "NO" }
+            );
+            rows.push(row);
+        }
+    }
+
+    let divergent: Vec<&Row> = rows.iter().filter(|r| !r.matches_reference).collect();
+    for row in &divergent {
+        eprintln!(
+            "bench: {} at bdd_threads {} diverged from the single-threaded reference \
+             (equations, state count or op counts differ)",
+            row.benchmark, row.bdd_threads
+        );
+    }
+
+    if json {
+        let out = crate::workspace_root().join("BENCH_symbolic.json");
+        if let Err(e) = std::fs::write(&out, render_json(&rows)) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    if divergent.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON (the workspace builds offline: no serde). Every value
+/// is a number, a bool or an escape-free ASCII string, so plain string
+/// assembly is safe.
+fn render_json(rows: &[Row]) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"harness\": \"cargo xtask bench --json\",\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(
+        "  \"note\": \"wall_ms scales with bdd_threads only on multi-core hosts; \
+         ops_* and peak_live_nodes are identical at any thread count and are \
+         the columns CI pins\",\n",
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"flow\": \"sg\", \"engine\": \"symbolic\", \
+             \"bdd_threads\": {}, \"wall_ms\": {:.1}, \"reach_ms\": {:.1}, \
+             \"states\": {}, \"peak_live_nodes\": {}, \"peak_pool\": {}, \
+             \"ops_ite\": {}, \"ops_exists\": {}, \"ops_and_exists\": {}, \
+             \"literals\": {}, \"matches_reference\": {}}}{}\n",
+            r.benchmark,
+            r.bdd_threads,
+            r.wall_ms,
+            r.reach_ms,
+            r.states,
+            r.peak_live_nodes,
+            r.peak_pool,
+            r.ops_ite,
+            r.ops_exists,
+            r.ops_and_exists,
+            r.literals,
+            r.matches_reference,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let rows = vec![Row {
+            benchmark: "demo".into(),
+            bdd_threads: 2,
+            wall_ms: 12.5,
+            reach_ms: 10.0,
+            states: 64,
+            peak_live_nodes: 100,
+            peak_pool: 120,
+            ops_ite: 7,
+            ops_exists: 3,
+            ops_and_exists: 0,
+            literals: 4,
+            matches_reference: true,
+        }];
+        let json = render_json(&rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"benchmark\": \"demo\""));
+        assert!(json.contains("\"bdd_threads\": 2"));
+        assert!(json.contains("\"matches_reference\": true"));
+        // Balanced braces/brackets — a cheap structural check without a
+        // JSON parser in the dependency set.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}
