@@ -12,11 +12,50 @@
 //! `ImplicitPool::from_minterms` for loading explicit state sets.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use si_cubes::implicit::{ImplicitCover, ImplicitPool};
 use si_cubes::{Cube, Literal};
 
 use crate::manager::{Bdd, BddManager};
+
+/// Error from a BDD → implicit conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The function's support contains a manager variable the variable map
+    /// leaves unmapped (`var_map[var]` is `None`), so its points have no
+    /// home in the implicit pool.
+    UnmappedVariable {
+        /// The unmapped manager variable index.
+        var: usize,
+    },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::UnmappedVariable { var } => {
+                write!(f, "function depends on unmapped variable {var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// A reusable BDD-node → implicit-set memo for batch conversions of related
+/// functions into *one* pool under *one* variable map — the per-call memo
+/// [`BddManager::to_implicit`] builds internally, lifted out so shared
+/// subgraphs translate once per batch instead of once per function.
+///
+/// Entries are keyed on node ids, which survive reordering (sifting rewrites
+/// nodes in place) but **not** garbage collection: drop the cache before (or
+/// after) any [`gc`](BddManager::gc) between conversions, and never reuse it
+/// with a different pool or variable map.
+#[derive(Default)]
+pub struct TranslationCache {
+    memo: HashMap<u32, ImplicitCover>,
+}
 
 impl BddManager {
     /// Builds the BDD of an implicit point set by enumerating its canonical
@@ -57,23 +96,52 @@ impl BddManager {
     /// manager variable (`None` for variables the function must not depend
     /// on — e.g. quantified-out state bits).
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnmappedVariable`] if `f` depends on a
+    /// variable mapped to `None`.
+    ///
     /// # Panics
     ///
-    /// Panics if `var_map.len() != num_vars`, if `f` depends on an unmapped
-    /// variable, or if a mapped index is `>= pool.width()`.
+    /// Panics if `var_map.len() != num_vars` or a mapped index is
+    /// `>= pool.width()`.
     pub fn to_implicit(
         &self,
         f: Bdd,
         pool: &mut ImplicitPool,
         var_map: &[Option<usize>],
-    ) -> ImplicitCover {
+    ) -> Result<ImplicitCover, ConvertError> {
+        let mut cache = TranslationCache::default();
+        self.to_implicit_cached(f, pool, var_map, &mut cache)
+    }
+
+    /// [`to_implicit`](Self::to_implicit) with a caller-held memo, so a
+    /// batch of functions sharing diagram structure (e.g. one on/off pair
+    /// per signal over the same reachable set) translates each shared
+    /// subgraph once. See [`TranslationCache`] for the validity rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnmappedVariable`] if `f` depends on a
+    /// variable mapped to `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_map.len() != num_vars` or a mapped index is
+    /// `>= pool.width()`.
+    pub fn to_implicit_cached(
+        &self,
+        f: Bdd,
+        pool: &mut ImplicitPool,
+        var_map: &[Option<usize>],
+        cache: &mut TranslationCache,
+    ) -> Result<ImplicitCover, ConvertError> {
         assert_eq!(
             var_map.len(),
             self.num_vars(),
             "variable map width mismatch"
         );
-        let mut memo: HashMap<u32, ImplicitCover> = HashMap::new();
-        self.to_implicit_rec(f.0, pool, var_map, &mut memo)
+        self.to_implicit_rec(f.0, pool, var_map, &mut cache.memo)
     }
 
     fn to_implicit_rec(
@@ -82,22 +150,21 @@ impl BddManager {
         pool: &mut ImplicitPool,
         var_map: &[Option<usize>],
         memo: &mut HashMap<u32, ImplicitCover>,
-    ) -> ImplicitCover {
+    ) -> Result<ImplicitCover, ConvertError> {
         if Bdd(n).is_false() {
-            return pool.empty();
+            return Ok(pool.empty());
         }
         if Bdd(n).is_true() {
-            return pool.full();
+            return Ok(pool.full());
         }
         if let Some(&r) = memo.get(&n) {
-            return r;
+            return Ok(r);
         }
         let (level, lo, hi) = self.node(n);
         let var = self.var_at(level as usize);
-        let iv =
-            var_map[var].unwrap_or_else(|| panic!("function depends on unmapped variable {var}"));
-        let l = self.to_implicit_rec(lo, pool, var_map, memo);
-        let h = self.to_implicit_rec(hi, pool, var_map, memo);
+        let iv = var_map[var].ok_or(ConvertError::UnmappedVariable { var })?;
+        let l = self.to_implicit_rec(lo, pool, var_map, memo)?;
+        let h = self.to_implicit_rec(hi, pool, var_map, memo)?;
         let mut cube0 = Cube::full(pool.width());
         cube0.set(iv, Literal::Zero);
         let mut cube1 = Cube::full(pool.width());
@@ -108,7 +175,7 @@ impl BddManager {
         let right = pool.intersect(c1, h);
         let r = pool.union(left, right);
         memo.insert(n, r);
-        r
+        Ok(r)
     }
 
     /// Bulk-builds the BDD of a batch of complete minterms, merging shared
@@ -203,7 +270,9 @@ mod tests {
             assert_eq!(mgr.eval(f, &bits), c.covers_bits(&bits), "{bits:?}");
         }
         let back_map: Vec<Option<usize>> = (0..4).map(Some).collect();
-        let back = mgr.to_implicit(f, &mut pool, &back_map);
+        let back = mgr
+            .to_implicit(f, &mut pool, &back_map)
+            .expect("support is mapped");
         assert_eq!(back, set, "roundtrip lands on the same canonical set");
     }
 
@@ -221,7 +290,9 @@ mod tests {
         for (iv, &mv) in map.iter().enumerate() {
             back_map[mv] = Some(iv);
         }
-        let back = mgr.to_implicit(f, &mut pool, &back_map);
+        let back = mgr
+            .to_implicit(f, &mut pool, &back_map)
+            .expect("support is mapped");
         assert_eq!(back, set);
         // Pointwise: manager assignment bits pull from implicit vars.
         for bits in assignments(3) {
@@ -265,19 +336,34 @@ mod tests {
         assert!(mgr.from_implicit(&pool, full, &map).is_true());
         let zero = mgr.zero();
         let one = mgr.one();
-        assert!(mgr.to_implicit(zero, &mut pool, &back_map).is_empty());
-        assert_eq!(mgr.to_implicit(one, &mut pool, &back_map), pool.full());
+        assert!(mgr
+            .to_implicit(zero, &mut pool, &back_map)
+            .expect("constants have empty support")
+            .is_empty());
+        assert_eq!(
+            mgr.to_implicit(one, &mut pool, &back_map)
+                .expect("constants have empty support"),
+            pool.full()
+        );
         let mut no_rows: Vec<Vec<bool>> = Vec::new();
         assert!(mgr.from_minterms(&mut no_rows, &map).is_false());
     }
 
     #[test]
-    #[should_panic(expected = "unmapped variable")]
-    fn unmapped_support_variable_panics() {
+    fn unmapped_support_variable_is_a_typed_error() {
         let mut mgr = BddManager::new(2);
         let f = mgr.var(1);
         let mut pool = ImplicitPool::new(1);
-        mgr.to_implicit(f, &mut pool, &[Some(0), None]);
+        let err = mgr
+            .to_implicit(f, &mut pool, &[Some(0), None])
+            .expect_err("support variable 1 is unmapped");
+        assert_eq!(err, ConvertError::UnmappedVariable { var: 1 });
+        assert_eq!(err.to_string(), "function depends on unmapped variable 1");
+        // The same contract holds for the ISOP extraction front end.
+        let isop_err = mgr
+            .isop_implicit(f, &mut pool, &[Some(0), None])
+            .expect_err("support variable 1 is unmapped");
+        assert_eq!(isop_err, ConvertError::UnmappedVariable { var: 1 });
     }
 
     #[cfg(debug_assertions)]
@@ -292,7 +378,7 @@ mod tests {
         mgr.gc();
         let mut pool = ImplicitPool::new(3);
         let map: Vec<Option<usize>> = (0..3).map(Some).collect();
-        mgr.to_implicit(stale, &mut pool, &map);
+        let _ = mgr.to_implicit(stale, &mut pool, &map);
     }
 
     #[test]
@@ -309,7 +395,11 @@ mod tests {
         mgr.swap_levels(1);
         mgr.reorder_sift(BddManager::DEFAULT_MAX_GROWTH);
         let back_map: Vec<Option<usize>> = (0..4).map(Some).collect();
-        assert_eq!(mgr.to_implicit(f, &mut pool, &back_map), set);
+        assert_eq!(
+            mgr.to_implicit(f, &mut pool, &back_map)
+                .expect("support is mapped"),
+            set
+        );
         assert_eq!(mgr.from_implicit(&pool, set, &map), f);
         let mut rows: Vec<Vec<bool>> = (0..16u32)
             .filter(|&x| c.covers_bits(&(0..4).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>()))

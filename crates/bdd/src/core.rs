@@ -192,7 +192,9 @@ impl NodeStore {
     fn chunk(&self, id: u32) -> &Chunk {
         match self.chunks[(id as usize) >> CHUNK_BITS].get() {
             Some(c) => c,
-            None => panic!("node {id} beyond the allocated chunks"),
+            // Ids are only minted by `bump`, which materialises the chunk
+            // before publishing the id.
+            None => unreachable!("node {id} beyond the allocated chunks"),
         }
     }
 
@@ -384,7 +386,7 @@ impl Core {
     /// Splits `n` at `level`: its children if it branches there, `(n, n)`
     /// if the level is unconstrained.
     #[inline]
-    fn children_at(&self, n: u32, level: u32) -> (u32, u32) {
+    pub(crate) fn children_at(&self, n: u32, level: u32) -> (u32, u32) {
         if n > ONE {
             let (l, lo, hi) = self.node(n);
             if l == level {

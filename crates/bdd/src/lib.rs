@@ -7,7 +7,10 @@
 //! ([`and_exists`]) that image computation is built from, a variable-order
 //! heuristic seeded from adjacency ([`order_from_adjacency`]), and lossless
 //! conversion both ways between [`Bdd`] functions and
-//! [`si_cubes::implicit::ImplicitCover`] point sets.
+//! [`si_cubes::implicit::ImplicitCover`] point sets, plus a BDD-native
+//! Minato–Morreale irredundant-SOP extraction
+//! ([`isop`](BddManager::isop) / [`isop_implicit`](BddManager::isop_implicit))
+//! that reads covers straight off the diagram.
 //!
 //! The pool is kept alive under memory pressure by two mechanisms built for
 //! long symbolic fixpoints: refcounted root protection with mark-and-sweep
@@ -61,11 +64,13 @@
 
 mod convert;
 mod core;
+mod isop;
 mod manager;
 mod order;
 mod par;
 mod sift;
 
+pub use convert::{ConvertError, TranslationCache};
 pub use manager::{Bdd, BddManager, OpCounts, ReentrantConfig};
 pub use order::order_from_adjacency;
 pub use sift::{AutoReorder, ReorderPolicy};

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::core::{Core, OpCtx, Task, FREE, ONE, ZERO};
+use crate::isop::IsopTables;
 use crate::sift::ReorderPolicy;
 
 /// A handle to a Boolean function owned by a [`BddManager`].
@@ -103,6 +104,9 @@ pub struct BddManager {
     pub(crate) var_at: Vec<u32>,
     /// External root protection: node id → protect count.
     pub(crate) roots: HashMap<u32, usize>,
+    /// ISOP extraction state: cover-DAG arena + `(L, U)` memo (see
+    /// [`crate::isop`]); purged on GC, cleared on reorder.
+    pub(crate) isop: IsopTables,
     threads: usize,
     maint: Option<ReentrantConfig>,
     op_counts: OpCounts,
@@ -158,6 +162,7 @@ impl BddManager {
             level_of,
             var_at,
             roots: HashMap::new(),
+            isop: IsopTables::default(),
             threads: 1,
             maint: None,
             op_counts: OpCounts::default(),
@@ -307,9 +312,9 @@ impl BddManager {
         if f.0 <= ONE {
             return;
         }
-        let Some(count) = self.roots.get_mut(&f.0) else {
-            panic!("unprotect without a matching protect");
-        };
+        let entry = self.roots.get_mut(&f.0);
+        assert!(entry.is_some(), "unprotect without a matching protect");
+        let Some(count) = entry else { return };
         *count -= 1;
         if *count == 0 {
             self.roots.remove(&f.0);
@@ -348,6 +353,7 @@ impl BddManager {
             }
         }
         self.core.purge_caches(|n| n > ONE && !marked[n as usize]);
+        self.isop.purge(|n| n > ONE && !marked[n as usize]);
         let mut collected = 0usize;
         for (id, live) in marked.iter().enumerate().take(len).skip(2) {
             let (level, lo, hi) = self.core.store.raw(id as u32);

@@ -142,8 +142,10 @@ impl BddManager {
         );
         self.gc();
         // Swaps retire nodes without mark information, so the memoised
-        // results must go wholesale (gc alone purges selectively).
+        // results must go wholesale (gc alone purges selectively). The ISOP
+        // tables go too: memoised covers were split on the old levels.
         self.core.clear_caches();
+        self.isop.clear();
         let mut refs = self.compute_refs();
         let mut lists = self.level_lists();
         self.swap_adjacent(level, &mut refs, &mut lists);
@@ -170,6 +172,7 @@ impl BddManager {
         );
         self.gc();
         self.core.clear_caches();
+        self.isop.clear();
         let before = self.pool_size();
         if self.num_vars() < 2 || before == 0 {
             return (before, before);

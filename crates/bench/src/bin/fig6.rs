@@ -191,10 +191,10 @@ fn run_symbolic_baseline(spec: &si_stg::Stg) -> (Option<Duration>, Option<u128>)
         ..SgSynthesisOptions::default()
     };
     let start = Instant::now();
-    let Ok(sym) = SymbolicSg::build(spec, &options.symbolic_tuning()) else {
+    let Ok(mut sym) = SymbolicSg::build(spec, &options.symbolic_tuning()) else {
         return (None, None);
     };
-    let outcome = synthesize_from_symbolic_sg(spec, &sym, &options);
+    let outcome = synthesize_from_symbolic_sg(spec, &mut sym, &options);
     let elapsed = start.elapsed();
     match outcome {
         Ok(_) => (Some(elapsed), Some(sym.state_count())),

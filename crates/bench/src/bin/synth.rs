@@ -28,6 +28,14 @@
 //!                          implicit shared-subgraph diagrams (default) or
 //!                          the historical explicit cube lists — gate
 //!                          equations are byte-identical either way
+//!   --extract isop|translate
+//!                          (symbolic engine) front end deriving each
+//!                          signal's on/off sets from the reachable BDD:
+//!                          native Minato–Morreale ISOP extraction
+//!                          (default) or the historical node-by-node
+//!                          translation — gate equations are
+//!                          byte-identical either way; the split is
+//!                          reported as the ExtTim timing row
 //!   --workers N            worker threads (default: one per CPU)
 //!   --bdd-threads N        (symbolic engine) worker threads inside the
 //!                          BDD kernels themselves (default: --workers).
@@ -71,8 +79,8 @@ use std::time::Instant;
 
 use si_bench::secs;
 use si_stategraph::{
-    synthesize_from_built_sg, synthesize_from_symbolic_sg, OrderSeed, ReorderPolicy, SgEngine,
-    SgSynthesis, SgSynthesisOptions, StateGraph, SymbolicSg,
+    check_implementable, synthesize_from_built_sg, synthesize_from_on_off_sets, CoverExtraction,
+    OrderSeed, ReorderPolicy, SgEngine, SgSynthesis, SgSynthesisOptions, StateGraph, SymbolicSg,
 };
 use si_stg::analysis::lint_text;
 use si_stg::{parse_g, Stg};
@@ -107,6 +115,7 @@ struct Args {
     engine: EngineArg,
     exact: bool,
     implicit_covers: bool,
+    extract: CoverExtraction,
     workers: Option<usize>,
     bdd_threads: Option<usize>,
     budget: Option<usize>,
@@ -118,9 +127,9 @@ struct Args {
 
 fn usage() -> &'static str {
     "Usage: synth <spec.g> [--flow sg|unfolding|auto] [--engine explicit|symbolic|auto] \
-     [--cover exact|approx] [--covers implicit|explicit] [--workers N] [--bdd-threads N] \
-     [--budget N] [--reorder off|sift|auto] [--order-seed adjacency|invariants] [--invert] \
-     [--lint | --lint-json]"
+     [--cover exact|approx] [--covers implicit|explicit] [--extract isop|translate] \
+     [--workers N] [--bdd-threads N] [--budget N] [--reorder off|sift|auto] \
+     [--order-seed adjacency|invariants] [--invert] [--lint | --lint-json]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -130,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = None;
     let mut exact = false;
     let mut implicit_covers = true;
+    let mut extract = CoverExtraction::default();
     let mut workers = None;
     let mut bdd_threads = None;
     let mut budget = None;
@@ -174,6 +184,13 @@ fn parse_args() -> Result<Args, String> {
                         return Err(format!("--covers needs implicit|explicit, got {other:?}"))
                     }
                 }
+            }
+            "--extract" => {
+                extract = args
+                    .next()
+                    .as_deref()
+                    .and_then(CoverExtraction::parse)
+                    .ok_or("--extract needs isop|translate")?;
             }
             "--workers" => {
                 let n = args
@@ -239,6 +256,7 @@ fn parse_args() -> Result<Args, String> {
         engine: engine.unwrap_or(EngineArg::Explicit),
         exact,
         implicit_covers,
+        extract,
         workers,
         bdd_threads,
         budget,
@@ -389,12 +407,14 @@ fn run_sg(
         workers: args.workers,
         bdd_threads: args.bdd_threads,
         implicit_covers: args.implicit_covers,
+        extraction: args.extract,
         ..defaults
     };
     // Phase 1 ("reach"): state-space traversal — explicit enumeration or
     // the symbolic BDD fixpoint. Phase 2 ("synth"): per-signal on/off set
     // derivation, CSC check and minimisation.
     let mut symbolic_stats = None;
+    let mut extraction_time = None;
     let reach_start = Instant::now();
     let (states, reach_time, result): (String, _, Result<SgSynthesis, _>) = match engine {
         SgEngine::Explicit => {
@@ -415,7 +435,7 @@ fn run_sg(
             )
         }
         SgEngine::Symbolic => {
-            let sym = match SymbolicSg::build(stg, &options.symbolic_tuning()) {
+            let mut sym = match SymbolicSg::build(stg, &options.symbolic_tuning()) {
                 Ok(sym) => sym,
                 Err(e) => {
                     eprintln!("symbolic reachability failed: {e}");
@@ -424,11 +444,16 @@ fn run_sg(
             };
             let reach_time = reach_start.elapsed();
             symbolic_stats = Some(sym.reach().stats().clone());
-            (
-                sym.state_count().to_string(),
-                reach_time,
-                synthesize_from_symbolic_sg(stg, &sym, &options),
-            )
+            // The synth phase, split so extraction (reachable BDD →
+            // per-signal implicit sets) is timed apart from the
+            // minimiser — the ExtTim row below.
+            let result = check_implementable(stg).and_then(|signals| {
+                let ext_start = Instant::now();
+                let sets = sym.extract_on_off_sets(&signals, options.extraction);
+                extraction_time = Some(ext_start.elapsed());
+                synthesize_from_on_off_sets(stg, sets, &options)
+            });
+            (sym.state_count().to_string(), reach_time, result)
         }
     };
     let syn_time = reach_start.elapsed() - reach_time;
@@ -486,6 +511,15 @@ fn run_sg(
             stats.reentrant_maintenance,
             stats.peak_pool
         );
+    }
+    if let Some(ext) = extraction_time {
+        // Slice of the synth row (already included there): the cover
+        // extraction front end's share of the non-reach time.
+        let front = match options.extraction {
+            CoverExtraction::Isop => "isop",
+            CoverExtraction::Translate => "translate",
+        };
+        println!("{:>10} {:>10}   ({front} front end)", "ExtTim", secs(ext));
     }
     println!("{:>10} {:>10}", "synth", secs(syn_time));
     println!(

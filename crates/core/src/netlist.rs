@@ -72,7 +72,7 @@ fn verilog_expr(cover: &Cover, names: &[&str]) -> String {
                 .map(|(v, lit)| match lit {
                     Literal::One => names[v].to_owned(),
                     Literal::Zero => format!("~{}", names[v]),
-                    Literal::DontCare => unreachable!(),
+                    Literal::DontCare => unreachable!("literals() never yields DontCare"),
                 })
                 .collect();
             match product.as_slice() {

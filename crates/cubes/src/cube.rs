@@ -73,11 +73,11 @@ impl Cube {
     pub fn from_str_cube(s: &str) -> Self {
         let mut cube = Cube::full(s.chars().count());
         for (i, c) in s.chars().enumerate() {
+            assert!(matches!(c, '0' | '1' | '-'), "invalid cube character {c:?}");
             match c {
                 '0' => cube.set(i, Literal::Zero),
                 '1' => cube.set(i, Literal::One),
-                '-' => {}
-                other => panic!("invalid cube character {other:?}"),
+                _ => {}
             }
         }
         cube
@@ -324,7 +324,7 @@ impl Cube {
             let flipped = match lit {
                 Literal::Zero => Literal::One,
                 Literal::One => Literal::Zero,
-                Literal::DontCare => unreachable!(),
+                Literal::DontCare => unreachable!("literals() never yields DontCare"),
             };
             let mut piece = prefix.clone();
             piece.set(v, flipped);
@@ -355,7 +355,7 @@ impl Cube {
             match lit {
                 Literal::One => parts.push(name.to_owned()),
                 Literal::Zero => parts.push(format!("{name}'")),
-                Literal::DontCare => unreachable!(),
+                Literal::DontCare => unreachable!("literals() never yields DontCare"),
             }
         }
         parts.join(" ")

@@ -238,6 +238,39 @@ impl ImplicitPool {
         self.diff(full, a)
     }
 
+    /// Rebuilds `set` (owned by `src`) inside this pool, returning the
+    /// handle of the identical point set here. Shared subgraphs are
+    /// visited once, so the cost is linear in the copied diagram — this
+    /// is how a batch of sets built in one shared pool is carved into
+    /// per-signal pools for parallel minimisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two pools have different widths.
+    pub fn copy_set_from(&mut self, src: &ImplicitPool, set: ImplicitCover) -> ImplicitCover {
+        assert_eq!(
+            self.width, src.width,
+            "copying a set between pools of different widths"
+        );
+        let mut memo = HashMap::new();
+        ImplicitCover(self.copy_rec(src, set.0, &mut memo))
+    }
+
+    fn copy_rec(&mut self, src: &ImplicitPool, n: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+        if n <= FULL {
+            return n;
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let (var, lo, hi) = src.nodes[n as usize];
+        let lo = self.copy_rec(src, lo, memo);
+        let hi = self.copy_rec(src, hi, memo);
+        let r = self.mk(var, lo, hi);
+        memo.insert(n, r);
+        r
+    }
+
     /// Returns `true` if the sets share at least one point — O(shared
     /// structure) instead of the explicit cover's quadratic cube sweep.
     pub fn intersects(&mut self, a: ImplicitCover, b: ImplicitCover) -> bool {
@@ -945,6 +978,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn copy_set_from_lands_on_the_same_point_set() {
+        let mut src = ImplicitPool::new(4);
+        // Populate the source pool with unrelated garbage first so the
+        // copied ids cannot accidentally line up.
+        let _ = set_of(&mut src, &["0--1", "--00"]);
+        let a = set_of(&mut src, &["1--0", "01--", "--11"]);
+        let mut dst = ImplicitPool::new(4);
+        let b = dst.copy_set_from(&src, a);
+        assert_eq!(src.minterms_cover(a).cubes(), dst.minterms_cover(b).cubes());
+        // Terminals pass through unchanged.
+        assert_eq!(dst.copy_set_from(&src, src.empty()), dst.empty());
+        assert_eq!(dst.copy_set_from(&src, src.full()), dst.full());
+        // Copying into a non-empty pool hash-conses against what is
+        // already there: the same set copied twice shares one handle.
+        assert_eq!(dst.copy_set_from(&src, a), b);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use si_bdd::ReorderPolicy;
 
 use crate::error::SgError;
 use crate::graph::StateGraph;
-use crate::symbolic::{OrderSeed, SymbolicSg, SymbolicTuning};
+use crate::symbolic::{CoverExtraction, OrderSeed, SymbolicSg, SymbolicTuning};
 
 /// The exact on-set/off-set partition of the reachable states for one
 /// signal, as minterm covers over the signal vector.
@@ -201,6 +201,39 @@ impl SgClassification {
         }
     }
 
+    /// Builds `signal`'s implicit on/off sets into a caller-held pool —
+    /// the batch form of [`on_off_sets`](Self::on_off_sets): states
+    /// shared between signals collapse into diagram structure **once**
+    /// across the whole batch instead of being rebuilt per signal.
+    pub fn sets_into(
+        &self,
+        pool: &mut ImplicitPool,
+        signal: SignalId,
+    ) -> (ImplicitCover, ImplicitCover) {
+        let (b, m) = (signal.index() / 64, 1u64 << (signal.index() % 64));
+        let mut on_list = MintermList::new(self.width);
+        let mut off_list = MintermList::new(self.width);
+        for s in 0..self.states {
+            let base = s * self.blocks;
+            let row = &self.codes[base..base + self.blocks];
+            let implied = if self.rise[base + b] & m != 0 {
+                true
+            } else if self.fall[base + b] & m != 0 {
+                false
+            } else {
+                row[b] & m != 0
+            };
+            if implied {
+                on_list.push_blocks(row);
+            } else {
+                off_list.push_blocks(row);
+            }
+        }
+        let on = pool.from_minterms(&mut on_list);
+        let off = pool.from_minterms(&mut off_list);
+        (on, off)
+    }
+
     fn build(stg: &Stg, sg: &StateGraph) -> Self {
         let width = stg.signal_count();
         let blocks = width.div_ceil(64).max(1);
@@ -240,28 +273,8 @@ impl SgClassification {
     /// on, excited fall → off, otherwise the stable code bit), merged into
     /// the diagram as a bulk batch.
     fn sets_for(&self, signal: SignalId) -> (ImplicitPool, ImplicitCover, ImplicitCover) {
-        let (b, m) = (signal.index() / 64, 1u64 << (signal.index() % 64));
-        let mut on_list = MintermList::new(self.width);
-        let mut off_list = MintermList::new(self.width);
-        for s in 0..self.states {
-            let base = s * self.blocks;
-            let row = &self.codes[base..base + self.blocks];
-            let implied = if self.rise[base + b] & m != 0 {
-                true
-            } else if self.fall[base + b] & m != 0 {
-                false
-            } else {
-                row[b] & m != 0
-            };
-            if implied {
-                on_list.push_blocks(row);
-            } else {
-                off_list.push_blocks(row);
-            }
-        }
         let mut pool = ImplicitPool::new(self.width);
-        let on = pool.from_minterms(&mut on_list);
-        let off = pool.from_minterms(&mut off_list);
+        let (on, off) = self.sets_into(&mut pool, signal);
         (pool, on, off)
     }
 }
@@ -393,6 +406,13 @@ pub struct SgSynthesisOptions {
     /// byte-identical under every seed (pinned by the equivalence tests);
     /// only diagram sizes differ.
     pub symbolic_order_seed: OrderSeed,
+    /// Front end deriving each signal's on/off sets from the symbolic
+    /// engine's reachable BDD (ignored by the explicit engine): native
+    /// Minato–Morreale ISOP extraction (the default) or the historical
+    /// node-by-node translation, kept as the cross-check ablation. Gate
+    /// equations are byte-identical either way (pinned by the
+    /// equivalence tests).
+    pub extraction: CoverExtraction,
     /// Worker threads inside the symbolic engine's BDD kernels; `None`
     /// inherits [`workers`](Self::workers) (so one `--workers` knob speeds
     /// up both the traversal and the per-signal minimisation). Purely a
@@ -415,6 +435,7 @@ impl Default for SgSynthesisOptions {
             workers: None,
             implicit_covers: true,
             symbolic_order_seed: tuning.order_seed,
+            extraction: CoverExtraction::default(),
             bdd_threads: None,
         }
     }
@@ -488,14 +509,21 @@ pub fn synthesize_from_sg(stg: &Stg, options: &SgSynthesisOptions) -> Result<SgS
             // No pre-check here: `synthesize_from_symbolic_sg` validates
             // after the traversal, mirroring the explicit arm's error
             // precedence (net/traversal errors before `ConstantSignal`).
-            let sym = SymbolicSg::build(stg, &options.symbolic_tuning())?;
-            synthesize_from_symbolic_sg(stg, &sym, options)
+            let mut sym = SymbolicSg::build(stg, &options.symbolic_tuning())?;
+            synthesize_from_symbolic_sg(stg, &mut sym, options)
         }
     }
 }
 
-/// Every implementable signal must actually change somewhere.
-fn check_implementable(stg: &Stg) -> Result<Vec<SignalId>, SgError> {
+/// Validates that every implementable signal actually changes somewhere,
+/// returning the signal list synthesis will implement (in signal order).
+/// Public so callers that split the flow into phases (extraction vs
+/// minimisation, e.g. for timing) run the same pre-check synthesis does.
+///
+/// # Errors
+///
+/// [`SgError::ConstantSignal`] if an implementable signal never changes.
+pub fn check_implementable(stg: &Stg) -> Result<Vec<SignalId>, SgError> {
     let signals = stg.implementable_signals();
     for &signal in &signals {
         if stg.transitions_of(signal).is_empty() {
@@ -577,8 +605,23 @@ fn synthesize_implicit(
     options: &SgSynthesisOptions,
 ) -> Result<SgSynthesis, SgError> {
     let class = SgClassification::build(stg, sg);
-    let results = par_map(signals, options.workers, |_, &signal| {
-        let (pool, on, off) = class.sets_for(signal);
+    // One shared pool for every signal's set construction: states shared
+    // between signals collapse into diagram structure once instead of
+    // being rebuilt from scratch per signal. The build is sequential
+    // (deterministic pool), the minimisation parallel over per-signal
+    // carve-outs.
+    let mut shared = ImplicitPool::new(class.width);
+    let handles: Vec<(SignalId, ImplicitCover, ImplicitCover)> = signals
+        .iter()
+        .map(|&signal| {
+            let (on, off) = class.sets_into(&mut shared, signal);
+            (signal, on, off)
+        })
+        .collect();
+    let results = par_map(&handles, options.workers, |_, &(signal, on, off)| {
+        let mut pool = ImplicitPool::new(class.width);
+        let on = pool.copy_set_from(&shared, on);
+        let off = pool.copy_set_from(&shared, off);
         implement_implicit(
             stg,
             ImplicitOnOffSets::from_parts(signal, pool, on, off),
@@ -593,7 +636,11 @@ fn synthesize_implicit(
 /// [`SymbolicSg`] — the engine-split counterpart of
 /// [`synthesize_from_built_sg`], exposing the intermediate reachability
 /// result so callers (the `synth` CLI, the benches) can time the phases
-/// separately. Gate equations are byte-identical to the explicit engine's.
+/// separately. Gate equations are byte-identical to the explicit engine's
+/// under either [`CoverExtraction`] front end.
+///
+/// Takes `&mut SymbolicSg` because ISOP extraction writes the BDD
+/// manager's memo tables; the reachable relation itself is not touched.
 ///
 /// # Errors
 ///
@@ -602,12 +649,30 @@ fn synthesize_implicit(
 /// * [`SgError::ConstantSignal`] if an implementable signal never changes.
 pub fn synthesize_from_symbolic_sg(
     stg: &Stg,
-    sym: &SymbolicSg,
+    sym: &mut SymbolicSg,
     options: &SgSynthesisOptions,
 ) -> Result<SgSynthesis, SgError> {
     let signals = check_implementable(stg)?;
-    let results = par_map(&signals, options.workers, |_, &signal| {
-        implement_implicit(stg, sym.on_off_sets(signal), options)
+    let sets = sym.extract_on_off_sets(&signals, options.extraction);
+    synthesize_from_on_off_sets(stg, sets, options)
+}
+
+/// Minimises already extracted per-signal implicit sets into gates — the
+/// back half of the symbolic flow, split out so callers can time
+/// extraction and minimisation separately (the `synth` CLI's `ExtTim`
+/// row). Gates come back in the order of `sets`.
+///
+/// # Errors
+///
+/// [`SgError::CscViolation`] if some signal's on- and off-sets share a
+/// code.
+pub fn synthesize_from_on_off_sets(
+    stg: &Stg,
+    sets: Vec<ImplicitOnOffSets>,
+    options: &SgSynthesisOptions,
+) -> Result<SgSynthesis, SgError> {
+    let results = par_map(&sets, options.workers, |_, sets| {
+        implement_implicit(stg, sets.clone(), options)
     });
     let gates = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SgSynthesis { gates })

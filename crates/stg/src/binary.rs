@@ -58,10 +58,9 @@ impl BinaryCode {
     ///
     /// Panics if the string contains characters other than `0` and `1`.
     pub fn from_str_bits(s: &str) -> Self {
-        BinaryCode::from_bits(s.chars().map(|c| match c {
-            '0' => false,
-            '1' => true,
-            other => panic!("invalid bit character {other:?}"),
+        BinaryCode::from_bits(s.chars().map(|c| {
+            assert!(matches!(c, '0' | '1'), "invalid bit character {c:?}");
+            c == '1'
         }))
     }
 

@@ -393,7 +393,7 @@ impl StgBuilder {
     pub fn must_build(self) -> Stg {
         match self.build() {
             Ok(stg) => stg,
-            Err(e) => panic!("internal STG construction failed: {e}"),
+            Err(e) => unreachable!("internal STG construction failed: {e}"),
         }
     }
 }

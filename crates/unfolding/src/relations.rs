@@ -224,8 +224,13 @@ impl StgUnfolding {
     /// [`first_instances`](Self::first_instances) for the slice entered at
     /// the initial state.
     pub fn next_instances(&self, e: EventId) -> Vec<EventId> {
-        let Some(signal) = self.label(e).map(|l| l.signal) else {
-            panic!("next_instances of the unlabelled initial event ⊥");
+        let label = self.label(e).map(|l| l.signal);
+        assert!(
+            label.is_some(),
+            "next_instances of the unlabelled initial event ⊥"
+        );
+        let Some(signal) = label else {
+            return Vec::new();
         };
         let mut out = Vec::new();
         let mut seen_events = BitSet::new();

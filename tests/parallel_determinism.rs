@@ -251,9 +251,9 @@ fn symbolic_fingerprint(
     };
     let mut tuning = options.symbolic_tuning();
     tuning.bdd_parallel_floor = Some(0);
-    let sym = SymbolicSg::build(stg, &tuning).expect("symbolic reachability succeeds");
+    let mut sym = SymbolicSg::build(stg, &tuning).expect("symbolic reachability succeeds");
     let stats = sym.reach().stats().clone();
-    let result = synthesize_from_symbolic_sg(stg, &sym, &options).expect("synthesis succeeds");
+    let result = synthesize_from_symbolic_sg(stg, &mut sym, &options).expect("synthesis succeeds");
     let gates: String = result
         .gates
         .iter()

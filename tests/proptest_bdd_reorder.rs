@@ -128,6 +128,7 @@ fn assignment(seed: u64, j: u64, w: usize) -> Vec<bool> {
 fn implicit_of(mgr: &BddManager, f: Bdd, pool: &mut ImplicitPool) -> ImplicitCover {
     let map: Vec<Option<usize>> = (0..mgr.num_vars()).map(Some).collect();
     mgr.to_implicit(f, pool, &map)
+        .expect("identity map covers the support")
 }
 
 proptest! {

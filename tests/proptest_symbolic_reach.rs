@@ -148,9 +148,9 @@ proptest! {
         )
         .expect("explicit synthesis");
         let sg = StateGraph::build(&stg, STATE_BUDGET).expect("explicit builds");
-        let sym = SymbolicSg::build(&stg, &t).expect("symbolic builds");
+        let mut sym = SymbolicSg::build(&stg, &t).expect("symbolic builds");
         prop_assert_eq!(sym.state_count(), sg.len() as u128, "{:?} under {:?}", f, t);
-        let symbolic = synthesize_from_symbolic_sg(&stg, &sym, &SgSynthesisOptions::default())
+        let symbolic = synthesize_from_symbolic_sg(&stg, &mut sym, &SgSynthesisOptions::default())
             .expect("symbolic synthesis");
         prop_assert_eq!(explicit.gates.len(), symbolic.gates.len());
         for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {

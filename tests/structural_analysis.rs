@@ -69,11 +69,11 @@ fn order_seeds_and_certificate_skips_keep_equations_byte_identical() {
                     safety_certificates,
                     ..SymbolicTuning::default()
                 };
-                let sym = SymbolicSg::build(&stg, &tuning)
+                let mut sym = SymbolicSg::build(&stg, &tuning)
                     .unwrap_or_else(|e| panic!("{} failed under {order_seed:?}: {e}", stg.name()));
                 let symbolic = synthesize_from_symbolic_sg(
                     &stg,
-                    &sym,
+                    &mut sym,
                     &SgSynthesisOptions {
                         engine: SgEngine::Symbolic,
                         ..Default::default()

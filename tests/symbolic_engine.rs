@@ -56,10 +56,11 @@ fn gc_and_reorder_stress_keeps_the_whole_suite_byte_identical() {
         let explicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default())
             .unwrap_or_else(|e| panic!("{} failed explicitly: {e}", stg.name()));
         for tuning in stress_tunings() {
-            let sym = SymbolicSg::build(&stg, &tuning)
+            let mut sym = SymbolicSg::build(&stg, &tuning)
                 .unwrap_or_else(|e| panic!("{} failed under {tuning:?}: {e}", stg.name()));
-            let symbolic = synthesize_from_symbolic_sg(&stg, &sym, &SgSynthesisOptions::default())
-                .unwrap_or_else(|e| panic!("{} failed under {tuning:?}: {e}", stg.name()));
+            let symbolic =
+                synthesize_from_symbolic_sg(&stg, &mut sym, &SgSynthesisOptions::default())
+                    .unwrap_or_else(|e| panic!("{} failed under {tuning:?}: {e}", stg.name()));
             assert_eq!(explicit.gates.len(), symbolic.gates.len(), "{}", stg.name());
             for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
                 assert_eq!(
@@ -79,8 +80,8 @@ fn gc_stress_csc_witness_identical_to_explicit() {
     let stg = vme_read_no_csc();
     let explicit = synthesize_from_sg(&stg, &SgSynthesisOptions::default()).unwrap_err();
     for tuning in stress_tunings() {
-        let sym = SymbolicSg::build(&stg, &tuning).expect("reachability itself succeeds");
-        let err = synthesize_from_symbolic_sg(&stg, &sym, &SgSynthesisOptions::default())
+        let mut sym = SymbolicSg::build(&stg, &tuning).expect("reachability itself succeeds");
+        let err = synthesize_from_symbolic_sg(&stg, &mut sym, &SgSynthesisOptions::default())
             .expect_err("CSC violation must surface");
         assert_eq!(err, explicit, "witness drifted under {tuning:?}");
     }
@@ -119,10 +120,11 @@ fn wide_arbiter_small_instances_agree_with_the_explicit_engine() {
             .unwrap_or_else(|e| panic!("wide_arbiter({n}) failed explicitly: {e}"));
         assert_eq!(explicit.gates.len(), n, "one C-element per stage");
         for tuning in stress_tunings() {
-            let sym = SymbolicSg::build(&stg, &tuning)
+            let mut sym = SymbolicSg::build(&stg, &tuning)
                 .unwrap_or_else(|e| panic!("wide_arbiter({n}) under {tuning:?}: {e}"));
-            let symbolic = synthesize_from_symbolic_sg(&stg, &sym, &SgSynthesisOptions::default())
-                .expect("symbolic synthesis");
+            let symbolic =
+                synthesize_from_symbolic_sg(&stg, &mut sym, &SgSynthesisOptions::default())
+                    .expect("symbolic synthesis");
             for (a, b) in symbolic.gates.iter().zip(&explicit.gates) {
                 assert_eq!(a.equation(&stg), b.equation(&stg), "wide_arbiter({n})");
             }

@@ -53,11 +53,34 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64 + 1;
         let len = self.size.lo + runner.below(span) as usize;
         (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Dropping whole elements first (respecting the lower size bound)…
+        if value.len() > self.size.lo {
+            for i in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // …then shrinking elements in place, one at a time.
+        for (i, v) in value.iter().enumerate() {
+            for candidate in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }

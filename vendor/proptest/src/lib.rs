@@ -6,9 +6,12 @@
 //! compiling and *meaningfully running*: every `proptest!` test executes its
 //! configured number of cases against pseudo-random inputs drawn from a
 //! deterministic xorshift generator (seeded per test and per case), so runs
-//! are reproducible. What it does **not** do is shrink failing inputs or
-//! persist regressions — on failure it panics with the generated case's
-//! values unminimised.
+//! are reproducible. Greedy shrinking is available via
+//! [`strategy::Strategy::shrink`] and the [`strategy::shrink_failure`]
+//! driver (integers halve toward their lower bound, vectors drop elements);
+//! the `proptest!` macro itself does **not** shrink — on failure it panics
+//! with the generated case's values unminimised — and regressions are not
+//! persisted.
 //!
 //! Supported surface:
 //!

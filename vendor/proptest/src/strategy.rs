@@ -17,6 +17,14 @@ pub trait Strategy {
     /// Draws one value from the runner's random stream.
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// The default — no candidates — is what non-invertible combinators
+    /// ([`Map`], [`Union`], [`Just`]) keep: the greedy driver
+    /// ([`shrink_failure`]) simply stops there.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -32,6 +40,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
         (**self).new_value(runner)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
@@ -39,6 +50,30 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
         (**self).new_value(runner)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Greedily minimises a failing input: repeatedly replaces `value` with
+/// the first [`Strategy::shrink`] candidate that still fails (per
+/// `fails`), until no candidate reproduces the failure or the step bound
+/// runs out. Returns the smallest failing value found — `value` itself
+/// when nothing simpler fails.
+pub fn shrink_failure<S: Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value {
+    // Halving converges in ~64 steps per integer; the bound only guards
+    // against a pathological strategy whose candidates never converge.
+    for _ in 0..1024 {
+        let Some(smaller) = strat.shrink(&value).into_iter().find(|c| fails(c)) else {
+            return value;
+        };
+        value = smaller;
+    }
+    value
 }
 
 /// Always generates a clone of the wrapped value.
@@ -104,12 +139,22 @@ impl Strategy for Any<bool> {
     fn new_value(&self, runner: &mut TestRunner) -> bool {
         runner.next_u64() & 1 == 1
     }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Strategy for Any<u64> {
     type Value = u64;
     fn new_value(&self, runner: &mut TestRunner) -> u64 {
         runner.next_u64()
+    }
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        shrink_towards(*value, 0)
     }
 }
 
@@ -120,10 +165,35 @@ macro_rules! any_small_uint {
             fn new_value(&self, runner: &mut TestRunner) -> $t {
                 runner.next_u64() as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_towards(u64::from(*value as u64), 0)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 any_small_uint!(u8, u16, u32, usize);
+
+/// Integer shrink candidates, simplest first: the target itself, the
+/// halfway point, then one step down. Halving alone can overshoot past the
+/// true minimum and stall (from 23 with minimum 17, halving lands on 11);
+/// the decrement rung lets the greedy driver walk the final stretch.
+fn shrink_towards(value: u64, target: u64) -> Vec<u64> {
+    if value == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let half = target + (value - target) / 2;
+    if half != target {
+        out.push(half);
+    }
+    if value - 1 != half && value - 1 != target {
+        out.push(value - 1);
+    }
+    out
+}
 
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
@@ -134,6 +204,12 @@ macro_rules! range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + runner.below(span) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_towards(*value as u64, self.start as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -143,6 +219,12 @@ macro_rules! range_strategy {
                 let span = (hi - lo) as u64 + 1;
                 lo + runner.below(span) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_towards(*value as u64, *self.start() as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -150,15 +232,66 @@ range_strategy!(u8, u16, u32, usize);
 
 macro_rules! tuple_strategy {
     ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.new_value(runner),)+)
             }
+            #[allow(non_snake_case)]
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                let strategies = self;
+                tuple_strategy!(@shrink strategies value out ($($name),+));
+                out
+            }
         }
     )*};
+    (@shrink $strats:ident $value:ident $out:ident ($($name:ident),+)) => {
+        let ($($name,)+) = $strats;
+        #[allow(non_snake_case)]
+        {
+            tuple_strategy!(@each $value $out ($($name),+) ($($name),+));
+        }
+    };
+    (@each $value:ident $out:ident ($($all:ident),+) ($head:ident $(, $rest:ident)*)) => {
+        {
+            let idx_value = &tuple_strategy!(@pick $value ($($all),+) $head);
+            for candidate in $head.shrink(idx_value) {
+                let mut next = $value.clone();
+                *(&mut tuple_strategy!(@pick next ($($all),+) $head)) = candidate;
+                $out.push(next);
+            }
+        }
+        tuple_strategy!(@each $value $out ($($all),+) ($($rest),*));
+    };
+    (@each $value:ident $out:ident ($($all:ident),+) ()) => {};
+    (@pick $value:ident (A) A) => { $value.0 };
+    (@pick $value:ident (A, B) A) => { $value.0 };
+    (@pick $value:ident (A, B) B) => { $value.1 };
+    (@pick $value:ident (A, B, C) A) => { $value.0 };
+    (@pick $value:ident (A, B, C) B) => { $value.1 };
+    (@pick $value:ident (A, B, C) C) => { $value.2 };
+    (@pick $value:ident (A, B, C, D) A) => { $value.0 };
+    (@pick $value:ident (A, B, C, D) B) => { $value.1 };
+    (@pick $value:ident (A, B, C, D) C) => { $value.2 };
+    (@pick $value:ident (A, B, C, D) D) => { $value.3 };
+    (@pick $value:ident (A, B, C, D, E) A) => { $value.0 };
+    (@pick $value:ident (A, B, C, D, E) B) => { $value.1 };
+    (@pick $value:ident (A, B, C, D, E) C) => { $value.2 };
+    (@pick $value:ident (A, B, C, D, E) D) => { $value.3 };
+    (@pick $value:ident (A, B, C, D, E) E) => { $value.4 };
+    (@pick $value:ident (A, B, C, D, E, F) A) => { $value.0 };
+    (@pick $value:ident (A, B, C, D, E, F) B) => { $value.1 };
+    (@pick $value:ident (A, B, C, D, E, F) C) => { $value.2 };
+    (@pick $value:ident (A, B, C, D, E, F) D) => { $value.3 };
+    (@pick $value:ident (A, B, C, D, E, F) E) => { $value.4 };
+    (@pick $value:ident (A, B, C, D, E, F) F) => { $value.5 };
 }
 tuple_strategy! {
     (A)
@@ -167,4 +300,64 @@ tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn shrink_failure_bisects_an_integer_to_its_minimal_failing_value() {
+        // Failing predicate: v >= 17. Greedy bisection from anywhere in the
+        // range must land exactly on 17.
+        let strat = 0..100u32;
+        assert_eq!(shrink_failure(&strat, 93, |&v| v >= 17), 17);
+        assert_eq!(shrink_failure(&strat, 17, |&v| v >= 17), 17);
+        // A value that everything-below also fails shrinks to the range floor.
+        let strat = 5..100u32;
+        assert_eq!(shrink_failure(&strat, 80, |_| true), 5);
+    }
+
+    #[test]
+    fn shrink_failure_drops_vector_elements_down_to_the_size_floor() {
+        let strat = collection::vec(0..10u32, 2..=6);
+        let value = vec![3, 7, 1, 9, 2];
+        // "Contains a 7" is preserved by dropping everything else, but the
+        // size floor of 2 keeps one bystander around.
+        let min = shrink_failure(&strat, value, |v| v.contains(&7));
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&7));
+        // The surviving bystander also shrank to the element floor.
+        assert!(min.contains(&0), "bystander should shrink to 0: {min:?}");
+    }
+
+    #[test]
+    fn tuple_shrink_moves_one_component_at_a_time() {
+        let strat = (0..10u32, 0..10u32);
+        let candidates = strat.shrink(&(4, 6));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let moved_a = *a != 4;
+            let moved_b = *b != 6;
+            assert!(moved_a ^ moved_b, "exactly one side moves: ({a}, {b})");
+        }
+        // Greedy driver over the pair: minimise while the sum stays >= 5.
+        let min = shrink_failure(&strat, (4, 6), |&(a, b)| a + b >= 5);
+        assert_eq!(min.0 + min.1, 5, "sum should be driven to the boundary");
+    }
+
+    #[test]
+    fn bool_and_fixed_point_shrinks_terminate() {
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+        // Already-minimal values yield no candidates: the driver returns
+        // them unchanged immediately.
+        let strat = 3..9u8;
+        assert!(strat.shrink(&3).is_empty());
+        assert_eq!(shrink_failure(&strat, 3, |_| true), 3);
+        // Non-invertible combinators keep the empty default.
+        let mapped = (0..10u32).prop_map(|v| v * 2);
+        assert!(mapped.shrink(&8).is_empty());
+    }
 }

@@ -2,8 +2,10 @@
 //!
 //! Runs the SG flow's BDD engine over the large `benchmarks/*.g`
 //! specifications at several `bdd_threads` settings and reports, per run:
-//! end-to-end wall clock, the reach/synth split, peak live nodes at the
-//! fixpoint checkpoints, and the deterministic kernel operation counts.
+//! end-to-end wall clock, the reach/extract/minimise split (extraction is
+//! the ISOP front end turning the reachable BDD into per-signal implicit
+//! sets), peak live nodes at the fixpoint checkpoints, and the
+//! deterministic kernel operation counts.
 //! Every multi-threaded run is cross-checked against the single-threaded
 //! reference: gate equations (byte-for-byte), state counts and op counts
 //! must be identical, so the harness doubles as a determinism gate.
@@ -19,7 +21,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use si_stategraph::{
-    synthesize_from_symbolic_sg, ReorderPolicy, SgEngine, SgSynthesisOptions, SymbolicSg,
+    check_implementable, synthesize_from_on_off_sets, ReorderPolicy, SgEngine, SgSynthesisOptions,
+    SymbolicSg,
 };
 use si_stg::parse_g;
 
@@ -43,6 +46,7 @@ struct Row {
     bdd_threads: usize,
     wall_ms: f64,
     reach_ms: f64,
+    extract_ms: f64,
     states: u128,
     peak_live_nodes: usize,
     peak_pool: usize,
@@ -90,8 +94,17 @@ pub fn run(args: Vec<String>) -> ExitCode {
     let root = crate::workspace_root();
     let mut rows: Vec<Row> = Vec::new();
     println!(
-        "{:<20} {:>7} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>5}",
-        "benchmark", "threads", "wall-ms", "reach-ms", "states", "peak-live", "ite", "exists", "ok"
+        "{:<20} {:>7} {:>9} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>5}",
+        "benchmark",
+        "threads",
+        "wall-ms",
+        "reach-ms",
+        "ext-ms",
+        "states",
+        "peak-live",
+        "ite",
+        "exists",
+        "ok"
     );
     for name in &names {
         let path = root.join("benchmarks").join(format!("{name}.g"));
@@ -124,7 +137,7 @@ pub fn run(args: Vec<String>) -> ExitCode {
                 ..SgSynthesisOptions::default()
             };
             let wall_start = Instant::now();
-            let sym = match SymbolicSg::build(&stg, &options.symbolic_tuning()) {
+            let mut sym = match SymbolicSg::build(&stg, &options.symbolic_tuning()) {
                 Ok(sym) => sym,
                 Err(e) => {
                     eprintln!("{name} (bdd_threads {t}): symbolic reachability failed: {e}");
@@ -132,7 +145,20 @@ pub fn run(args: Vec<String>) -> ExitCode {
                 }
             };
             let reach_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-            let result = match synthesize_from_symbolic_sg(&stg, &sym, &options) {
+            // Extraction timed apart from minimisation: ext-ms is the
+            // front end turning the reachable BDD into per-signal
+            // implicit sets (the translation tax this column tracks).
+            let signals = match check_implementable(&stg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{name} (bdd_threads {t}): synthesis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ext_start = Instant::now();
+            let sets = sym.extract_on_off_sets(&signals, options.extraction);
+            let extract_ms = ext_start.elapsed().as_secs_f64() * 1e3;
+            let result = match synthesize_from_on_off_sets(&stg, sets, &options) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("{name} (bdd_threads {t}): synthesis failed: {e}");
@@ -161,6 +187,7 @@ pub fn run(args: Vec<String>) -> ExitCode {
                 bdd_threads: t,
                 wall_ms,
                 reach_ms,
+                extract_ms,
                 states: sym.state_count(),
                 peak_live_nodes: stats.peak_live_nodes,
                 peak_pool: stats.peak_pool,
@@ -171,11 +198,12 @@ pub fn run(args: Vec<String>) -> ExitCode {
                 matches_reference,
             };
             println!(
-                "{:<20} {:>7} {:>9.1} {:>9.1} {:>12} {:>10} {:>8} {:>8} {:>5}",
+                "{:<20} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>12} {:>10} {:>8} {:>8} {:>5}",
                 row.benchmark,
                 row.bdd_threads,
                 row.wall_ms,
                 row.reach_ms,
+                row.extract_ms,
                 row.states,
                 row.peak_live_nodes,
                 row.ops_ite,
@@ -230,6 +258,7 @@ fn render_json(rows: &[Row]) -> String {
         s.push_str(&format!(
             "    {{\"benchmark\": \"{}\", \"flow\": \"sg\", \"engine\": \"symbolic\", \
              \"bdd_threads\": {}, \"wall_ms\": {:.1}, \"reach_ms\": {:.1}, \
+             \"extract_ms\": {:.1}, \
              \"states\": {}, \"peak_live_nodes\": {}, \"peak_pool\": {}, \
              \"ops_ite\": {}, \"ops_exists\": {}, \"ops_and_exists\": {}, \
              \"literals\": {}, \"matches_reference\": {}}}{}\n",
@@ -237,6 +266,7 @@ fn render_json(rows: &[Row]) -> String {
             r.bdd_threads,
             r.wall_ms,
             r.reach_ms,
+            r.extract_ms,
             r.states,
             r.peak_live_nodes,
             r.peak_pool,
@@ -263,6 +293,7 @@ mod tests {
             bdd_threads: 2,
             wall_ms: 12.5,
             reach_ms: 10.0,
+            extract_ms: 1.5,
             states: 64,
             peak_live_nodes: 100,
             peak_pool: 120,
@@ -276,6 +307,7 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"demo\""));
         assert!(json.contains("\"bdd_threads\": 2"));
+        assert!(json.contains("\"extract_ms\": 1.5"));
         assert!(json.contains("\"matches_reference\": true"));
         // Balanced braces/brackets — a cheap structural check without a
         // JSON parser in the dependency set.

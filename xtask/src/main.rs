@@ -3,11 +3,14 @@
 //! Subcommands:
 //!
 //! * `forbid-panics` — CI gate: non-test library code of the algorithmic
-//!   crates must not call `.unwrap()` or `.expect(…)`. Every fallible path
-//!   there either returns a typed error or matches exhaustively with an
-//!   `unreachable!` carrying the invariant; panicking adapters are the one
-//!   idiom the gate bans, because a poisoned synthesis run must surface as
-//!   an `Err` the caller can report, not a backtrace.
+//!   crates must not call `.unwrap()`, `.expect(…)`, `panic!(…)` or a bare
+//!   message-less `unreachable!()`. Every fallible path there either
+//!   returns a typed error, prechecks its contract with an `assert!`
+//!   carrying the message, or matches exhaustively with an `unreachable!`
+//!   carrying the invariant; panicking adapters and anonymous dead arms are
+//!   the idioms the gate bans, because a poisoned synthesis run must
+//!   surface as an `Err` the caller can report (or at worst a panic that
+//!   names its invariant), not a bare backtrace.
 //! * `forbid-unsafe` — CI gate: the same crates must not contain `unsafe`
 //!   blocks or functions. Every library crate already carries
 //!   `#![forbid(unsafe_code)]`; the textual gate keeps that true even if an
@@ -119,10 +122,14 @@ fn run_gate(name: &str, scan: fn(&Path, &str, &mut Vec<String>), hint: &str) -> 
 }
 
 /// Scans one file's text, pushing `path:line: …` strings for every
-/// `.unwrap()` / `.expect(` outside comments and test code.
+/// `.unwrap()` / `.expect(` / `panic!(` / bare `unreachable!()` outside
+/// comments and test code. `unreachable!` *with* a message is the blessed
+/// idiom for dead match arms, so only the message-less form is flagged;
+/// `panic!` is flagged unconditionally — contract prechecks belong in an
+/// `assert!`, which keeps the message and reads as a contract.
 fn scan_panics(path: &Path, text: &str, violations: &mut Vec<String>) {
     for (idx, code) in library_code_lines(text) {
-        for needle in [".unwrap()", ".expect("] {
+        for needle in [".unwrap()", ".expect(", "panic!(", "unreachable!()"] {
             if let Some(col) = code.find(needle) {
                 violations.push(format!(
                     "{}:{}:{}: `{}`",
@@ -230,10 +237,28 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let text = "// x.unwrap() in a comment\nlet a = b; // trailing .expect( too\n";
+        let text = "// x.unwrap() in a comment\nlet a = b; // trailing .expect( too\n// panic!(\"doc\") and unreachable!() in prose\n";
         let mut v = Vec::new();
         scan_panics(Path::new("demo.rs"), text, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bare_panics_and_anonymous_unreachable_are_flagged() {
+        let text = "fn f() {\n    panic!(\"even with a message\");\n}\nfn g(x: u8) {\n    match x {\n        0 => {}\n        _ => unreachable!(),\n    }\n}\n";
+        let mut v = Vec::new();
+        scan_panics(Path::new("demo.rs"), text, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].starts_with("demo.rs:2:") && v[0].contains("panic!("));
+        assert!(v[1].starts_with("demo.rs:7:") && v[1].contains("unreachable!()"));
+    }
+
+    #[test]
+    fn unreachable_with_an_invariant_message_is_blessed() {
+        let text = "fn f(x: u8) {\n    match x {\n        0 => {}\n        _ => unreachable!(\"x is prefiltered to zero\"),\n    }\n}\n";
+        let mut v = Vec::new();
+        scan_panics(Path::new("demo.rs"), text, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
